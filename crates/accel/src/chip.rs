@@ -1,0 +1,533 @@
+//! Whole-chip training-iteration simulator.
+//!
+//! For every layer of a workload network the simulator schedules the four
+//! training phases (FW/NG/WG/WU) plus the statistic (S) and quantization
+//! (Q) work of HQT, charging cycles against the PE array, the SQU, and the
+//! DDR model, and energy against the Fig. 12(d) components. Compute and
+//! memory streams are double-buffered, so a phase's base time is
+//! `max(compute, memory, squ)`; SQU time beyond the overlapped base is
+//! what shows up as the (small) S/Q slices of Fig. 12(b).
+//!
+//! Dataflow rules (paper Fig. 7):
+//!
+//! * activations and neuron gradients move quantized (1 B at INT8);
+//! * master weights live in DRAM at FP32; the NDP-side SQU quantizes them
+//!   on the fly, so the *bus* sees 1 B/weight while the cells are read at
+//!   full precision;
+//! * weight gradients ΔW leave the core at FP32;
+//! * with NDP enabled, the ΔW stream *is* the `WGSTORE` gradient stream —
+//!   w/m/v never cross the bus; without NDP the core must read and write
+//!   them all.
+
+use crate::config::CqConfig;
+use crate::pe::PeArray;
+use crate::squ::Squ;
+use cq_mem::{DdrModel, Dir};
+use cq_ndp::{NdpEngine, OptimizerKind};
+use cq_sim::hwcost::{acceleration_core_cost, ndp_engine_cost, DRAM_STANDBY_MW};
+use cq_sim::{Component, EnergyBreakdown, EnergyModel, Phase, PhaseBreakdown, SimResult};
+use cq_workloads::Network;
+
+/// The Cambricon-Q chip simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cq_accel::CambriconQ;
+/// use cq_ndp::OptimizerKind;
+/// use cq_workloads::models;
+///
+/// let chip = CambriconQ::edge();
+/// let result = chip.simulate(&models::alexnet(), OptimizerKind::Sgd { lr: 0.01 });
+/// assert!(result.time_ms() > 0.0);
+/// assert!(result.total_energy_mj() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CambriconQ {
+    config: CqConfig,
+    pe: PeArray,
+    squ: Squ,
+    energy: EnergyModel,
+}
+
+impl CambriconQ {
+    /// A chip with the given configuration.
+    pub fn new(config: CqConfig) -> Self {
+        let pe = PeArray::new(&config);
+        let squ = Squ::new(&config);
+        CambriconQ {
+            config,
+            pe,
+            squ,
+            energy: EnergyModel::tsmc45(),
+        }
+    }
+
+    /// The paper's edge configuration.
+    pub fn edge() -> Self {
+        CambriconQ::new(CqConfig::edge())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CqConfig {
+        &self.config
+    }
+
+    /// Quantized element size in bytes (0.5 for INT4, 1 for INT8, ...).
+    fn qbytes(&self) -> f64 {
+        self.config.train_format.bytes()
+    }
+
+    /// Simulates one *inference* minibatch: the forward pass only (§VII.C
+    /// notes the same 4-bit PEs serve 4-bit inference models directly).
+    pub fn simulate_inference(&self, net: &Network) -> SimResult {
+        let mut mem = DdrModel::new(self.config.ddr);
+        let mut phases = PhaseBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        let batch = net.batch_size;
+        for layer in &net.layers {
+            let inputs = layer.input_count() * batch as u64;
+            let outputs = layer.output_count() * batch as u64;
+            let weights = layer.weight_count();
+            let mut compute_cycles = 0u64;
+            let mut compute_energy = 0.0f64;
+            for mm in layer.as_matmuls(batch) {
+                let c = self.pe.matmul(mm.m, mm.n, mm.k);
+                compute_cycles += c.cycles * mm.serial_repeats;
+                compute_energy += c.energy_pj * mm.serial_repeats as f64;
+            }
+            self.charge_mac_phase(
+                Phase::Forward,
+                compute_cycles,
+                compute_energy,
+                &[(inputs, self.qbytes()), (weights, self.qbytes())],
+                &[(outputs, self.qbytes())],
+                0, // inference weights are stored pre-quantized
+                &mut mem,
+                &mut phases,
+                &mut energy,
+            );
+        }
+        let seconds = phases.total_cycles() as f64 / (self.config.freq_ghz * 1e9);
+        energy.charge(
+            Component::DdrStandby,
+            DRAM_STANDBY_MW * 1e9 * seconds * self.config.ddr.bus_bytes as f64 / 8.0,
+        );
+        SimResult::new(
+            format!("{} (inference)", platform_name(&self.config)),
+            net.name.clone(),
+            self.config.freq_ghz,
+            phases,
+            energy,
+        )
+    }
+
+    /// Simulates one training iteration (one minibatch) of `net`.
+    pub fn simulate(&self, net: &Network, optimizer: OptimizerKind) -> SimResult {
+        self.simulate_profiled(net, optimizer).0
+    }
+
+    /// Like [`CambriconQ::simulate`], but also returns the per-layer phase
+    /// breakdowns (in layer order) for profiling.
+    pub fn simulate_profiled(
+        &self,
+        net: &Network,
+        optimizer: OptimizerKind,
+    ) -> (SimResult, Vec<(String, PhaseBreakdown)>) {
+        let mut mem = DdrModel::new(self.config.ddr);
+        let mut phases = PhaseBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        let batch = net.batch_size;
+        let ndp = NdpEngine::new(optimizer);
+        let mut profile: Vec<(String, PhaseBreakdown)> = Vec::new();
+
+        for layer in &net.layers {
+            let phase_cycles_before = phases.clone();
+            let inputs = layer.input_count() * batch as u64;
+            let outputs = layer.output_count() * batch as u64;
+            let weights = layer.weight_count();
+            let matmuls = layer.as_matmuls(batch);
+
+            // ---- compute cost shared by the three MAC phases ----
+            let mut compute_cycles = 0u64;
+            let mut compute_energy = 0.0f64;
+            for mm in &matmuls {
+                let c = self.pe.matmul(mm.m, mm.n, mm.k);
+                compute_cycles += c.cycles * mm.serial_repeats;
+                compute_energy += c.energy_pj * mm.serial_repeats as f64;
+            }
+
+            // FW: read I(q) + W(q over bus), write O(q).
+            self.charge_mac_phase(
+                Phase::Forward,
+                compute_cycles,
+                compute_energy,
+                &[(inputs, self.qbytes()), (weights, self.qbytes())],
+                &[(outputs, self.qbytes())],
+                weights, // FP32 cell reads behind the NDP SQU
+                &mut mem,
+                &mut phases,
+                &mut energy,
+            );
+            // NG: read O(q) + δ_out(q) + W(q), write δ_in(q).
+            self.charge_mac_phase(
+                Phase::NeuronGrad,
+                compute_cycles,
+                compute_energy,
+                &[
+                    (outputs, self.qbytes()),
+                    (outputs, self.qbytes()),
+                    (weights, self.qbytes()),
+                ],
+                &[(inputs, self.qbytes())],
+                weights,
+                &mut mem,
+                &mut phases,
+                &mut energy,
+            );
+            // WG: read I(q) + δ(q); ΔW leaves at FP32. With NDP the write
+            // is the WGSTORE stream accounted in WU; without NDP it lands
+            // in DRAM here and is re-read during WU.
+            let wg_writes: &[(u64, f64)] = if self.config.ndp_enabled {
+                &[]
+            } else {
+                &[(weights, 4.0)]
+            };
+            self.charge_mac_phase(
+                Phase::WeightGrad,
+                compute_cycles,
+                compute_energy,
+                &[(inputs, self.qbytes()), (outputs, self.qbytes())],
+                wg_writes,
+                0,
+                &mut mem,
+                &mut phases,
+                &mut energy,
+            );
+            // WU.
+            if self.config.ndp_enabled {
+                let stats = ndp.update_weights(weights, &mut mem);
+                let cycles = mem.to_clock(stats.cycles, self.config.freq_ghz);
+                phases.charge(Phase::WeightUpdate, cycles, stats.compute_energy_pj);
+                energy.charge(Component::Acc, stats.compute_energy_pj);
+                energy.charge(
+                    Component::DdrDynamic,
+                    stats.dram_energy_pj + self.energy.dram(stats.bus_bytes as f64),
+                );
+            } else {
+                // Core-side update: read ΔW + w/m/v, write w/m/v (FP32),
+                // FP32 arithmetic on the SFU.
+                let state = optimizer.state_words() as u64;
+                let traffic_bytes = weights * 4 * (1 + 2 * (1 + state));
+                let ctrl_cycles = mem.transfer(0x6000_0000, traffic_bytes as usize, Dir::Read);
+                let mem_cycles = mem.to_clock(ctrl_cycles, self.config.freq_ghz);
+                let flops = weights * optimizer.flops_per_weight() as u64;
+                let sfu_lanes = 64 * self.config.pe_arrays as u64;
+                let sfu_cycles = flops.div_ceil(sfu_lanes);
+                let compute_pj =
+                    flops as f64 * (self.energy.fp_mul(32) + self.energy.fp_add(32)) / 2.0;
+                phases.charge(Phase::WeightUpdate, mem_cycles.max(sfu_cycles), compute_pj);
+                energy.charge(Component::Acc, compute_pj);
+                energy.charge(
+                    Component::DdrDynamic,
+                    self.energy.dram(traffic_bytes as f64),
+                );
+                energy.charge(Component::Buf, self.energy.sram(traffic_bytes as f64));
+            }
+            // Per-layer delta = totals now minus totals before this layer.
+            let mut delta = PhaseBreakdown::new();
+            for p in Phase::ALL {
+                delta.charge(
+                    p,
+                    phases.cycles(p) - phase_cycles_before.cycles(p),
+                    phases.energy_pj(p) - phase_cycles_before.energy_pj(p),
+                );
+            }
+            profile.push((layer.name.clone(), delta));
+        }
+
+        // Static components over the total runtime.
+        let total_cycles = phases.total_cycles();
+        let seconds = total_cycles as f64 / (self.config.freq_ghz * 1e9);
+        // DRAM standby.
+        energy.charge(
+            Component::DdrStandby,
+            DRAM_STANDBY_MW * 1e9 * seconds * self.config.ddr.bus_bytes as f64 / 8.0,
+        );
+        // Idle/leakage share of the core and NDP engine: 30% of the
+        // Table VII power draw, always on.
+        let static_mw = 0.3
+            * (acceleration_core_cost().total_power_mw() * self.config.pe_arrays as f64
+                + ndp_engine_cost().total_power_mw());
+        energy.charge(Component::Acc, static_mw * 1e9 * seconds);
+
+        (
+            SimResult::new(
+                platform_name(&self.config),
+                net.name.clone(),
+                self.config.freq_ghz,
+                phases,
+                energy,
+            ),
+            profile,
+        )
+    }
+
+    /// Charges one MAC phase: compute overlapped with quantized streams.
+    #[allow(clippy::too_many_arguments)]
+    fn charge_mac_phase(
+        &self,
+        phase: Phase,
+        compute_cycles: u64,
+        compute_energy: f64,
+        reads: &[(u64, f64)],
+        writes: &[(u64, f64)],
+        fp32_cell_reads: u64,
+        mem: &mut DdrModel,
+        phases: &mut PhaseBreakdown,
+        energy: &mut EnergyBreakdown,
+    ) -> u64 {
+        // Memory stream time (bus-limited).
+        let mut mem_cycles_ctrl = 0u64;
+        let mut bus_bytes = 0f64;
+        let mut addr = 0x1000_0000u64;
+        for &(elems, bytes) in reads {
+            let b = (elems as f64 * bytes) as usize;
+            mem_cycles_ctrl += mem.transfer(addr, b, Dir::Read);
+            bus_bytes += b as f64;
+            addr += (b as u64) * 2;
+        }
+        for &(elems, bytes) in writes {
+            let b = (elems as f64 * bytes) as usize;
+            mem_cycles_ctrl += mem.transfer(addr, b, Dir::Write);
+            bus_bytes += b as f64;
+            addr += (b as u64) * 2;
+        }
+        let mem_cycles = mem.to_clock(mem_cycles_ctrl, self.config.freq_ghz);
+
+        // SQU streams: everything read or written passes through an SQU
+        // (NDP-side for loads, core-side for stores).
+        let streamed: u64 = reads
+            .iter()
+            .chain(writes.iter())
+            .map(|&(elems, _)| elems)
+            .sum();
+        let squ_cost = self.squ.stream_cost(streamed);
+        let units = self.config.squ_units.max(1) as u64;
+        let squ_cycles = squ_cost.stat_cycles.max(squ_cost.quant_cycles) / units;
+
+        // Double-buffered overlap: the phase takes the max of the three.
+        let base = compute_cycles.max(mem_cycles);
+        let total = base.max(squ_cycles);
+        let squ_excess = total - base;
+        // Per-block double-buffer swap bubble that cannot overlap.
+        let blocks = streamed.div_ceil(self.squ.block_elems() as u64);
+        let bubble = blocks * 8 / units;
+
+        phases.charge(phase, total, compute_energy);
+        phases.charge(
+            Phase::Statistic,
+            squ_excess / 2 + bubble / 2,
+            squ_cost.energy_pj * 0.25,
+        );
+        phases.charge(
+            Phase::Quantize,
+            squ_excess / 2 + bubble / 2,
+            squ_cost.energy_pj * 0.75,
+        );
+
+        energy.charge(Component::Acc, compute_energy + squ_cost.energy_pj);
+        // Bus traffic energy plus the full-precision cell reads hiding
+        // behind the NDP SQU (3 extra bytes per weight at INT8).
+        let cell_extra = fp32_cell_reads as f64 * (4.0 - self.qbytes());
+        energy.charge(
+            Component::DdrDynamic,
+            self.energy.dram(bus_bytes + cell_extra),
+        );
+        // On-chip buffer traffic: operands in and out of NBin/SB/NBout.
+        energy.charge(Component::Buf, self.energy.sram(bus_bytes * 2.0));
+        total + bubble
+    }
+}
+
+fn platform_name(config: &CqConfig) -> String {
+    let mut name = match config.pe_arrays {
+        1 => "Cambricon-Q".to_string(),
+        8 => "Cambricon-Q-T".to_string(),
+        64 => "Cambricon-Q-V".to_string(),
+        n => format!("Cambricon-Q x{n}"),
+    };
+    if !config.ndp_enabled {
+        name.push_str(" (no NDP)");
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScaleVariant;
+    use cq_quant::IntFormat;
+    use cq_workloads::models;
+
+    fn sgd() -> OptimizerKind {
+        OptimizerKind::Sgd { lr: 0.01 }
+    }
+
+    fn adam() -> OptimizerKind {
+        OptimizerKind::Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+        }
+    }
+
+    #[test]
+    fn alexnet_iteration_time_plausible() {
+        // AlexNet batch 32 ≈ 70 GMACs of training compute on a 2-TOPS
+        // INT8 core → at least ~35 ms of compute.
+        let r = CambriconQ::edge().simulate(&models::alexnet(), adam());
+        assert!(r.time_ms() > 30.0, "too fast: {} ms", r.time_ms());
+        assert!(r.time_ms() < 500.0, "too slow: {} ms", r.time_ms());
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let r = CambriconQ::edge().simulate(&models::resnet18(), sgd());
+        let fw = r.phases.cycles(Phase::Forward);
+        let bw = r.phases.cycles(Phase::NeuronGrad) + r.phases.cycles(Phase::WeightGrad);
+        assert!(bw > fw, "backward {bw} <= forward {fw}");
+    }
+
+    #[test]
+    fn ndp_helps_wu_heavy_models_most() {
+        let with = CambriconQ::edge();
+        let without = CambriconQ::new(CqConfig::edge().without_ndp());
+        let gain = |net: &cq_workloads::Network| {
+            let a = with.simulate(net, adam());
+            let b = without.simulate(net, adam());
+            a.speedup_over(&b)
+        };
+        let alexnet_gain = gain(&models::alexnet());
+        let squeezenet_gain = gain(&models::squeezenet_v1());
+        // §VII.D: AlexNet (WU-heavy) benefits much more than SqueezeNet.
+        assert!(
+            alexnet_gain > squeezenet_gain,
+            "alexnet {alexnet_gain} vs squeezenet {squeezenet_gain}"
+        );
+        assert!(alexnet_gain > 1.05, "NDP should matter on AlexNet");
+        assert!(
+            squeezenet_gain < 1.05,
+            "NDP should be marginal on SqueezeNet"
+        );
+    }
+
+    #[test]
+    fn wu_fraction_larger_on_alexnet_than_googlenet() {
+        let chip = CambriconQ::new(CqConfig::edge().without_ndp());
+        let a = chip.simulate(&models::alexnet(), adam());
+        let g = chip.simulate(&models::googlenet(), adam());
+        assert!(
+            a.phases.fraction_cycles(Phase::WeightUpdate)
+                > g.phases.fraction_cycles(Phase::WeightUpdate) * 3.0
+        );
+    }
+
+    #[test]
+    fn int4_mode_speedup_near_paper() {
+        // §VII.C: switching to 4-bit gives ~2.33x performance.
+        let int8 = CambriconQ::edge();
+        let int4 = CambriconQ::new(CqConfig::edge().with_format(IntFormat::Int4));
+        let r8 = int8.simulate(&models::resnet18(), sgd());
+        let r4 = int4.simulate(&models::resnet18(), sgd());
+        let speedup = r4.speedup_over(&r8);
+        assert!(
+            speedup > 1.5 && speedup < 4.0,
+            "INT4 speedup {speedup} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn scaling_variants_are_faster() {
+        let edge = CambriconQ::edge().simulate(&models::resnet18(), sgd());
+        let qt =
+            CambriconQ::new(CqConfig::scaled(ScaleVariant::T)).simulate(&models::resnet18(), sgd());
+        let qv =
+            CambriconQ::new(CqConfig::scaled(ScaleVariant::V)).simulate(&models::resnet18(), sgd());
+        assert!(qt.speedup_over(&edge) > 3.0);
+        assert!(qv.speedup_over(&qt) > 2.0);
+        assert_eq!(qt.platform, "Cambricon-Q-T");
+        assert_eq!(qv.platform, "Cambricon-Q-V");
+    }
+
+    #[test]
+    fn energy_breakdown_has_all_components() {
+        let r = CambriconQ::edge().simulate(&models::squeezenet_v1(), adam());
+        for c in Component::ALL {
+            assert!(r.energy.energy_pj(c) > 0.0, "component {c} has zero energy");
+        }
+    }
+
+    #[test]
+    fn squ_phases_are_minor_for_cambricon_q() {
+        // HQT's fused one-pass quantization: S+Q must be a small fraction.
+        let r = CambriconQ::edge().simulate(&models::resnet18(), sgd());
+        let sq =
+            r.phases.fraction_cycles(Phase::Statistic) + r.phases.fraction_cycles(Phase::Quantize);
+        assert!(sq < 0.15, "S+Q fraction {sq} too large");
+    }
+
+    #[test]
+    fn lstm_and_transformer_simulate() {
+        let chip = CambriconQ::edge();
+        let l = chip.simulate(&models::ptb_lstm_medium(), adam());
+        let t = chip.simulate(&models::transformer_base(), adam());
+        assert!(l.time_ms() > 0.0);
+        assert!(t.time_ms() > 0.0);
+    }
+
+    #[test]
+    fn per_layer_profile_sums_to_total() {
+        let chip = CambriconQ::edge();
+        let (result, profile) = chip.simulate_profiled(&models::alexnet(), adam());
+        assert_eq!(profile.len(), models::alexnet().layers.len());
+        let sum: u64 = profile.iter().map(|(_, b)| b.total_cycles()).sum();
+        assert_eq!(sum, result.total_cycles());
+        // AlexNet's fc6 is the most WU-expensive layer (37.7M weights).
+        let fc6 = profile.iter().find(|(n, _)| n == "fc6").unwrap();
+        let conv1 = profile.iter().find(|(n, _)| n == "conv1").unwrap();
+        assert!(fc6.1.cycles(Phase::WeightUpdate) > conv1.1.cycles(Phase::WeightUpdate) * 10);
+    }
+
+    #[test]
+    fn inference_is_cheaper_than_training() {
+        let chip = CambriconQ::edge();
+        let net = models::squeezenet_v1();
+        let inf = chip.simulate_inference(&net);
+        let train = chip.simulate(&net, sgd());
+        // Training = FW + NG + WG + WU: at least 3x the inference compute.
+        assert!(train.total_cycles() > inf.total_cycles() * 2);
+        assert!(inf.platform.contains("inference"));
+    }
+
+    #[test]
+    fn int4_inference_speedup() {
+        // §VII.C: 4-bit inference models run directly on the 4-bit PEs.
+        let int8 = CambriconQ::edge();
+        let int4 = CambriconQ::new(CqConfig::edge().with_format(IntFormat::Int4));
+        let net = models::resnet18();
+        let s = int4
+            .simulate_inference(&net)
+            .speedup_over(&int8.simulate_inference(&net));
+        assert!(s > 1.8 && s < 4.2, "INT4 inference speedup {s}");
+    }
+
+    #[test]
+    fn platform_names() {
+        assert_eq!(platform_name(&CqConfig::edge()), "Cambricon-Q");
+        assert_eq!(
+            platform_name(&CqConfig::edge().without_ndp()),
+            "Cambricon-Q (no NDP)"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! The Quantization Buffer Controller (paper §IV.B.2, Fig. 9).
+//!
+//! NBin and SB hold data quantized with *different parameters* (HQT's
+//! block-local scales). The QBC manages the buffer in lines — 32 words of
+//! 8 bits in the paper — where every line carries a tag recording its
+//! quantization parameters. Reads return data + tag so the PE array can
+//! dequantize correctly. Whole-line writes just replace the tag; byte-
+//! granular writes into a line with a *different* tag trigger
+//! re-quantization: the incoming data and the line are unified to the
+//! maximum tag (widest scale), preserving the invariant that one line has
+//! one format.
+
+use cq_quant::{IntFormat, QuantParams};
+use std::fmt;
+
+/// A buffer line: quantized words plus the scale tag they share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferLine {
+    words: Vec<i32>,
+    /// The line's quantization scale (the "tag"); all words share it.
+    pub scale: f32,
+}
+
+/// Statistics the QBC accumulates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QbcStats {
+    /// Whole-line writes (cheap path).
+    pub line_writes: u64,
+    /// Byte-granular writes that matched the line tag.
+    pub matching_writes: u64,
+    /// Byte-granular writes that triggered re-quantization.
+    pub requantizations: u64,
+}
+
+/// A QBC-managed on-chip buffer (functional model).
+///
+/// # Examples
+///
+/// ```
+/// use cq_accel::Qbc;
+/// use cq_quant::IntFormat;
+///
+/// let mut qbc = Qbc::new(4, 32, IntFormat::Int8);
+/// qbc.write_line(0, &[1.0; 32], 2.0).unwrap();
+/// let (vals, scale) = qbc.read_line(0).unwrap();
+/// assert_eq!(vals.len(), 32);
+/// assert!(scale > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qbc {
+    lines: Vec<Option<BufferLine>>,
+    line_words: usize,
+    format: IntFormat,
+    stats: QbcStats,
+}
+
+impl Qbc {
+    /// Creates a buffer with `n_lines` lines of `line_words` words.
+    pub fn new(n_lines: usize, line_words: usize, format: IntFormat) -> Self {
+        Qbc {
+            lines: vec![None; n_lines],
+            line_words,
+            format,
+            stats: QbcStats::default(),
+        }
+    }
+
+    /// Number of lines.
+    pub fn n_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Words per line.
+    pub fn line_words(&self) -> usize {
+        self.line_words
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> QbcStats {
+        self.stats
+    }
+
+    fn params(&self, theta: f32) -> QuantParams {
+        QuantParams::symmetric(theta, self.format)
+    }
+
+    /// Writes a whole line of full-precision values quantized under the
+    /// statistic `theta` (the tag). This is the common tensor-streaming
+    /// path: one tag per line, no re-quantization.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the index or data length is invalid.
+    pub fn write_line(&mut self, index: usize, values: &[f32], theta: f32) -> Result<(), String> {
+        if index >= self.lines.len() {
+            return Err(format!("line {index} out of range"));
+        }
+        if values.len() != self.line_words {
+            return Err(format!(
+                "line write of {} words, expected {}",
+                values.len(),
+                self.line_words
+            ));
+        }
+        let p = self.params(theta);
+        self.lines[index] = Some(BufferLine {
+            words: values.iter().map(|&v| p.quantize(v)).collect(),
+            scale: p.scale,
+        });
+        self.stats.line_writes += 1;
+        Ok(())
+    }
+
+    /// Reads a line back as dequantized values plus its tag scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for invalid or empty lines.
+    pub fn read_line(&self, index: usize) -> Result<(Vec<f32>, f32), String> {
+        let line = self
+            .lines
+            .get(index)
+            .ok_or_else(|| format!("line {index} out of range"))?
+            .as_ref()
+            .ok_or_else(|| format!("line {index} empty"))?;
+        Ok((
+            line.words.iter().map(|&q| q as f32 * line.scale).collect(),
+            line.scale,
+        ))
+    }
+
+    /// Byte-addressed write of one value with its own statistic `theta`
+    /// (the matrix-transposition case of Fig. 9). If `theta`'s scale
+    /// differs from the line tag, the whole line is re-quantized to the
+    /// maximum tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for invalid indices or empty lines.
+    pub fn write_word(
+        &mut self,
+        index: usize,
+        word: usize,
+        value: f32,
+        theta: f32,
+    ) -> Result<(), String> {
+        if word >= self.line_words {
+            return Err(format!("word {word} out of range"));
+        }
+        let format = self.format;
+        let incoming = QuantParams::symmetric(theta, format);
+        let line = self
+            .lines
+            .get_mut(index)
+            .ok_or_else(|| format!("line {index} out of range"))?
+            .as_mut()
+            .ok_or_else(|| format!("line {index} empty — write a full line first"))?;
+        if (incoming.scale - line.scale).abs() <= f32::EPSILON * line.scale {
+            // Same format: direct write.
+            line.words[word] = incoming.quantize(value);
+            self.stats.matching_writes += 1;
+        } else {
+            // Mixed format: unify to the Max Tag (wider scale) and
+            // re-quantize every word of the selected line.
+            let max_scale = line.scale.max(incoming.scale);
+            let unified = QuantParams::with_scale(max_scale, format);
+            for q in line.words.iter_mut() {
+                let full = *q as f32 * line.scale;
+                *q = unified.quantize(full);
+            }
+            line.words[word] = unified.quantize(value);
+            line.scale = max_scale;
+            self.stats.requantizations += 1;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Qbc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QBC[{} lines × {} words, {} requantizations]",
+            self.lines.len(),
+            self.line_words,
+            self.stats.requantizations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qbc() -> Qbc {
+        Qbc::new(8, 32, IntFormat::Int8)
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut q = qbc();
+        let vals: Vec<f32> = (0..32).map(|i| i as f32 / 16.0 - 1.0).collect();
+        q.write_line(2, &vals, 1.0).unwrap();
+        let (back, scale) = q.read_line(2).unwrap();
+        assert!((scale - 1.0 / 127.0).abs() < 1e-6);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn matching_write_keeps_tag() {
+        let mut q = qbc();
+        q.write_line(0, &[0.5; 32], 1.0).unwrap();
+        q.write_word(0, 3, -0.25, 1.0).unwrap();
+        assert_eq!(q.stats().matching_writes, 1);
+        assert_eq!(q.stats().requantizations, 0);
+        let (back, _) = q.read_line(0).unwrap();
+        assert!((back[3] + 0.25).abs() < 0.01);
+        assert!((back[0] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn mixed_write_requantizes_to_max_tag() {
+        let mut q = qbc();
+        // Line quantized for theta = 0.1 (fine scale).
+        q.write_line(0, &[0.05; 32], 0.1).unwrap();
+        let (_, fine_scale) = q.read_line(0).unwrap();
+        // Incoming word with theta = 10.0 (coarse scale) forces unification.
+        q.write_word(0, 0, 8.0, 10.0).unwrap();
+        assert_eq!(q.stats().requantizations, 1);
+        let (back, new_scale) = q.read_line(0).unwrap();
+        assert!(new_scale > fine_scale);
+        assert!((back[0] - 8.0).abs() < new_scale);
+        // Old values survive re-quantization within the coarser step.
+        assert!((back[5] - 0.05).abs() <= new_scale / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn incoming_narrower_scale_keeps_line_tag() {
+        let mut q = qbc();
+        q.write_line(0, &[1.0; 32], 2.0).unwrap();
+        let (_, scale_before) = q.read_line(0).unwrap();
+        // Incoming value quantized at a finer theta: max tag is the line's.
+        q.write_word(0, 1, 0.01, 0.05).unwrap();
+        let (back, scale_after) = q.read_line(0).unwrap();
+        assert_eq!(scale_before, scale_after);
+        assert!((back[1] - 0.01).abs() <= scale_after / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let mut q = qbc();
+        assert!(q.write_line(99, &[0.0; 32], 1.0).is_err());
+        assert!(q.write_line(0, &[0.0; 3], 1.0).is_err());
+        assert!(q.read_line(0).is_err());
+        assert!(q.write_word(0, 0, 1.0, 1.0).is_err()); // empty line
+        q.write_line(0, &[0.0; 32], 1.0).unwrap();
+        assert!(q.write_word(0, 64, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_shows_requantizations() {
+        let q = qbc();
+        assert!(q.to_string().contains("requantizations"));
+        assert_eq!(q.n_lines(), 8);
+        assert_eq!(q.line_words(), 32);
+    }
+}

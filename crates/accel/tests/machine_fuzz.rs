@@ -1,0 +1,95 @@
+//! Fuzz-style property tests for the functional machine: programs built
+//! from in-bounds operands always execute without panicking, and the
+//! executor's costs are internally consistent.
+
+use cq_accel::{CqConfig, Machine, TimingExecutor};
+use cq_isa::{Instruction, MemSpace, Operand, Program, QuantWidth, VecOp};
+use proptest::prelude::*;
+
+const DRAM_ELEMS: u32 = 4096;
+const BUF_ELEMS: u32 = 4096; // well under the smallest buffer
+
+fn operand(max_elems: u32, reserve: u32) -> impl Strategy<Value = Operand> {
+    (0usize..4, 0..max_elems.saturating_sub(reserve)).prop_map(|(s, e)| Operand {
+        space: MemSpace::ALL[s],
+        offset: e * 4,
+    })
+}
+
+fn small_instruction() -> impl Strategy<Value = Instruction> {
+    let size = 1u32..64;
+    prop_oneof![
+        (operand(BUF_ELEMS, 64), operand(BUF_ELEMS, 64), size.clone())
+            .prop_map(|(dest, src, size)| Instruction::Vload { dest, src, size }),
+        (
+            operand(BUF_ELEMS, 64),
+            operand(BUF_ELEMS, 64),
+            size.clone(),
+            0usize..4
+        )
+            .prop_map(|(dest, src, size, w)| Instruction::Qmove {
+                dest,
+                src,
+                size,
+                width: QuantWidth::ALL[w],
+            }),
+        (
+            0usize..9,
+            operand(BUF_ELEMS, 64),
+            operand(BUF_ELEMS, 64),
+            operand(BUF_ELEMS, 64),
+            size
+        )
+            .prop_map(|(op, dest, src1, src2, size)| Instruction::Vec {
+                op: VecOp::ALL[op],
+                dest,
+                src1,
+                src2,
+                size,
+            }),
+        (0u8..7, any::<u32>()).prop_map(|(creg, imm)| Instruction::Croset { creg, imm }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// In-bounds programs execute to completion on the functional machine.
+    #[test]
+    fn in_bounds_programs_never_fail(instrs in prop::collection::vec(small_instruction(), 0..30)) {
+        let p: Program = instrs.into_iter().collect();
+        let mut m = Machine::new(CqConfig::edge(), DRAM_ELEMS as usize);
+        let stats = m.run(&p).expect("in-bounds program must execute");
+        prop_assert_eq!(stats.instructions, p.len() as u64);
+    }
+
+    /// The timing executor never panics and reports monotone-consistent
+    /// totals for any in-bounds program.
+    #[test]
+    fn executor_totals_consistent(instrs in prop::collection::vec(small_instruction(), 0..30)) {
+        let p: Program = instrs.into_iter().collect();
+        let t = TimingExecutor::new(CqConfig::edge()).run(&p);
+        let busiest = t.compute_cycles.max(t.memory_cycles).max(t.squ_cycles);
+        prop_assert!(t.cycles >= busiest);
+        let tp = TimingExecutor::new(CqConfig::edge()).run_pipelined(&p);
+        let serial = tp.compute_cycles + tp.memory_cycles + tp.squ_cycles + p.len() as u64;
+        prop_assert!(tp.cycles <= serial + 1000);
+        prop_assert_eq!(t.dram_bytes, tp.dram_bytes);
+    }
+
+    /// Functional execution is deterministic: the same program on the
+    /// same initial state produces identical DRAM contents.
+    #[test]
+    fn machine_is_deterministic(instrs in prop::collection::vec(small_instruction(), 0..20)) {
+        let p: Program = instrs.into_iter().collect();
+        let run = || {
+            let mut m = Machine::new(CqConfig::edge(), DRAM_ELEMS as usize);
+            for (i, v) in m.dram_mut().iter_mut().enumerate() {
+                *v = (i as f32 * 0.37).sin();
+            }
+            m.run(&p).unwrap();
+            m.dram().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

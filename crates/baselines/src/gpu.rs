@@ -1,0 +1,227 @@
+//! Analytical GPU models: Jetson TX2 (the paper's edge baseline), GTX
+//! 1080Ti and Tesla V100 (the Fig. 13 scaling comparisons).
+//!
+//! The paper measures real hardware with nvprof and a power analyzer;
+//! here a roofline model stands in (see DESIGN.md). Each training phase
+//! is the maximum of its compute time at the achievable FLOP rate and its
+//! traffic time at memory bandwidth. Quantized training *without* hardware
+//! statistic/quantization support adds per-tensor statistic and quantize
+//! kernels plus host synchronization — which is why quantized training is
+//! 1.09×–1.78× *slower* than FP32 on GPUs (paper Fig. 3).
+
+use cq_ndp::OptimizerKind;
+use cq_sim::{Component, EnergyBreakdown, Phase, PhaseBreakdown, SimResult};
+use cq_workloads::Network;
+
+/// An analytical GPU description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Marketing name.
+    pub name: String,
+    /// Peak FP16 throughput in TFLOPS (FMA counted as 2 ops).
+    pub peak_tflops: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Average board power during training (W).
+    pub avg_power_w: f64,
+    /// Fraction of peak the training kernels achieve.
+    pub utilization: f64,
+    /// Host-synchronization latency per layer per quantization round
+    /// trip (seconds) — the CPU interaction of Fig. 4(b).
+    pub sync_latency_s: f64,
+}
+
+impl GpuModel {
+    /// NVIDIA Jetson TX2: 256 CUDA cores at 1302 MHz, 2 FP16 FMA per core
+    /// per cycle = 1.33 TFLOPS, 59.7 GB/s (paper §V.B.b).
+    pub fn jetson_tx2() -> Self {
+        GpuModel {
+            name: "GPU (Jetson TX2)".into(),
+            peak_tflops: 1.33,
+            mem_bw_gbps: 59.7,
+            avg_power_w: 4.5,
+            utilization: 0.35,
+            sync_latency_s: 250e-6,
+        }
+    }
+
+    /// NVIDIA GTX 1080Ti: 11.34 TFLOPS, 484 GB/s (paper §VII.A).
+    pub fn gtx_1080ti() -> Self {
+        GpuModel {
+            name: "GTX 1080Ti".into(),
+            peak_tflops: 11.34,
+            mem_bw_gbps: 484.0,
+            avg_power_w: 220.0,
+            utilization: 0.45,
+            sync_latency_s: 100e-6,
+        }
+    }
+
+    /// NVIDIA Tesla V100: 125 TFLOPS tensor-core FP16, 900 GB/s.
+    pub fn v100() -> Self {
+        GpuModel {
+            name: "V100".into(),
+            peak_tflops: 125.0,
+            mem_bw_gbps: 900.0,
+            avg_power_w: 280.0,
+            // Tensor cores are hard to saturate on training kernels.
+            utilization: 0.35,
+            sync_latency_s: 100e-6,
+        }
+    }
+
+    fn flops_per_s(&self) -> f64 {
+        self.peak_tflops * 1e12 * self.utilization
+    }
+
+    fn bytes_per_s(&self) -> f64 {
+        self.mem_bw_gbps * 1e9
+    }
+
+    /// Time of one compute phase: roofline over MACs and traffic.
+    fn phase_seconds(&self, macs: u64, bytes: u64) -> f64 {
+        let compute = macs as f64 * 2.0 / self.flops_per_s();
+        let memory = bytes as f64 / self.bytes_per_s();
+        compute.max(memory)
+    }
+
+    /// Simulates one training iteration. With `quantized` set, the
+    /// statistic-based quantization runs as extra GPU kernels + host
+    /// synchronization (the GPU has no fused support), reproducing the
+    /// Fig. 3 slowdown; compute still runs at FP16 rate because the GPU
+    /// gains nothing from INT8 operands in its FP pipelines.
+    pub fn simulate(&self, net: &Network, optimizer: OptimizerKind, quantized: bool) -> SimResult {
+        let batch = net.batch_size as u64;
+        let mut phases = PhaseBreakdown::new();
+        // Express times as cycles of a fictitious 1 GHz clock so the
+        // shared SimResult math applies.
+        let to_cycles = |s: f64| (s * 1e9).round() as u64;
+        for layer in &net.layers {
+            let macs = layer.forward_macs() * batch;
+            let inputs = layer.input_count() * batch;
+            let outputs = layer.output_count() * batch;
+            let weights = layer.weight_count();
+            // FP16 activations/weights (2 B), FP32 gradients on weights.
+            let fw_bytes = (inputs + outputs) * 2 + weights * 2;
+            let ng_bytes = (inputs + 2 * outputs) * 2 + weights * 2;
+            let wg_bytes = (inputs + outputs) * 2 + weights * 4;
+            phases.charge(
+                Phase::Forward,
+                to_cycles(self.phase_seconds(macs, fw_bytes)),
+                0.0,
+            );
+            phases.charge(
+                Phase::NeuronGrad,
+                to_cycles(self.phase_seconds(macs, ng_bytes)),
+                0.0,
+            );
+            phases.charge(
+                Phase::WeightGrad,
+                to_cycles(self.phase_seconds(macs, wg_bytes)),
+                0.0,
+            );
+            // WU: FP32 state traffic + elementwise kernels (memory-bound).
+            let state = optimizer.state_words() as u64;
+            let wu_bytes = weights * 4 * (1 + 2 * (1 + state));
+            phases.charge(
+                Phase::WeightUpdate,
+                to_cycles(wu_bytes as f64 / self.bytes_per_s() + self.sync_latency_s),
+                0.0,
+            );
+            if quantized {
+                // Statistic + quantize kernels run per matmul invocation
+                // (per timestep for recurrent layers), each reading its
+                // operand/result tensors and synchronizing with the host.
+                for mm in layer.as_matmuls(net.batch_size) {
+                    // Serial repeats (LSTM timesteps, attention stages)
+                    // each launch their own statistic/quantize kernels.
+                    for elems in [mm.m * mm.k, mm.m * mm.n] {
+                        let bytes = elems * 2;
+                        let s = bytes as f64 / self.bytes_per_s() + self.sync_latency_s;
+                        let q = (bytes * 2) as f64 / self.bytes_per_s() + self.sync_latency_s;
+                        phases.charge(Phase::Statistic, to_cycles(s) * mm.serial_repeats, 0.0);
+                        phases.charge(Phase::Quantize, to_cycles(q) * mm.serial_repeats, 0.0);
+                    }
+                }
+                // Weights re-quantize once per layer per iteration.
+                let wbytes = weights * 2;
+                let s = wbytes as f64 / self.bytes_per_s() + self.sync_latency_s;
+                let q = (wbytes * 2) as f64 / self.bytes_per_s() + self.sync_latency_s;
+                phases.charge(Phase::Statistic, to_cycles(s), 0.0);
+                phases.charge(Phase::Quantize, to_cycles(q), 0.0);
+            }
+        }
+        // Energy: measured-average board power × runtime, split across
+        // components with a fixed empirical profile.
+        let seconds = phases.total_cycles() as f64 / 1e9;
+        let total_pj = self.avg_power_w * seconds * 1e12;
+        let mut energy = EnergyBreakdown::new();
+        energy.charge(Component::Acc, total_pj * 0.55);
+        energy.charge(Component::Buf, total_pj * 0.05);
+        energy.charge(Component::DdrStandby, total_pj * 0.10);
+        energy.charge(Component::DdrDynamic, total_pj * 0.30);
+        SimResult::new(self.name.clone(), net.name.clone(), 1.0, phases, energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_workloads::models;
+
+    fn sgd() -> OptimizerKind {
+        OptimizerKind::Sgd { lr: 0.01 }
+    }
+
+    #[test]
+    fn quantized_training_is_slower_on_gpu() {
+        // Fig. 3: 1.09x–1.78x slowdown from quantization on GPU.
+        let gpu = GpuModel::jetson_tx2();
+        for net in models::all_benchmarks() {
+            let fp = gpu.simulate(&net, sgd(), false);
+            let q = gpu.simulate(&net, sgd(), true);
+            let slowdown = q.time_ms() / fp.time_ms();
+            assert!(
+                slowdown > 1.02 && slowdown < 2.2,
+                "{}: slowdown {slowdown}",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_gpus_are_faster() {
+        let net = models::resnet18();
+        let tx2 = GpuModel::jetson_tx2().simulate(&net, sgd(), false);
+        let ti = GpuModel::gtx_1080ti().simulate(&net, sgd(), false);
+        let v100 = GpuModel::v100().simulate(&net, sgd(), false);
+        assert!(ti.speedup_over(&tx2) > 3.0);
+        assert!(v100.speedup_over(&ti) > 1.5);
+    }
+
+    #[test]
+    fn energy_scales_with_power_and_time() {
+        let net = models::alexnet();
+        let r = GpuModel::jetson_tx2().simulate(&net, sgd(), false);
+        let expected_mj = 4.5 * (r.time_ms() / 1e3) * 1e3;
+        assert!((r.total_energy_mj() - expected_mj).abs() / expected_mj < 1e-6);
+    }
+
+    #[test]
+    fn compute_bound_vs_memory_bound() {
+        let gpu = GpuModel::jetson_tx2();
+        // Huge compute, no traffic → compute-bound.
+        let c = gpu.phase_seconds(1 << 40, 0);
+        assert!(c > 1.0);
+        // Huge traffic, no compute → memory-bound.
+        let m = gpu.phase_seconds(0, 1 << 40);
+        assert!(m > 1.0);
+    }
+
+    #[test]
+    fn tx2_specs() {
+        let g = GpuModel::jetson_tx2();
+        assert!((g.peak_tflops - 1.33).abs() < 1e-9);
+        assert!((g.mem_bw_gbps - 59.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cq-baselines — the comparison platforms
+//!
+//! Models of the hardware the paper compares Cambricon-Q against:
+//!
+//! * [`Tpu`] — a 32×32 INT8 systolic array aligned to Cambricon-Q's peak
+//!   (2 TOPS INT8, 17.06 GB/s) but organized as the paper's Fig. 4(c):
+//!   statistic/quantization units without the fused SQU, QBC, or NDP
+//!   engine, so quantization is two-pass and weight update crosses the
+//!   bus (§V.B.c);
+//! * [`GpuModel`] — analytical roofline models of the Jetson TX2 edge GPU
+//!   (the primary baseline), GTX 1080Ti and V100 (Fig. 13), including the
+//!   quantization-overhead behaviour of Fig. 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use cq_baselines::{GpuModel, Tpu};
+//! use cq_ndp::OptimizerKind;
+//! use cq_workloads::models;
+//!
+//! let sgd = OptimizerKind::Sgd { lr: 0.01 };
+//! let net = models::squeezenet_v1();
+//! let tpu = Tpu::paper().simulate(&net, sgd);
+//! let gpu = GpuModel::jetson_tx2().simulate(&net, sgd, true);
+//! assert!(tpu.time_ms() > 0.0 && gpu.time_ms() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::too_many_arguments)] // simulator phase helpers mirror hardware port lists
+
+mod gpu;
+mod tpu;
+
+pub use gpu::GpuModel;
+pub use tpu::{Tpu, TpuConfig};

@@ -1,0 +1,312 @@
+//! The TPU baseline (paper §V.B.c): a 32×32 INT8 systolic array at 1 GHz
+//! (2 TOPS INT8 — deliberately matched to Cambricon-Q), 256 KB NBin /
+//! 512 KB SB / 256 KB NBout, 17.06 GB/s memory, organized as the paper's
+//! Fig. 4(c): statistic and quantization units exist in the ACC, but there
+//! is no fused SQU/QBC and no NDP engine. Consequences:
+//!
+//! * statistic-based quantization needs an **extra pass**: the statistic
+//!   unit streams over data as it is produced, but quantization can only
+//!   start once the layer-wide statistic is complete, so every tensor that
+//!   exceeds the on-chip staging buffer leaves the chip at FP32 and is
+//!   re-read for the quantize pass (write 4 B + read 4 B + write 1 B per
+//!   element — the extra access of §II.B);
+//! * weight update runs on the core: w/m/v cross the bus both ways.
+
+use cq_mem::{DdrModel, Dir};
+use cq_ndp::OptimizerKind;
+use cq_sim::hwcost::{acceleration_core_cost, DRAM_STANDBY_MW};
+use cq_sim::{Component, EnergyBreakdown, EnergyModel, Phase, PhaseBreakdown, SimResult};
+use cq_workloads::Network;
+
+/// Configuration of the TPU baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpuConfig {
+    /// Systolic array dimension (32 → 1024 INT8 MACs/cycle).
+    pub array_dim: usize,
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+    /// Unified on-chip buffer capacity available to stage one tensor for
+    /// the quantize pass (bytes): NBin + SB + NBout = 1 MB.
+    pub staging_bytes: usize,
+    /// Memory configuration (aligned to Cambricon-Q: 17.06 GB/s).
+    pub ddr: cq_mem::DdrConfig,
+    /// Vector lanes of the statistic/quantization function units.
+    pub sq_lanes: usize,
+}
+
+impl TpuConfig {
+    /// The paper's aligned configuration.
+    pub fn paper() -> Self {
+        TpuConfig {
+            array_dim: 32,
+            freq_ghz: 1.0,
+            staging_bytes: 1024 * 1024,
+            ddr: cq_mem::DdrConfig::cambricon_q(),
+            sq_lanes: 32,
+        }
+    }
+}
+
+impl Default for TpuConfig {
+    fn default() -> Self {
+        TpuConfig::paper()
+    }
+}
+
+/// The TPU baseline simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cq_baselines::Tpu;
+/// use cq_ndp::OptimizerKind;
+/// use cq_workloads::models;
+///
+/// let tpu = Tpu::paper();
+/// let r = tpu.simulate(&models::squeezenet_v1(), OptimizerKind::Sgd { lr: 0.01 });
+/// assert!(r.time_ms() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tpu {
+    config: TpuConfig,
+    energy: EnergyModel,
+}
+
+impl Tpu {
+    /// A TPU with the given configuration.
+    pub fn new(config: TpuConfig) -> Self {
+        Tpu {
+            config,
+            energy: EnergyModel::tsmc45(),
+        }
+    }
+
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Tpu::new(TpuConfig::paper())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TpuConfig {
+        &self.config
+    }
+
+    fn matmul_cycles(&self, m: u64, n: u64, k: u64) -> u64 {
+        let d = self.config.array_dim as u64;
+        let tiles = m.div_ceil(d) * n.div_ceil(d);
+        tiles * k
+    }
+
+    fn mac_energy(&self, macs: u64) -> f64 {
+        macs as f64 * self.energy.fixed_mac(8)
+    }
+
+    /// Simulates one training iteration of `net` running the HQT-quantized
+    /// algorithm on the Fig. 4(c) organization.
+    pub fn simulate(&self, net: &Network, optimizer: OptimizerKind) -> SimResult {
+        let mut mem = DdrModel::new(self.config.ddr);
+        let mut phases = PhaseBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        let batch = net.batch_size;
+        let freq = self.config.freq_ghz;
+
+        for layer in &net.layers {
+            let inputs = layer.input_count() * batch as u64;
+            let outputs = layer.output_count() * batch as u64;
+            let weights = layer.weight_count();
+
+            let mut compute_cycles = 0u64;
+            let mut compute_energy = 0.0f64;
+            for mm in layer.as_matmuls(batch) {
+                compute_cycles += self.matmul_cycles(mm.m, mm.n, mm.k) * mm.serial_repeats;
+                compute_energy += self.mac_energy(mm.macs());
+            }
+
+            // FW: read I and W (both quantized by earlier Q passes, 1 B),
+            // write O at FP32 (its statistic is not yet known).
+            self.mac_phase(
+                Phase::Forward,
+                compute_cycles,
+                compute_energy,
+                inputs + weights + outputs * 4,
+                &mut mem,
+                &mut phases,
+                &mut energy,
+            );
+            // Two-pass quantization of the produced outputs + the loaded
+            // weights (weights are re-quantized every iteration because
+            // they changed in WU).
+            self.quantize_two_pass(outputs, &mut mem, &mut phases, &mut energy);
+            self.quantize_two_pass(weights, &mut mem, &mut phases, &mut energy);
+
+            // NG: read O(1B) + δ(1B) + W(1B, now quantized on-chip copy is
+            // gone — reread quantized spill), write δ_in FP32 + quantize.
+            self.mac_phase(
+                Phase::NeuronGrad,
+                compute_cycles,
+                compute_energy,
+                outputs + outputs + weights + inputs * 4,
+                &mut mem,
+                &mut phases,
+                &mut energy,
+            );
+            self.quantize_two_pass(inputs, &mut mem, &mut phases, &mut energy);
+
+            // WG: read I(1B) + δ(1B), write ΔW FP32 (never quantized).
+            self.mac_phase(
+                Phase::WeightGrad,
+                compute_cycles,
+                compute_energy,
+                inputs + outputs + weights * 4,
+                &mut mem,
+                &mut phases,
+                &mut energy,
+            );
+
+            // WU on the core: ΔW + w/m/v in, w/m/v out, FP32.
+            let state = optimizer.state_words() as u64;
+            let traffic = weights * 4 * (1 + 2 * (1 + state));
+            let ctrl = mem.transfer(0x7000_0000, traffic as usize, Dir::Read);
+            let mem_cycles = mem.to_clock(ctrl, freq);
+            let flops = weights * optimizer.flops_per_weight() as u64;
+            let sfu_cycles = flops.div_ceil(self.config.sq_lanes as u64);
+            let compute_pj = flops as f64 * (self.energy.fp_mul(32) + self.energy.fp_add(32)) / 2.0;
+            phases.charge(Phase::WeightUpdate, mem_cycles.max(sfu_cycles), compute_pj);
+            energy.charge(Component::Acc, compute_pj);
+            energy.charge(Component::DdrDynamic, self.energy.dram(traffic as f64));
+            energy.charge(Component::Buf, self.energy.sram(traffic as f64));
+        }
+
+        let seconds = phases.total_cycles() as f64 / (freq * 1e9);
+        energy.charge(Component::DdrStandby, DRAM_STANDBY_MW * 1e9 * seconds);
+        energy.charge(
+            Component::Acc,
+            0.2 * acceleration_core_cost().total_power_mw() * 1e9 * seconds,
+        );
+
+        SimResult::new("TPU", net.name.clone(), freq, phases, energy)
+    }
+
+    /// One MAC phase: compute overlapped with its DRAM streams.
+    fn mac_phase(
+        &self,
+        phase: Phase,
+        compute_cycles: u64,
+        compute_energy: f64,
+        traffic_bytes: u64,
+        mem: &mut DdrModel,
+        phases: &mut PhaseBreakdown,
+        energy: &mut EnergyBreakdown,
+    ) {
+        let ctrl = mem.transfer(0x2000_0000, traffic_bytes as usize, Dir::Read);
+        let mem_cycles = mem.to_clock(ctrl, self.config.freq_ghz);
+        phases.charge(phase, compute_cycles.max(mem_cycles), compute_energy);
+        energy.charge(Component::Acc, compute_energy);
+        energy.charge(
+            Component::DdrDynamic,
+            self.energy.dram(traffic_bytes as f64),
+        );
+        energy.charge(Component::Buf, self.energy.sram(traffic_bytes as f64));
+    }
+
+    /// The extra quantization pass over one FP32 tensor of `elems`
+    /// elements. The statistic streams on the fly (compute cycles only);
+    /// quantization must wait for the layer-wide statistic, so a tensor
+    /// that does not fit in the staging buffer re-reads DRAM at FP32 and
+    /// writes the quantized copy back.
+    fn quantize_two_pass(
+        &self,
+        elems: u64,
+        mem: &mut DdrModel,
+        phases: &mut PhaseBreakdown,
+        energy: &mut EnergyBreakdown,
+    ) {
+        if elems == 0 {
+            return;
+        }
+        let lanes = self.config.sq_lanes as u64;
+        let bytes = elems * 4;
+        let fits = bytes <= self.config.staging_bytes as u64;
+        let compute_per_pass = elems.div_ceil(lanes);
+        let s_cycles = compute_per_pass; // streaming statistic
+        let q_cycles = if fits {
+            compute_per_pass
+        } else {
+            // Quantize pass: re-read FP32, write the 1 B/elem result.
+            let q_ctrl = mem.transfer(0x3000_0000, bytes as usize, Dir::Read)
+                + mem.transfer(0x3800_0000, elems as usize, Dir::Write);
+            energy.charge(
+                Component::DdrDynamic,
+                self.energy.dram((bytes + elems) as f64),
+            );
+            mem.to_clock(q_ctrl, self.config.freq_ghz)
+                .max(compute_per_pass)
+        };
+        let sq_energy = elems as f64 * (self.energy.fixed_add(16) + self.energy.fixed_mul(16));
+        phases.charge(Phase::Statistic, s_cycles, sq_energy * 0.4);
+        phases.charge(Phase::Quantize, q_cycles, sq_energy * 0.6);
+        energy.charge(Component::Acc, sq_energy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_workloads::models;
+
+    fn sgd() -> OptimizerKind {
+        OptimizerKind::Sgd { lr: 0.01 }
+    }
+
+    #[test]
+    fn quantization_phases_are_significant() {
+        // Without fused SQU, S+Q must be a visible fraction of the epoch.
+        let r = Tpu::paper().simulate(&models::alexnet(), sgd());
+        let sq =
+            r.phases.fraction_cycles(Phase::Statistic) + r.phases.fraction_cycles(Phase::Quantize);
+        assert!(sq > 0.05, "S+Q fraction {sq} suspiciously small");
+    }
+
+    #[test]
+    fn small_tensors_quantize_on_chip() {
+        let tpu = Tpu::paper();
+        let mut mem = DdrModel::new(tpu.config.ddr);
+        let mut phases = PhaseBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        // 1000 elems = 4 KB < 1 MB staging: no DRAM traffic.
+        tpu.quantize_two_pass(1000, &mut mem, &mut phases, &mut energy);
+        assert_eq!(mem.stats().total_bytes(), 0);
+        assert!(phases.cycles(Phase::Statistic) > 0);
+    }
+
+    #[test]
+    fn large_tensors_round_trip_dram() {
+        let tpu = Tpu::paper();
+        let mut mem = DdrModel::new(tpu.config.ddr);
+        let mut phases = PhaseBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        let elems = 1_000_000u64; // 4 MB > staging
+        tpu.quantize_two_pass(elems, &mut mem, &mut phases, &mut energy);
+        // One FP32 re-read + one INT8 write.
+        assert_eq!(mem.stats().total_bytes(), elems * 4 + elems);
+    }
+
+    #[test]
+    fn peak_matches_cambricon_q_int8() {
+        // 32x32 @ 1 GHz = 1024 MACs/cycle = 2 TOPS INT8.
+        let tpu = Tpu::paper();
+        let cycles = tpu.matmul_cycles(32, 32, 1000);
+        assert_eq!(cycles, 1000);
+    }
+
+    #[test]
+    fn simulates_all_benchmarks() {
+        let tpu = Tpu::paper();
+        for net in models::all_benchmarks() {
+            let r = tpu.simulate(&net, sgd());
+            assert!(r.time_ms() > 0.0, "{}", net.name);
+            assert!(r.total_energy_mj() > 0.0);
+            assert_eq!(r.platform, "TPU");
+        }
+    }
+}

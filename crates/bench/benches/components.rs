@@ -1,0 +1,99 @@
+//! Hardware-component model microbenchmarks: SQU, QBC, PE array, DDR.
+
+use cq_accel::pe::PeArray;
+use cq_accel::{CqConfig, Qbc, Squ};
+use cq_mem::{DdrConfig, DdrModel, Dir};
+use cq_quant::IntFormat;
+use cq_tensor::init;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_squ(c: &mut Criterion) {
+    let squ = Squ::new(&CqConfig::edge());
+    let x = init::long_tailed(&[1 << 16], 0.05, 0.01, 40.0, 1);
+    let mut g = c.benchmark_group("squ");
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.sample_size(20);
+    g.bench_function("functional_quantize_64k", |b| {
+        b.iter(|| squ.quantize(black_box(&x)))
+    });
+    g.bench_function("stream_cost_model", |b| {
+        b.iter(|| squ.stream_cost(black_box(1 << 20)))
+    });
+    g.finish();
+}
+
+fn bench_qbc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qbc");
+    g.sample_size(20);
+    g.bench_function("line_writes", |b| {
+        b.iter(|| {
+            let mut qbc = Qbc::new(64, 32, IntFormat::Int8);
+            for i in 0..64 {
+                qbc.write_line(i, &[0.5; 32], 1.0 + i as f32 * 0.1).unwrap();
+            }
+            qbc
+        })
+    });
+    g.bench_function("mixed_writes_requantize", |b| {
+        b.iter(|| {
+            let mut qbc = Qbc::new(8, 32, IntFormat::Int8);
+            qbc.write_line(0, &[0.05; 32], 0.1).unwrap();
+            // Byte-granular writes with alternating scales force the
+            // re-quantization path (the Fig. 9 transposition case).
+            for w in 0..32 {
+                let theta = if w % 2 == 0 { 10.0 } else { 0.1 };
+                qbc.write_word(0, w, 0.01, theta).unwrap();
+            }
+            qbc
+        })
+    });
+    g.finish();
+}
+
+fn bench_pe_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pe_array_model");
+    g.sample_size(20);
+    for fmt in [IntFormat::Int4, IntFormat::Int8, IntFormat::Int16] {
+        let pe = PeArray::new(&CqConfig::edge().with_format(fmt));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fmt}")),
+            &pe,
+            |b, pe| b.iter(|| pe.matmul(black_box(4096), 512, 512)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_ddr_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ddr_model");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("sequential_1mb_read", |b| {
+        b.iter(|| {
+            let mut m = DdrModel::new(DdrConfig::cambricon_q());
+            m.transfer(black_box(0), 1 << 20, Dir::Read)
+        })
+    });
+    g.bench_function("strided_row_misses", |b| {
+        b.iter(|| {
+            let mut m = DdrModel::new(DdrConfig::cambricon_q());
+            let mut total = 0u64;
+            // 64-byte accesses striding whole rows: worst-case locality.
+            for i in 0..1024u64 {
+                total += m.transfer(black_box(i * 16384), 64, Dir::Read);
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_squ,
+    bench_qbc,
+    bench_pe_array,
+    bench_ddr_model
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! ISA and functional-machine benchmarks: encode/decode throughput and
+//! compiled-program execution.
+
+use cq_accel::{compile_dense_forward, CqConfig, DenseLayout, Machine};
+use cq_isa::Program;
+use cq_tensor::init;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample_program() -> Program {
+    compile_dense_forward(
+        &CqConfig::edge(),
+        DenseLayout {
+            input: 0,
+            weight: 256 * 128 * 4,
+            output: (256 * 128 + 128 * 192) * 4,
+        },
+        256,
+        128,
+        192,
+    )
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let p = sample_program();
+    let bytes = p.encode();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(p.len() as u64));
+    g.sample_size(50);
+    g.bench_function("encode", |b| b.iter(|| black_box(&p).encode()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Program::decode(black_box(&bytes)).unwrap())
+    });
+    g.bench_function("disassemble", |b| b.iter(|| black_box(&p).disassemble()));
+    g.finish();
+}
+
+fn bench_timing_executors(c: &mut Criterion) {
+    use cq_accel::TimingExecutor;
+    let config = CqConfig::edge();
+    let program = sample_program();
+    let mut g = c.benchmark_group("timing_executor");
+    g.sample_size(20);
+    g.bench_function("aggregate", |b| {
+        b.iter(|| TimingExecutor::new(config.clone()).run(black_box(&program)))
+    });
+    g.bench_function("pipelined", |b| {
+        b.iter(|| TimingExecutor::new(config.clone()).run_pipelined(black_box(&program)))
+    });
+    g.finish();
+}
+
+fn bench_machine_execution(c: &mut Criterion) {
+    let config = CqConfig::edge();
+    let (m, k, n) = (256usize, 128usize, 192usize);
+    let program = sample_program();
+    let x = init::normal(&[m, k], 0.0, 1.0, 1);
+    let w = init::normal(&[k, n], 0.0, 0.2, 2);
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(10);
+    g.bench_function("dense_forward_256x128x192", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(config.clone(), m * k + k * n + m * n);
+            machine.dram_mut()[..m * k].copy_from_slice(x.data());
+            machine.dram_mut()[m * k..m * k + k * n].copy_from_slice(w.data());
+            machine.run(black_box(&program)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_timing_executors,
+    bench_machine_execution
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Quantizer throughput and design-choice ablations (§III.A/B).
+
+use cq_quant::{
+    CandidateStrategy, E2bqmQuantizer, ErrorEstimator, IntFormat, LdqConfig, LdqTensor,
+    QuantizedTensor, TrainingQuantizer,
+};
+use cq_tensor::init;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_ldq_vs_layerwise(c: &mut Criterion) {
+    let x = init::long_tailed(&[1 << 18], 0.05, 0.01, 40.0, 1);
+    let mut g = c.benchmark_group("quantize_262k_elems");
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.sample_size(20);
+    g.bench_function("layerwise_dq_int8", |b| {
+        b.iter(|| QuantizedTensor::quantize_symmetric(black_box(&x), IntFormat::Int8))
+    });
+    g.bench_function("ldq_int8_k1024", |b| {
+        b.iter(|| LdqTensor::quantize(black_box(&x), LdqConfig::new(1024, IntFormat::Int8)))
+    });
+    g.bench_function("e2bqm_4way_rectilinear", |b| {
+        let q = E2bqmQuantizer::hardware_default();
+        b.iter(|| q.quantize_blocks(black_box(&x), 1024))
+    });
+    g.finish();
+}
+
+fn bench_ldq_block_size(c: &mut Criterion) {
+    // Ablation: the LDQ block-size K (SQU buffer size design choice).
+    let x = init::normal(&[1 << 17], 0.0, 1.0, 2);
+    let mut g = c.benchmark_group("ldq_block_size");
+    g.sample_size(20);
+    for k in [64usize, 256, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| LdqTensor::quantize(black_box(&x), LdqConfig::new(k, IntFormat::Int8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e2bqm_ways(c: &mut Criterion) {
+    // Ablation: E²BQM candidate-way count (the SQU's 4-way choice).
+    let x = init::long_tailed(&[1 << 16], 0.05, 0.01, 40.0, 3);
+    let mut g = c.benchmark_group("e2bqm_ways");
+    g.sample_size(20);
+    for ways in [1usize, 2, 4, 8] {
+        let q = E2bqmQuantizer::new(
+            ways,
+            CandidateStrategy::ClipSweep,
+            ErrorEstimator::Rectilinear,
+            IntFormat::Int8,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(ways), &q, |b, q| {
+            b.iter(|| q.quantize_blocks(black_box(&x), 1024))
+        });
+    }
+    g.finish();
+}
+
+fn bench_training_quantizers(c: &mut Criterion) {
+    // The fake-quantize path each named algorithm takes per tensor.
+    let x = init::long_tailed(&[1 << 16], 0.05, 0.01, 40.0, 4);
+    let mut g = c.benchmark_group("training_quantizers");
+    g.sample_size(20);
+    for q in [
+        TrainingQuantizer::fp32(),
+        TrainingQuantizer::zhu2019(),
+        TrainingQuantizer::zhu2019_hqt(),
+        TrainingQuantizer::zhang2020(),
+        TrainingQuantizer::zhang2020_hqt(),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(q.name().to_string()),
+            &q,
+            |b, q| b.iter(|| q.fake_quantize(black_box(&x))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ldq_vs_layerwise,
+    bench_ldq_block_size,
+    bench_e2bqm_ways,
+    bench_training_quantizers
+);
+criterion_main!(benches);

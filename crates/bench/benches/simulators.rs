@@ -1,0 +1,95 @@
+//! Full-simulation benchmarks: the kernels that regenerate Figs. 12/13
+//! and the §VII.C/D ablations. One bench per table/figure data series.
+
+use cq_accel::{CambriconQ, CqConfig, ScaleVariant};
+use cq_baselines::{GpuModel, Tpu};
+use cq_ndp::OptimizerKind;
+use cq_quant::IntFormat;
+use cq_workloads::models;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn adam() -> OptimizerKind {
+    OptimizerKind::Adam {
+        lr: 1e-3,
+        beta1: 0.9,
+        beta2: 0.999,
+    }
+}
+
+/// Fig. 12(a)/(b)/(c)/(d): per-benchmark Cambricon-Q simulation.
+fn bench_fig12_cambricon_q(c: &mut Criterion) {
+    let chip = CambriconQ::edge();
+    let mut g = c.benchmark_group("fig12_cambricon_q");
+    g.sample_size(10);
+    for net in models::all_benchmarks() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(net.name.clone()),
+            &net,
+            |b, net| b.iter(|| chip.simulate(black_box(net), adam())),
+        );
+    }
+    g.finish();
+}
+
+/// Fig. 12 baselines: TPU and GPU simulations.
+fn bench_fig12_baselines(c: &mut Criterion) {
+    let tpu = Tpu::paper();
+    let gpu = GpuModel::jetson_tx2();
+    let net = models::alexnet();
+    let mut g = c.benchmark_group("fig12_baselines_alexnet");
+    g.sample_size(10);
+    g.bench_function("tpu", |b| b.iter(|| tpu.simulate(black_box(&net), adam())));
+    g.bench_function("gpu_quantized", |b| {
+        b.iter(|| gpu.simulate(black_box(&net), adam(), true))
+    });
+    g.bench_function("gpu_fp32_fig3", |b| {
+        b.iter(|| gpu.simulate(black_box(&net), adam(), false))
+    });
+    g.finish();
+}
+
+/// Fig. 13: the scaled variants.
+fn bench_fig13_scaling(c: &mut Criterion) {
+    let net = models::resnet18();
+    let mut g = c.benchmark_group("fig13_scaling_resnet18");
+    g.sample_size(10);
+    for (name, variant) in [
+        ("edge", ScaleVariant::Edge),
+        ("q_t", ScaleVariant::T),
+        ("q_v", ScaleVariant::V),
+    ] {
+        let chip = CambriconQ::new(CqConfig::scaled(variant));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &chip, |b, chip| {
+            b.iter(|| chip.simulate(black_box(&net), adam()))
+        });
+    }
+    g.finish();
+}
+
+/// §VII.C/§VII.D ablations: INT4 mode and NDP-disabled simulations.
+fn bench_ablations(c: &mut Criterion) {
+    let net = models::alexnet();
+    let mut g = c.benchmark_group("ablations_alexnet");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("int8_ndp", CqConfig::edge()),
+        ("int4_ndp", CqConfig::edge().with_format(IntFormat::Int4)),
+        ("int8_no_ndp", CqConfig::edge().without_ndp()),
+    ] {
+        let chip = CambriconQ::new(cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &chip, |b, chip| {
+            b.iter(|| chip.simulate(black_box(&net), adam()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig12_cambricon_q,
+    bench_fig12_baselines,
+    bench_fig13_scaling,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Training-path benchmarks: quantized vs FP32 train steps (the Table VIII
+//! kernel) and NDPO vs reference optimizer updates (Table IV).
+
+use cq_ndp::{NdpoRegs, OptimizerKind};
+use cq_nn::{
+    Adam, Conv2d, Dense, Flatten, MaxPool2d, Optimizer, Param, QuantCtx, Relu, Sequential,
+};
+use cq_quant::TrainingQuantizer;
+use cq_tensor::init;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn build_cnn(seed: u64) -> Sequential {
+    let mut model = Sequential::new();
+    model
+        .add(Conv2d::new("conv", 1, 8, 3, 1, 1, seed))
+        .add(Relu::new())
+        .add(MaxPool2d::new(2))
+        .add(Flatten::new())
+        .add(Dense::new("fc", 128, 4, seed + 1));
+    model
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let data = cq_data::textures(64, 1, 8, 4, 0.25, 1);
+    let mut g = c.benchmark_group("train_step_cnn_batch64");
+    g.sample_size(10);
+    for q in [
+        TrainingQuantizer::fp32(),
+        TrainingQuantizer::zhang2020(),
+        TrainingQuantizer::zhang2020_hqt(),
+    ] {
+        let ctx = QuantCtx::new(q.clone());
+        g.bench_with_input(
+            BenchmarkId::from_parameter(q.name().to_string()),
+            &ctx,
+            |b, ctx| {
+                let mut model = build_cnn(2);
+                let mut opt = Adam::with_defaults(1e-3);
+                b.iter(|| {
+                    model
+                        .train_step(black_box(&data.x), &data.labels, &mut opt, ctx)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    // Table IV: one update step over 1M weights, reference vs NDPO.
+    let n = 1 << 20;
+    let mut g = c.benchmark_group("weight_update_1m");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("adam_reference", |b| {
+        let mut p = Param::new(init::normal(&[n], 0.0, 1.0, 1));
+        p.grad = init::normal(&[n], 0.0, 0.1, 2);
+        let mut opt = Adam::with_defaults(1e-3);
+        b.iter(|| opt.step(black_box(&mut [&mut p])))
+    });
+    g.bench_function("adam_ndpo_datapath", |b| {
+        let mut w: Vec<f32> = init::normal(&[n], 0.0, 1.0, 1).into_vec();
+        let mut m = vec![0.0f32; n];
+        let mut v = vec![0.0f32; n];
+        let grad = init::normal(&[n], 0.0, 0.1, 2).into_vec();
+        let regs = NdpoRegs::for_optimizer(
+            OptimizerKind::Adam {
+                lr: 1e-3,
+                beta1: 0.9,
+                beta2: 0.999,
+            },
+            1,
+        );
+        b.iter(|| regs.update_slice(black_box(&mut w), &mut m, &mut v, &grad))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # cq-bench — Criterion benchmark harness
+//!
+//! Benches live under `benches/`, one file per subsystem:
+//!
+//! * `quantizers` — LDQ / layer-wise DQ / E²BQM throughput and block-size
+//!   ablation (§III.A/B design choices);
+//! * `simulators` — full per-benchmark simulations of Cambricon-Q, the
+//!   TPU and GPU baselines (the kernels behind Figs. 12/13), plus the
+//!   INT4 and no-NDP ablations;
+//! * `components` — SQU, QBC, PE-array and DDR model microbenchmarks;
+//! * `training` — quantized vs FP32 training steps and NDPO vs reference
+//!   optimizer updates;
+//! * `isa` — instruction encode/decode and functional-machine execution.

@@ -1,0 +1,8 @@
+//! Reproduces §VII.D: Cambricon-Q without the NDP engine.
+use cq_experiments::perf;
+
+fn main() {
+    println!("§VII.D — NDP ablation (speedup over TPU with and without NDP)\n");
+    let rows = perf::run_comparison();
+    print!("{}", perf::ablation_ndp_table(&rows));
+}

@@ -1,0 +1,5 @@
+//! DDR access-pattern study: sequential vs strided achieved bandwidth.
+fn main() {
+    println!("Memory patterns — achieved DDR utilization (1 MiB of reads)\n");
+    print!("{}", cq_experiments::extensions::memory_patterns());
+}

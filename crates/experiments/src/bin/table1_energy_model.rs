@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table I from the energy model.
+fn main() {
+    println!("Table I — Efficiency comparison of different bit-width data (45 nm)\n");
+    print!("{}", cq_experiments::tables::table1());
+}

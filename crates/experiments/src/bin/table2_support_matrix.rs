@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table II hardware-support matrix.
+fn main() {
+    println!("Table II — Existing hardware for DNN training\n");
+    print!("{}", cq_experiments::tables::table2());
+}

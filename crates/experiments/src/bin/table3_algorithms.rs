@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table III algorithm taxonomy.
+fn main() {
+    println!("Table III — Low bit-width training algorithms\n");
+    print!("{}", cq_experiments::tables::table3());
+}

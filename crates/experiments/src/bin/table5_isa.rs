@@ -1,0 +1,5 @@
+//! Demonstrates the Table V instruction set via the disassembler.
+fn main() {
+    println!("Table V — The Cambricon-Q ISA\n");
+    print!("{}", cq_experiments::tables::table5());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table VII hardware characteristics.
+fn main() {
+    println!("Table VII — Hardware characteristics (45 nm)\n");
+    print!("{}", cq_experiments::tables::table7());
+}

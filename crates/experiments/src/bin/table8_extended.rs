@@ -1,0 +1,5 @@
+//! Extended Table VIII: every Table III algorithm, executable.
+fn main() {
+    println!("Table VIII (extended) — all five Table III algorithms (accuracy %)\n");
+    print!("{}", cq_experiments::accuracy::table8_extended(42));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table IX accelerator comparison.
+fn main() {
+    println!("Table IX — Recent quantized-training-aware accelerators\n");
+    print!("{}", cq_experiments::tables::table9());
+}

@@ -1,0 +1,218 @@
+//! Extension experiments beyond the paper's main evaluation: the
+//! static-vs-dynamic motivation (§II.A / Fig. 2's consequence), the
+//! Wang-2018 FP8 stochastic-rounding ablation (Table III's first row /
+//! Table IX's footnote), and the §II.B traffic analysis.
+
+use crate::accuracy::{train_proxy, ProxyTask};
+use cq_ndp::OptimizerKind;
+use cq_quant::{IntFormat, TrainingQuantizer};
+use cq_sim::report::TextTable;
+use cq_workloads::models;
+
+/// Static-range quantization versus dynamic statistic-based quantization
+/// on the CNN proxies. The paper's §II.A argument: gradient ranges drift
+/// by orders of magnitude, so any fixed range either clips or rounds most
+/// layers to death — dynamic statistics are *essential*.
+pub fn static_vs_dynamic(seed: u64) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Model",
+        "FP32",
+        "Dynamic (HQT)",
+        "Static theta=1.0",
+        "Static theta=0.01",
+    ]);
+    for task in [ProxyTask::AlexNet, ProxyTask::ResNet18] {
+        let fp32 = train_proxy(task, &TrainingQuantizer::fp32(), seed);
+        let dynamic = train_proxy(task, &TrainingQuantizer::zhang2020_hqt(), seed);
+        let static_wide = train_proxy(
+            task,
+            &TrainingQuantizer::static_range(1.0, IntFormat::Int8),
+            seed,
+        );
+        let static_narrow = train_proxy(
+            task,
+            &TrainingQuantizer::static_range(0.01, IntFormat::Int8),
+            seed,
+        );
+        let pct = |x: f64| format!("{:.1}%", x * 100.0);
+        t.row(vec![
+            task.name().into(),
+            pct(fp32),
+            pct(dynamic),
+            pct(static_wide),
+            pct(static_narrow),
+        ]);
+    }
+    t
+}
+
+/// FP8 training with stochastic versus nearest rounding (Wang et al.
+/// 2018's claim: stochastic rounding is what makes FP8 training converge;
+/// Table IX notes the proposed hardware omits the RNG).
+pub fn fp8_rounding_ablation(seed: u64) -> TextTable {
+    let mut t = TextTable::new(vec!["Model", "FP32", "FP8 stochastic", "FP8 nearest"]);
+    for task in [ProxyTask::AlexNet, ProxyTask::Lstm] {
+        let fp32 = train_proxy(task, &TrainingQuantizer::fp32(), seed);
+        let stoch = train_proxy(task, &TrainingQuantizer::wang2018(seed), seed);
+        let nearest = train_proxy(task, &TrainingQuantizer::fp8_nearest(), seed);
+        let pct = |x: f64| format!("{:.1}%", x * 100.0);
+        t.row(vec![
+            task.name().into(),
+            pct(fp32),
+            pct(stoch),
+            pct(nearest),
+        ]);
+    }
+    t
+}
+
+/// §II.B traffic analysis: the share of high-precision data movement in
+/// quantized versus unquantized training, per benchmark. The paper quotes
+/// AlexNet's high-precision share growing from 29.8% (normal training,
+/// everything FP32 so "high-precision" means the WU working set) to 53.5%
+/// (quantized training, where only WU traffic remains full-precision).
+pub fn traffic_analysis(optimizer: OptimizerKind) -> TextTable {
+    let state = optimizer.state_words() as u64;
+    let mut t = TextTable::new(vec![
+        "Model",
+        "act+grad bytes (q)",
+        "WU bytes (FP32)",
+        "high-precision share",
+        "normal-training share",
+    ]);
+    for net in models::all_benchmarks() {
+        let batch = net.batch_size as u64;
+        let mut act_bytes_q = 0u64;
+        let mut act_bytes_fp = 0u64;
+        let mut wu_bytes = 0u64;
+        for layer in &net.layers {
+            let io = (2 * layer.input_count() + 3 * layer.output_count()) * batch;
+            act_bytes_q += io; // INT8: 1 B/elem
+            act_bytes_fp += io * 4;
+            // WU traffic: ΔW + read/write of w and optimizer state.
+            wu_bytes += layer.weight_count() * 4 * (1 + 2 * (1 + state));
+            // Weight streaming in FW/NG (quantized vs FP32).
+            act_bytes_q += 2 * layer.weight_count();
+            act_bytes_fp += 2 * layer.weight_count() * 4;
+        }
+        let share_q = wu_bytes as f64 / (act_bytes_q + wu_bytes) as f64;
+        let share_fp = wu_bytes as f64 / (act_bytes_fp + wu_bytes) as f64;
+        t.row(vec![
+            net.name.clone(),
+            format!("{:.1} MB", act_bytes_q as f64 / 1e6),
+            format!("{:.1} MB", wu_bytes as f64 / 1e6),
+            format!("{:.1}%", share_q * 100.0),
+            format!("{:.1}%", share_fp * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Buffer design-space study: weight re-streaming factors of the forward
+/// pass as a function of SB capacity, per benchmark — the consideration
+/// behind the paper's 256 KB NBin / 512 KB SB configuration.
+pub fn buffer_sweep() -> TextTable {
+    use cq_accel::buffers::BufferModel;
+    use cq_accel::CqConfig;
+    let mut headers = vec!["SB (KB)".to_string()];
+    let nets = models::all_benchmarks();
+    headers.extend(nets.iter().map(|n| n.name.clone()));
+    let mut t = TextTable::new(headers);
+    for sb_kb in [64usize, 128, 256, 512, 1024, 4096] {
+        let mut cfg = CqConfig::edge();
+        cfg.sb_kb = sb_kb;
+        let model = BufferModel::new(&cfg);
+        let mut cells = vec![sb_kb.to_string()];
+        for net in &nets {
+            cells.push(format!("{:.2}x", model.network_weight_reload_factor(net)));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+
+/// Memory access-pattern study: achieved bandwidth of the DDR model under
+/// sequential, strided, and bank-pipelined access — why tensor layouts
+/// that preserve row locality matter for the 17.06 GB/s budget.
+pub fn memory_patterns() -> TextTable {
+    use cq_mem::{DdrConfig, DdrModel, Dir};
+    let cfg = DdrConfig::cambricon_q();
+    let bytes = 1usize << 20;
+    let mut t = TextTable::new(vec!["Pattern", "cycles", "utilization"]);
+    // Sequential, serialized controller.
+    let mut m = DdrModel::new(cfg);
+    let c = m.transfer(0, bytes, Dir::Read);
+    t.row(vec![
+        "sequential".into(),
+        c.to_string(),
+        format!("{:.1}%", m.utilization() * 100.0),
+    ]);
+    // Sequential with bank pipelining.
+    let mut m = DdrModel::new(cfg);
+    let c = m.transfer_pipelined(0, bytes, Dir::Read);
+    t.row(vec![
+        "sequential (bank-pipelined)".into(),
+        c.to_string(),
+        format!("{:.1}%", m.utilization() * 100.0),
+    ]);
+    // Row-strided: every access opens a new row in the same bank.
+    let mut m = DdrModel::new(cfg);
+    let stride = cfg.row_bytes as u64 * cfg.banks as u64;
+    let accesses = bytes / 64;
+    let mut cycles = 0u64;
+    for i in 0..accesses as u64 {
+        cycles += m.transfer(i * stride, 64, Dir::Read);
+    }
+    t.row(vec![
+        "64B row-strided (worst case)".into(),
+        cycles.to_string(),
+        format!("{:.1}%", m.utilization() * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_narrow_range_destroys_training() {
+        // theta = 0.01 clips activations (which are O(1)): the model
+        // cannot train — the §II.A failure mode.
+        let seed = 42;
+        let fp32 = train_proxy(ProxyTask::AlexNet, &TrainingQuantizer::fp32(), seed);
+        let narrow = train_proxy(
+            ProxyTask::AlexNet,
+            &TrainingQuantizer::static_range(0.01, IntFormat::Int8),
+            seed,
+        );
+        assert!(
+            narrow < fp32 - 0.15,
+            "narrow static range should fail: {narrow} vs {fp32}"
+        );
+    }
+
+    #[test]
+    fn traffic_quantization_raises_high_precision_share() {
+        // §II.B: quantizing everything else makes the FP32 WU traffic a
+        // larger share — e.g. AlexNet 29.8% → 53.5% in the paper.
+        let t = traffic_analysis(OptimizerKind::Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+        });
+        let s = t.to_string();
+        assert!(s.contains("AlexNet"));
+        // Parse is overkill; just verify the table renders with shares.
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn fp8_table_renders() {
+        // Smoke only (full ablation runs in the binary; training twice
+        // more here would double test time).
+        let t = fp8_rounding_ablation(7);
+        assert!(t.to_string().contains("FP8"));
+    }
+}

@@ -1,0 +1,221 @@
+//! HQT-specific experiments: LDQ compression (§III.A) and E²BQM technique
+//! emulation (§III.B).
+
+use crate::accuracy::{train_proxy, ProxyTask};
+use cq_accel::Qbc;
+use cq_quant::algorithms::QuantScheme;
+use cq_quant::ldq::{compression_loss, compression_ratio_dq, compression_ratio_ldq};
+use cq_quant::{CandidateStrategy, E2bqmQuantizer, ErrorEstimator, IntFormat, TrainingQuantizer};
+use cq_sim::report::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// §III.A: LDQ compression ratio across block sizes, against the layer-
+/// wise DQ bound (paper: <1% loss for K ≥ 200, <0.05% for K ≥ 4000).
+pub fn ldq_compression_sweep() -> TextTable {
+    let n = 1usize << 22; // a large layer
+    let mut t = TextTable::new(vec!["Block K", "C_LDQ", "C_DQ", "loss"]);
+    for k in [16usize, 64, 200, 512, 1024, 4000, 16384] {
+        t.row(vec![
+            k.to_string(),
+            format!("{:.4}", compression_ratio_ldq(k)),
+            format!("{:.4}", compression_ratio_dq(n)),
+            format!("{:.4}%", compression_loss(k, n) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// §III.B experiment 1: a 4-way rectilinear E²BQM emulating *Direction
+/// Sensitive Gradient Clipping*: trains proxies with Zhu's original
+/// (cosine-arbitrated) quantizer versus the rectilinear E²BQM emulation
+/// and reports the accuracy difference (paper: +0.1%/−0.2%).
+pub fn e2bqm_dsgc_emulation(seed: u64) -> TextTable {
+    let dsgc_emulation = TrainingQuantizer::new(
+        "E2BQM-rectilinear",
+        QuantScheme::Hqt {
+            block_size: 1024,
+            format: IntFormat::Int8,
+            multiplex: Some(E2bqmQuantizer::new(
+                4,
+                CandidateStrategy::ClipSweep,
+                ErrorEstimator::Rectilinear,
+                IntFormat::Int8,
+            )),
+        },
+    );
+    let mut t = TextTable::new(vec!["Model", "Zhu (cosine)", "E2BQM (rectilinear)", "diff"]);
+    for task in [ProxyTask::AlexNet, ProxyTask::ResNet18] {
+        let zhu = train_proxy(task, &TrainingQuantizer::zhu2019_hqt(), seed);
+        let emu = train_proxy(task, &dsgc_emulation, seed);
+        t.row(vec![
+            task.name().into(),
+            format!("{:.1}%", zhu * 100.0),
+            format!("{:.1}%", emu * 100.0),
+            format!("{:+.1}%", (emu - zhu) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// §III.B experiment 2: shiftable fixed-point emulated by a 4-way
+/// shiftable-scale E²BQM versus plain (way-0 only) quantization on the
+/// ResNet proxy (the paper reports +1.1% from multiplexing).
+pub fn e2bqm_shiftable_emulation(seed: u64) -> TextTable {
+    let shiftable = TrainingQuantizer::new(
+        "E2BQM-shiftable",
+        QuantScheme::Hqt {
+            block_size: 1024,
+            format: IntFormat::Int8,
+            multiplex: Some(E2bqmQuantizer::new(
+                4,
+                CandidateStrategy::ShiftableFxp,
+                ErrorEstimator::Rectilinear,
+                IntFormat::Int8,
+            )),
+        },
+    );
+    let plain = TrainingQuantizer::ldq_only(1024, IntFormat::Int8);
+    let mut t = TextTable::new(vec!["Model", "plain LDQ", "4-way shiftable", "diff"]);
+    {
+        let task = ProxyTask::ResNet18;
+        let base = train_proxy(task, &plain, seed);
+        let multi = train_proxy(task, &shiftable, seed);
+        t.row(vec![
+            task.name().into(),
+            format!("{:.1}%", base * 100.0),
+            format!("{:.1}%", multi * 100.0),
+            format!("{:+.1}%", (multi - base) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Ablation: E²BQM way count versus quantization quality on long-tailed
+/// gradient-like data (a design-choice study for the SQU's 4-way choice).
+pub fn e2bqm_way_sweep() -> TextTable {
+    let x = cq_tensor::init::long_tailed(&[1 << 16], 0.01, 0.005, 100.0, 17);
+    let mut t = TextTable::new(vec!["Ways", "L1 error", "Cosine"]);
+    for ways in [1usize, 2, 4, 8] {
+        let q = E2bqmQuantizer::new(
+            ways,
+            CandidateStrategy::ClipSweep,
+            ErrorEstimator::Rectilinear,
+            IntFormat::Int8,
+        );
+        let sels = q.quantize_blocks(&x, 1024);
+        let back = cq_quant::e2bqm::dequantize_blocks(&sels, x.dims());
+        let e = cq_quant::quant_error(&x, &back);
+        t.row(vec![
+            ways.to_string(),
+            format!("{:.4}", e.l1 / x.len() as f64),
+            format!("{:.5}", e.cosine),
+        ]);
+    }
+    t
+}
+
+/// Ablation: LDQ block size K versus *training accuracy* on the CNN
+/// proxy (complements the compression sweep: small K costs compression,
+/// never accuracy).
+pub fn ldq_accuracy_sweep(seed: u64) -> TextTable {
+    let mut t = TextTable::new(vec!["Block K", "held-out accuracy", "compression"]);
+    for k in [64usize, 256, 1024, 4096] {
+        let q = TrainingQuantizer::ldq_only(k, IntFormat::Int8);
+        let acc = train_proxy(ProxyTask::AlexNet, &q, seed);
+        t.row(vec![
+            k.to_string(),
+            format!("{:.1}%", acc * 100.0),
+            format!("{:.3}x", compression_ratio_ldq(k)),
+        ]);
+    }
+    // Layer-wise reference.
+    let lw = TrainingQuantizer::zhang2020();
+    let acc = train_proxy(ProxyTask::AlexNet, &lw, seed);
+    t.row(vec![
+        "layer-wise".into(),
+        format!("{:.1}%", acc * 100.0),
+        format!("{:.3}x", compression_ratio_dq(1 << 20)),
+    ]);
+    t
+}
+
+/// Ablation: QBC buffer-line width versus re-quantization frequency under
+/// a transposition-style byte-scattered write pattern (the Fig. 9 case).
+/// Wider lines amortize tags but re-quantize more data per mixed write.
+pub fn qbc_line_width_sweep(seed: u64) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Line words",
+        "requantizations",
+        "matching writes",
+        "words rewritten",
+    ]);
+    for line_words in [8usize, 16, 32, 64] {
+        let n_lines = 512 / line_words;
+        let mut qbc = Qbc::new(n_lines, line_words, IntFormat::Int8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fill lines with a uniform fine-scale tensor.
+        for i in 0..n_lines {
+            qbc.write_line(i, &vec![0.05; line_words], 0.1).unwrap();
+        }
+        // Scattered writes arriving from blocks with varying statistics.
+        for _ in 0..512 {
+            let line = rng.gen_range(0..n_lines);
+            let word = rng.gen_range(0..line_words);
+            let theta = if rng.gen::<f32>() < 0.3 { 2.0 } else { 0.1 };
+            qbc.write_word(line, word, 0.05, theta).unwrap();
+        }
+        let stats = qbc.stats();
+        t.row(vec![
+            line_words.to_string(),
+            stats.requantizations.to_string(),
+            stats.matching_writes.to_string(),
+            (stats.requantizations * line_words as u64).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ldq_sweep_shows_paper_thresholds() {
+        let s = ldq_compression_sweep().to_string();
+        assert!(s.contains("200"));
+        assert!(s.contains("4000"));
+    }
+
+    #[test]
+    fn way_sweep_improves_with_ways() {
+        // More candidate ways never hurt the arbitrated L1 error.
+        let x = cq_tensor::init::long_tailed(&[1 << 14], 0.01, 0.005, 100.0, 17);
+        let err_for = |ways| {
+            let q = E2bqmQuantizer::new(
+                ways,
+                CandidateStrategy::ClipSweep,
+                ErrorEstimator::Rectilinear,
+                IntFormat::Int8,
+            );
+            let sels = q.quantize_blocks(&x, 1024);
+            let back = cq_quant::e2bqm::dequantize_blocks(&sels, x.dims());
+            cq_quant::quant_error(&x, &back).l1
+        };
+        assert!(err_for(4) <= err_for(1) + 1e-9);
+        assert!(err_for(8) <= err_for(2) + 1e-9);
+    }
+
+    #[test]
+    fn way_sweep_table_renders() {
+        assert!(e2bqm_way_sweep().to_string().contains("Ways"));
+    }
+
+    #[test]
+    fn qbc_sweep_counts_rewrites() {
+        let t = qbc_line_width_sweep(3);
+        let s = t.to_string();
+        assert!(s.contains("requantizations"));
+        assert_eq!(t.len(), 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Motivation experiments: Fig. 2 (gradient statistics) and Fig. 3
+//! (quantized-training slowdown on GPU).
+
+use crate::accuracy::ProxyTask;
+use cq_baselines::GpuModel;
+use cq_ndp::OptimizerKind;
+use cq_nn::{Adam, QuantCtx};
+use cq_sim::report::TextTable;
+use cq_workloads::models;
+
+/// Fig. 2 data: per-layer max-|gradient| sampled across training epochs.
+#[derive(Debug, Clone)]
+pub struct GradientTrace {
+    /// Layer names.
+    pub layers: Vec<String>,
+    /// For each sampled epoch: (epoch, per-layer max |g|).
+    pub samples: Vec<(usize, Vec<f32>)>,
+}
+
+impl GradientTrace {
+    /// Ratio of the largest to smallest per-layer statistic over the whole
+    /// trace — Fig. 2's "two orders of magnitude between layers" claim.
+    pub fn layer_spread(&self) -> f32 {
+        let mut lo = f32::INFINITY;
+        let mut hi: f32 = 0.0;
+        for (_, gs) in &self.samples {
+            for &g in gs {
+                if g > 0.0 {
+                    lo = lo.min(g);
+                    hi = hi.max(g);
+                }
+            }
+        }
+        if lo.is_finite() && lo > 0.0 {
+            hi / lo
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Trains the ResNet-family proxy CNN and records per-layer gradient
+/// statistics every few epochs (Fig. 2's experiment at proxy scale).
+pub fn fig2_gradient_trace(seed: u64) -> GradientTrace {
+    let task = ProxyTask::ResNet18;
+    let (mut model, train, _) = task.build(seed);
+    let ctx = QuantCtx::fp32();
+    let mut opt = Adam::with_defaults(3e-3);
+    let mut samples = Vec::new();
+    let mut layers = Vec::new();
+    for epoch in 0..task.epochs() {
+        model
+            .train_step(&train.x, &train.labels, &mut opt, &ctx)
+            .expect("training step");
+        if epoch % 10 == 0 {
+            let stats = model.grad_max_abs();
+            if layers.is_empty() {
+                layers = stats.iter().map(|(n, _)| n.clone()).collect();
+            }
+            samples.push((epoch, stats.into_iter().map(|(_, g)| g).collect()));
+        }
+    }
+    GradientTrace { layers, samples }
+}
+
+/// Renders the Fig. 2 trace as a table.
+pub fn fig2_render(trace: &GradientTrace) -> TextTable {
+    let mut headers = vec!["epoch".to_string()];
+    headers.extend(trace.layers.iter().cloned());
+    let mut t = TextTable::new(headers);
+    for (epoch, gs) in &trace.samples {
+        let mut cells = vec![epoch.to_string()];
+        cells.extend(gs.iter().map(|g| format!("{g:.2e}")));
+        t.row(cells);
+    }
+    t
+}
+
+/// Fig. 3: per-benchmark slowdown of quantized training relative to FP32
+/// on the GPU baseline (paper: 1.09×–1.78×).
+pub fn fig3_gpu_overhead() -> TextTable {
+    let gpu = GpuModel::jetson_tx2();
+    let opt = OptimizerKind::Sgd { lr: 0.01 };
+    let mut t = TextTable::new(vec!["Model", "FP32 (ms)", "Quantized (ms)", "slowdown"]);
+    for net in models::all_benchmarks() {
+        let fp = gpu.simulate(&net, opt, false);
+        let q = gpu.simulate(&net, opt, true);
+        t.row(vec![
+            net.name.clone(),
+            format!("{:.1}", fp.time_ms()),
+            format!("{:.1}", q.time_ms()),
+            format!("{:.2}x", q.time_ms() / fp.time_ms()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_spread_spans_orders_of_magnitude() {
+        let trace = fig2_gradient_trace(3);
+        assert!(!trace.layers.is_empty());
+        assert!(trace.samples.len() >= 4);
+        // Fig. 2: gradients vary by orders of magnitude across layers and
+        // epochs; at proxy scale we require at least one order.
+        let spread = trace.layer_spread();
+        assert!(spread > 10.0, "spread only {spread}");
+    }
+
+    #[test]
+    fn fig3_table_renders_slowdowns() {
+        let s = fig3_gpu_overhead().to_string();
+        assert!(s.contains("slowdown"));
+        assert!(s.contains("AlexNet"));
+    }
+
+    #[test]
+    fn fig2_table_renders() {
+        let trace = fig2_gradient_trace(3);
+        let s = fig2_render(&trace).to_string();
+        assert!(s.contains("epoch"));
+    }
+}

@@ -1,0 +1,7 @@
+//! # cq-integration — cross-crate integration tests
+//!
+//! This crate has no library content; its purpose is the integration
+//! tests under the repository-level `tests/` directory (wired in via
+//! `[[test]]` path entries), which exercise the whole stack: data →
+//! quantization-aware training → compiled ISA programs on the functional
+//! machine → NDP weight update → the paper's headline claims.

@@ -1,0 +1,338 @@
+//! Text assembler: parses the disassembler's output back into
+//! instructions, so programs round-trip through their human-readable form.
+
+use crate::instruction::{Instruction, MemSpace, Operand, QuantWidth, VecOp};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while assembling text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+struct Cursor<'a> {
+    tokens: Vec<&'a str>,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        let tokens = text
+            .split([',', ' ', '\t'])
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        Cursor {
+            tokens,
+            pos: 0,
+            line,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, AsmError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| err(self.line, "unexpected end of line"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn u32(&mut self) -> Result<u32, AsmError> {
+        let t = self.next()?;
+        // Accept `name=value` forms from the CONV disassembly.
+        let t = t.rsplit('=').next().unwrap_or(t);
+        parse_u32(t).ok_or_else(|| err(self.line, format!("expected integer, got `{t}`")))
+    }
+
+    fn operand(&mut self) -> Result<Operand, AsmError> {
+        let t = self.next()?;
+        parse_operand(t).ok_or_else(|| err(self.line, format!("expected operand, got `{t}`")))
+    }
+}
+
+fn parse_u32(t: &str) -> Option<u32> {
+    if let Some(hex) = t.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+fn parse_operand(t: &str) -> Option<Operand> {
+    let open = t.find('[')?;
+    let close = t.find(']')?;
+    let space = match &t[..open] {
+        "dram" => MemSpace::Dram,
+        "nbin" => MemSpace::NBin,
+        "nbout" => MemSpace::NBout,
+        "sb" => MemSpace::Sb,
+        _ => return None,
+    };
+    Some(Operand {
+        space,
+        offset: parse_u32(&t[open + 1..close])?,
+    })
+}
+
+fn parse_width(suffix: &str) -> Option<QuantWidth> {
+    match suffix {
+        "i4" => Some(QuantWidth::W4),
+        "i8" => Some(QuantWidth::W8),
+        "i12" => Some(QuantWidth::W12),
+        "i16" => Some(QuantWidth::W16),
+        _ => None,
+    }
+}
+
+/// Parses one instruction from its disassembly text.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] describing the first token that fails to parse.
+///
+/// # Examples
+///
+/// ```
+/// use cq_isa::asm::parse_instruction;
+///
+/// let i = parse_instruction("QLOAD.i8 nbin[0x0], dram[0x100], 1024", 1)?;
+/// assert_eq!(i.mnemonic(), "QLOAD");
+/// assert_eq!(i.to_string(), "QLOAD.i8 nbin[0x0], dram[0x100], 1024");
+/// # Ok::<(), cq_isa::asm::AsmError>(())
+/// ```
+pub fn parse_instruction(text: &str, line: usize) -> Result<Instruction, AsmError> {
+    let text = text.trim();
+    let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let (op, width) = match mnemonic.split_once('.') {
+        Some((op, suffix)) => (
+            op,
+            Some(
+                parse_width(suffix)
+                    .ok_or_else(|| err(line, format!("bad width suffix `{suffix}`")))?,
+            ),
+        ),
+        None => (mnemonic, None),
+    };
+    let mut c = Cursor::new(rest, line);
+    let instr = match op {
+        "CROSET" => {
+            let reg = c.next()?;
+            let creg = reg
+                .strip_prefix('c')
+                .and_then(|r| r.parse::<u8>().ok())
+                .ok_or_else(|| err(line, format!("bad register `{reg}`")))?;
+            let tok = c.next()?;
+            let imm = if let Some(hex) = tok.strip_prefix("bits:") {
+                parse_u32(hex).ok_or_else(|| err(line, format!("bad bits `{tok}`")))?
+            } else {
+                tok.parse::<f32>()
+                    .map_err(|_| err(line, format!("expected float, got `{tok}`")))?
+                    .to_bits()
+            };
+            Instruction::Croset { creg, imm }
+        }
+        "VLOAD" => Instruction::Vload {
+            dest: c.operand()?,
+            src: c.operand()?,
+            size: c.u32()?,
+        },
+        "VSTORE" => Instruction::Vstore {
+            dest: c.operand()?,
+            src: c.operand()?,
+            size: c.u32()?,
+        },
+        "SLOAD" => Instruction::Sload {
+            dest: c.operand()?,
+            src: c.operand()?,
+            dest_stride: c.u32()?,
+            src_stride: c.u32()?,
+            size: c.u32()?,
+            n: c.u32()?,
+        },
+        "SSTORE" => Instruction::Sstore {
+            dest: c.operand()?,
+            src: c.operand()?,
+            dest_stride: c.u32()?,
+            src_stride: c.u32()?,
+            size: c.u32()?,
+            n: c.u32()?,
+        },
+        "QLOAD" | "QSTORE" | "QMOVE" => {
+            let width = width.ok_or_else(|| err(line, "Q-type needs a width suffix"))?;
+            let dest = c.operand()?;
+            let src = c.operand()?;
+            let size = c.u32()?;
+            match op {
+                "QLOAD" => Instruction::Qload {
+                    dest,
+                    src,
+                    size,
+                    width,
+                },
+                "QSTORE" => Instruction::Qstore {
+                    dest,
+                    src,
+                    size,
+                    width,
+                },
+                _ => Instruction::Qmove {
+                    dest,
+                    src,
+                    size,
+                    width,
+                },
+            }
+        }
+        "WGSTORE" => Instruction::Wgstore {
+            dest: c.operand()?,
+            dest2: c.operand()?,
+            dest3: c.operand()?,
+            src: c.operand()?,
+            size: c.u32()?,
+        },
+        "MM" => Instruction::Mm {
+            dest: c.operand()?,
+            lsrc: c.operand()?,
+            rsrc: c.operand()?,
+            m: c.u32()?,
+            n: c.u32()?,
+            k: c.u32()?,
+        },
+        "CONV" => Instruction::Conv {
+            dest: c.operand()?,
+            weight: c.operand()?,
+            src: c.operand()?,
+            batch: c.u32()?,
+            in_channels: c.u32()?,
+            out_channels: c.u32()?,
+            in_hw: c.u32()?,
+            kernel: c.u32()?,
+            stride: c.u32()?,
+            padding: c.u32()?,
+        },
+        vec_name => {
+            let op = VecOp::ALL
+                .iter()
+                .copied()
+                .find(|v| v.mnemonic() == vec_name)
+                .ok_or_else(|| err(line, format!("unknown mnemonic `{vec_name}`")))?;
+            Instruction::Vec {
+                op,
+                dest: c.operand()?,
+                src1: c.operand()?,
+                src2: c.operand()?,
+                size: c.u32()?,
+            }
+        }
+    };
+    if !c.done() {
+        return Err(err(line, "trailing tokens"));
+    }
+    Ok(instr)
+}
+
+/// Assembles a whole program: one instruction per non-empty line; `;` and
+/// `#` start comments.
+///
+/// # Errors
+///
+/// Returns the first line's [`AsmError`].
+pub fn assemble(text: &str) -> Result<Program, AsmError> {
+    let mut p = Program::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        p.push(parse_instruction(line, i + 1)?);
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_mnemonic() {
+        let text = "\
+CROSET c4, 0.001
+VLOAD nbin[0x0], dram[0x1000], 4096
+SLOAD sb[0x0], dram[0x2000], 256, 4096, 64, 64
+QLOAD.i8 nbin[0x0], dram[0x100], 1024
+QSTORE.i16 dram[0x8000], nbout[0x0], 512
+WGSTORE dram[0x0], dram[0x1000], dram[0x2000], nbout[0x0], 1024
+MM nbout[0x0], nbin[0x0], sb[0x0], 64, 64, 64
+CONV nbout[0x0], sb[0x0], nbin[0x0], n=1, c=3, f=96, hw=227, k=11, s=4, p=0
+VADD nbout[0x0], nbin[0x0], nbin[0x40], 256
+HMAXABS nbout[0x0], nbin[0x0], nbin[0x0], 256";
+        let p = assemble(text).unwrap();
+        assert_eq!(p.len(), 10);
+        assert!(matches!(p.instructions()[7], Instruction::Conv { .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let p =
+            assemble("; a comment\n\n# another\nVLOAD nbin[0x0], dram[0x0], 4 # inline\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("VLOAD nbin[0x0], dram[0x0], 4\nBOGUS x, y\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn rejects_malformed_operands() {
+        assert!(parse_instruction("VLOAD foo[0x0], dram[0x0], 4", 1).is_err());
+        assert!(parse_instruction("QLOAD nbin[0x0], dram[0x0], 4", 1).is_err()); // no width
+        assert!(parse_instruction("QLOAD.i9 nbin[0x0], dram[0x0], 4", 1).is_err());
+        assert!(parse_instruction("MM nbout[0x0], nbin[0x0], sb[0x0], 64, 64", 1).is_err());
+        assert!(
+            parse_instruction("VLOAD nbin[0x0], dram[0x0], 4, 5", 1).is_err(),
+            "trailing tokens must be rejected"
+        );
+    }
+
+    #[test]
+    fn croset_float_roundtrip() {
+        let i = parse_instruction("CROSET c2, 0.9", 1).unwrap();
+        match i {
+            Instruction::Croset { creg, imm } => {
+                assert_eq!(creg, 2);
+                assert_eq!(f32::from_bits(imm), 0.9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! The format is a 1-byte opcode followed by fixed little-endian fields per
+//! opcode. Operands encode as 1 byte of memory space + 4 bytes of offset.
+
+use crate::instruction::{Instruction, MemSpace, Operand, QuantWidth, VecOp};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while decoding a binary instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Unknown opcode byte at the given stream offset.
+    BadOpcode {
+        /// The offending byte.
+        opcode: u8,
+        /// Stream offset.
+        at: usize,
+    },
+    /// Unknown sub-field encoding (memory space, width, vector op).
+    BadField {
+        /// Field description.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+        /// Stream offset.
+        at: usize,
+    },
+    /// The stream ended in the middle of an instruction.
+    Truncated {
+        /// Stream offset where more bytes were expected.
+        at: usize,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadOpcode { opcode, at } => {
+                write!(f, "unknown opcode {opcode:#04x} at byte {at}")
+            }
+            IsaError::BadField { field, value, at } => {
+                write!(f, "invalid {field} encoding {value:#04x} at byte {at}")
+            }
+            IsaError::Truncated { at } => write!(f, "instruction stream truncated at byte {at}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+const OP_CROSET: u8 = 0x01;
+const OP_VLOAD: u8 = 0x02;
+const OP_VSTORE: u8 = 0x03;
+const OP_SLOAD: u8 = 0x04;
+const OP_SSTORE: u8 = 0x05;
+const OP_QLOAD: u8 = 0x06;
+const OP_QSTORE: u8 = 0x07;
+const OP_QMOVE: u8 = 0x08;
+const OP_WGSTORE: u8 = 0x09;
+const OP_MM: u8 = 0x0a;
+const OP_CONV: u8 = 0x0b;
+const OP_VEC: u8 = 0x0c;
+
+struct Writer<'a>(&'a mut Vec<u8>);
+
+impl Writer<'_> {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn operand(&mut self, o: Operand) {
+        self.u8(o.space as u8);
+        self.u32(o.offset);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, IsaError> {
+        let v = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(IsaError::Truncated { at: self.pos })?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, IsaError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(IsaError::Truncated { at: self.pos })?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+    }
+
+    fn operand(&mut self) -> Result<Operand, IsaError> {
+        let at = self.pos;
+        let space = self.u8()?;
+        let space = *MemSpace::ALL
+            .get(space as usize)
+            .ok_or(IsaError::BadField {
+                field: "memory space",
+                value: space,
+                at,
+            })?;
+        Ok(Operand {
+            space,
+            offset: self.u32()?,
+        })
+    }
+
+    fn width(&mut self) -> Result<QuantWidth, IsaError> {
+        let at = self.pos;
+        let w = self.u8()?;
+        QuantWidth::ALL
+            .get(w as usize)
+            .copied()
+            .ok_or(IsaError::BadField {
+                field: "quant width",
+                value: w,
+                at,
+            })
+    }
+
+    fn vec_op(&mut self) -> Result<VecOp, IsaError> {
+        let at = self.pos;
+        let v = self.u8()?;
+        VecOp::ALL
+            .get(v as usize)
+            .copied()
+            .ok_or(IsaError::BadField {
+                field: "vector op",
+                value: v,
+                at,
+            })
+    }
+}
+
+/// Encodes one instruction, appending to `out`.
+pub fn encode_into(instr: &Instruction, out: &mut Vec<u8>) {
+    let mut w = Writer(out);
+    match *instr {
+        Instruction::Croset { creg, imm } => {
+            w.u8(OP_CROSET);
+            w.u8(creg);
+            w.u32(imm);
+        }
+        Instruction::Vload { dest, src, size } => {
+            w.u8(OP_VLOAD);
+            w.operand(dest);
+            w.operand(src);
+            w.u32(size);
+        }
+        Instruction::Vstore { dest, src, size } => {
+            w.u8(OP_VSTORE);
+            w.operand(dest);
+            w.operand(src);
+            w.u32(size);
+        }
+        Instruction::Sload {
+            dest,
+            src,
+            dest_stride,
+            src_stride,
+            size,
+            n,
+        } => {
+            w.u8(OP_SLOAD);
+            w.operand(dest);
+            w.operand(src);
+            w.u32(dest_stride);
+            w.u32(src_stride);
+            w.u32(size);
+            w.u32(n);
+        }
+        Instruction::Sstore {
+            dest,
+            src,
+            dest_stride,
+            src_stride,
+            size,
+            n,
+        } => {
+            w.u8(OP_SSTORE);
+            w.operand(dest);
+            w.operand(src);
+            w.u32(dest_stride);
+            w.u32(src_stride);
+            w.u32(size);
+            w.u32(n);
+        }
+        Instruction::Qload {
+            dest,
+            src,
+            size,
+            width,
+        } => {
+            w.u8(OP_QLOAD);
+            w.operand(dest);
+            w.operand(src);
+            w.u32(size);
+            w.u8(width as u8);
+        }
+        Instruction::Qstore {
+            dest,
+            src,
+            size,
+            width,
+        } => {
+            w.u8(OP_QSTORE);
+            w.operand(dest);
+            w.operand(src);
+            w.u32(size);
+            w.u8(width as u8);
+        }
+        Instruction::Qmove {
+            dest,
+            src,
+            size,
+            width,
+        } => {
+            w.u8(OP_QMOVE);
+            w.operand(dest);
+            w.operand(src);
+            w.u32(size);
+            w.u8(width as u8);
+        }
+        Instruction::Wgstore {
+            dest,
+            dest2,
+            dest3,
+            src,
+            size,
+        } => {
+            w.u8(OP_WGSTORE);
+            w.operand(dest);
+            w.operand(dest2);
+            w.operand(dest3);
+            w.operand(src);
+            w.u32(size);
+        }
+        Instruction::Mm {
+            dest,
+            lsrc,
+            rsrc,
+            m,
+            n,
+            k,
+        } => {
+            w.u8(OP_MM);
+            w.operand(dest);
+            w.operand(lsrc);
+            w.operand(rsrc);
+            w.u32(m);
+            w.u32(n);
+            w.u32(k);
+        }
+        Instruction::Conv {
+            dest,
+            weight,
+            src,
+            batch,
+            in_channels,
+            out_channels,
+            in_hw,
+            kernel,
+            stride,
+            padding,
+        } => {
+            w.u8(OP_CONV);
+            w.operand(dest);
+            w.operand(weight);
+            w.operand(src);
+            w.u32(batch);
+            w.u32(in_channels);
+            w.u32(out_channels);
+            w.u32(in_hw);
+            w.u32(kernel);
+            w.u32(stride);
+            w.u32(padding);
+        }
+        Instruction::Vec {
+            op,
+            dest,
+            src1,
+            src2,
+            size,
+        } => {
+            w.u8(OP_VEC);
+            w.u8(op as u8);
+            w.operand(dest);
+            w.operand(src1);
+            w.operand(src2);
+            w.u32(size);
+        }
+    }
+}
+
+/// Decodes one instruction starting at `pos`; returns it plus the next
+/// position.
+///
+/// # Errors
+///
+/// Returns [`IsaError`] for unknown opcodes/fields or a truncated stream.
+pub fn decode_at(bytes: &[u8], pos: usize) -> Result<(Instruction, usize), IsaError> {
+    let mut r = Reader { bytes, pos };
+    let at = r.pos;
+    let op = r.u8()?;
+    let instr = match op {
+        OP_CROSET => Instruction::Croset {
+            creg: r.u8()?,
+            imm: r.u32()?,
+        },
+        OP_VLOAD => Instruction::Vload {
+            dest: r.operand()?,
+            src: r.operand()?,
+            size: r.u32()?,
+        },
+        OP_VSTORE => Instruction::Vstore {
+            dest: r.operand()?,
+            src: r.operand()?,
+            size: r.u32()?,
+        },
+        OP_SLOAD => Instruction::Sload {
+            dest: r.operand()?,
+            src: r.operand()?,
+            dest_stride: r.u32()?,
+            src_stride: r.u32()?,
+            size: r.u32()?,
+            n: r.u32()?,
+        },
+        OP_SSTORE => Instruction::Sstore {
+            dest: r.operand()?,
+            src: r.operand()?,
+            dest_stride: r.u32()?,
+            src_stride: r.u32()?,
+            size: r.u32()?,
+            n: r.u32()?,
+        },
+        OP_QLOAD => Instruction::Qload {
+            dest: r.operand()?,
+            src: r.operand()?,
+            size: r.u32()?,
+            width: r.width()?,
+        },
+        OP_QSTORE => Instruction::Qstore {
+            dest: r.operand()?,
+            src: r.operand()?,
+            size: r.u32()?,
+            width: r.width()?,
+        },
+        OP_QMOVE => Instruction::Qmove {
+            dest: r.operand()?,
+            src: r.operand()?,
+            size: r.u32()?,
+            width: r.width()?,
+        },
+        OP_WGSTORE => Instruction::Wgstore {
+            dest: r.operand()?,
+            dest2: r.operand()?,
+            dest3: r.operand()?,
+            src: r.operand()?,
+            size: r.u32()?,
+        },
+        OP_MM => Instruction::Mm {
+            dest: r.operand()?,
+            lsrc: r.operand()?,
+            rsrc: r.operand()?,
+            m: r.u32()?,
+            n: r.u32()?,
+            k: r.u32()?,
+        },
+        OP_CONV => Instruction::Conv {
+            dest: r.operand()?,
+            weight: r.operand()?,
+            src: r.operand()?,
+            batch: r.u32()?,
+            in_channels: r.u32()?,
+            out_channels: r.u32()?,
+            in_hw: r.u32()?,
+            kernel: r.u32()?,
+            stride: r.u32()?,
+            padding: r.u32()?,
+        },
+        OP_VEC => {
+            let op = r.vec_op()?;
+            Instruction::Vec {
+                op,
+                dest: r.operand()?,
+                src1: r.operand()?,
+                src2: r.operand()?,
+                size: r.u32()?,
+            }
+        }
+        other => return Err(IsaError::BadOpcode { opcode: other, at }),
+    };
+    Ok((instr, r.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Instruction> {
+        vec![
+            Instruction::Croset {
+                creg: 3,
+                imm: 0.99f32.to_bits(),
+            },
+            Instruction::Vload {
+                dest: Operand::nbin(0),
+                src: Operand::dram(0x100),
+                size: 512,
+            },
+            Instruction::Sload {
+                dest: Operand::sb(64),
+                src: Operand::dram(0x2000),
+                dest_stride: 32,
+                src_stride: 4096,
+                size: 32,
+                n: 64,
+            },
+            Instruction::Qstore {
+                dest: Operand::dram(0),
+                src: Operand::nbout(0),
+                size: 4096,
+                width: QuantWidth::W8,
+            },
+            Instruction::Wgstore {
+                dest: Operand::dram(0),
+                dest2: Operand::dram(0x1000),
+                dest3: Operand::dram(0x2000),
+                src: Operand::nbout(128),
+                size: 1024,
+            },
+            Instruction::Mm {
+                dest: Operand::nbout(0),
+                lsrc: Operand::nbin(0),
+                rsrc: Operand::sb(0),
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+            Instruction::Conv {
+                dest: Operand::nbout(0),
+                weight: Operand::sb(0),
+                src: Operand::nbin(0),
+                batch: 1,
+                in_channels: 3,
+                out_channels: 96,
+                in_hw: 227,
+                kernel: 11,
+                stride: 4,
+                padding: 0,
+            },
+            Instruction::Vec {
+                op: VecOp::HMaxAbs,
+                dest: Operand::nbout(0),
+                src1: Operand::nbin(0),
+                src2: Operand::nbin(0),
+                size: 256,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for instr in samples() {
+            let mut bytes = Vec::new();
+            encode_into(&instr, &mut bytes);
+            let (decoded, consumed) = decode_at(&bytes, 0).unwrap();
+            assert_eq!(decoded, instr, "{instr}");
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let err = decode_at(&[0xff], 0).unwrap_err();
+        assert!(matches!(
+            err,
+            IsaError::BadOpcode {
+                opcode: 0xff,
+                at: 0
+            }
+        ));
+        assert!(err.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut bytes = Vec::new();
+        encode_into(
+            &Instruction::Vload {
+                dest: Operand::nbin(0),
+                src: Operand::dram(0),
+                size: 1,
+            },
+            &mut bytes,
+        );
+        bytes.truncate(bytes.len() - 2);
+        let err = decode_at(&bytes, 0).unwrap_err();
+        assert!(matches!(err, IsaError::Truncated { .. }));
+    }
+
+    #[test]
+    fn bad_memory_space_rejected() {
+        // VLOAD with an invalid space byte.
+        let bytes = vec![OP_VLOAD, 9, 0, 0, 0, 0];
+        let err = decode_at(&bytes, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            IsaError::BadField {
+                field: "memory space",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        let mut bytes = Vec::new();
+        encode_into(
+            &Instruction::Qload {
+                dest: Operand::nbin(0),
+                src: Operand::dram(0),
+                size: 1,
+                width: QuantWidth::W8,
+            },
+            &mut bytes,
+        );
+        let n = bytes.len();
+        bytes[n - 1] = 7; // invalid width selector
+        assert!(matches!(
+            decode_at(&bytes, 0).unwrap_err(),
+            IsaError::BadField {
+                field: "quant width",
+                ..
+            }
+        ));
+    }
+}

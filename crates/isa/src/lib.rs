@@ -1,0 +1,46 @@
+//! # cq-isa — the Cambricon-Q instruction set (paper Table V)
+//!
+//! Cambricon-Q uses a tensor-based ISA with high-level operations
+//! (convolution, matrix multiply, vector ops, strided I/O) plus the
+//! quantization-specific instructions that make HQT and the NDP engine
+//! programmable:
+//!
+//! * `QLOAD`/`QSTORE`/`QMOVE` — data movement with on-the-fly statistic +
+//!   quantization through the SQU;
+//! * `CROSET` — configure the NDP optimizer's constant registers
+//!   (c₁..c₅, s₁, s₂ of Eq. 1);
+//! * `WGSTORE` — store weight gradients to memory *and* trigger the
+//!   in-place optimizer update near DRAM.
+//!
+//! This crate defines the [`Instruction`] enum, a binary encoder/decoder,
+//! a disassembler (`Display`), and the [`Program`] container used by the
+//! layer compiler in `cq-accel`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cq_isa::{Instruction, MemSpace, Operand, Program};
+//!
+//! let mut p = Program::new();
+//! p.push(Instruction::Vload {
+//!     dest: Operand::new(MemSpace::NBin, 0),
+//!     src: Operand::new(MemSpace::Dram, 0x1000),
+//!     size: 4096,
+//! });
+//! let bytes = p.encode();
+//! let back = Program::decode(&bytes)?;
+//! assert_eq!(p, back);
+//! # Ok::<(), cq_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod asm;
+mod encode;
+mod instruction;
+mod program;
+
+pub use encode::{decode_at, encode_into, IsaError};
+pub use instruction::{Instruction, MemSpace, Operand, QuantWidth, VecOp};
+pub use program::Program;

@@ -1,0 +1,151 @@
+//! Property tests: every encodable instruction decodes back to itself.
+
+use cq_isa::{Instruction, MemSpace, Operand, Program, QuantWidth, VecOp};
+use proptest::prelude::*;
+
+fn operand() -> impl Strategy<Value = Operand> {
+    (0usize..4, any::<u32>()).prop_map(|(s, off)| Operand::new(MemSpace::ALL[s], off))
+}
+
+fn width() -> impl Strategy<Value = QuantWidth> {
+    (0usize..4).prop_map(|i| QuantWidth::ALL[i])
+}
+
+fn vec_op() -> impl Strategy<Value = VecOp> {
+    (0usize..VecOp::ALL.len()).prop_map(|i| VecOp::ALL[i])
+}
+
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (any::<u8>(), any::<u32>()).prop_map(|(creg, imm)| Instruction::Croset { creg, imm }),
+        (operand(), operand(), any::<u32>()).prop_map(|(dest, src, size)| Instruction::Vload {
+            dest,
+            src,
+            size
+        }),
+        (operand(), operand(), any::<u32>()).prop_map(|(dest, src, size)| Instruction::Vstore {
+            dest,
+            src,
+            size
+        }),
+        (
+            operand(),
+            operand(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(dest, src, dest_stride, src_stride, size, n)| Instruction::Sload {
+                    dest,
+                    src,
+                    dest_stride,
+                    src_stride,
+                    size,
+                    n
+                }
+            ),
+        (operand(), operand(), any::<u32>(), width()).prop_map(|(dest, src, size, width)| {
+            Instruction::Qload {
+                dest,
+                src,
+                size,
+                width,
+            }
+        }),
+        (operand(), operand(), any::<u32>(), width()).prop_map(|(dest, src, size, width)| {
+            Instruction::Qstore {
+                dest,
+                src,
+                size,
+                width,
+            }
+        }),
+        (operand(), operand(), operand(), operand(), any::<u32>()).prop_map(
+            |(dest, dest2, dest3, src, size)| Instruction::Wgstore {
+                dest,
+                dest2,
+                dest3,
+                src,
+                size
+            }
+        ),
+        (
+            operand(),
+            operand(),
+            operand(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(dest, lsrc, rsrc, m, n, k)| Instruction::Mm {
+                dest,
+                lsrc,
+                rsrc,
+                m,
+                n,
+                k
+            }),
+        (vec_op(), operand(), operand(), operand(), any::<u32>()).prop_map(
+            |(op, dest, src1, src2, size)| Instruction::Vec {
+                op,
+                dest,
+                src1,
+                src2,
+                size
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn single_instruction_roundtrip(instr in instruction()) {
+        let mut bytes = Vec::new();
+        cq_isa::encode_into(&instr, &mut bytes);
+        let (decoded, used) = cq_isa::decode_at(&bytes, 0).unwrap();
+        prop_assert_eq!(decoded, instr);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn program_roundtrip(instrs in prop::collection::vec(instruction(), 0..40)) {
+        let p: Program = instrs.into_iter().collect();
+        let back = Program::decode(&p.encode()).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_per_instruction(instr in instruction()) {
+        prop_assert!(!instr.to_string().is_empty());
+        prop_assert!(!instr.mnemonic().is_empty());
+    }
+
+    /// Decoding arbitrary bytes never panics — it either parses or errors.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Program::decode(&bytes);
+    }
+}
+
+proptest! {
+    /// Text round-trip: disassembling any instruction and parsing it back
+    /// yields the identical instruction.
+    #[test]
+    fn disassembly_text_roundtrip(instr in instruction()) {
+        let text = instr.to_string();
+        let parsed = cq_isa::asm::parse_instruction(&text, 1)
+            .unwrap_or_else(|e| panic!("failed to parse `{text}`: {e}"));
+        prop_assert_eq!(parsed, instr);
+    }
+
+    /// Whole-program text round-trip through the assembler.
+    #[test]
+    fn program_text_roundtrip(instrs in prop::collection::vec(instruction(), 0..30)) {
+        let p: Program = instrs.into_iter().collect();
+        let text = p.disassemble();
+        let back = cq_isa::asm::assemble(&text).unwrap();
+        prop_assert_eq!(back, p);
+    }
+}

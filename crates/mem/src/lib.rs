@@ -1,0 +1,31 @@
+//! # cq-mem — DDR memory model
+//!
+//! A simplified Ramulator-style DRAM model shared by the Cambricon-Q
+//! simulator, the NDP engine, and the TPU baseline. It tracks per-bank
+//! open rows, charges DDR command timing (ACT/CAS/PRE, refresh-class
+//! constants), and accounts traffic bytes and dynamic energy.
+//!
+//! The paper integrates Ramulator for exact memory traces; this model keeps
+//! the two properties those traces feed into the evaluation: the row-
+//! locality-dependent latency of request streams and the bandwidth ceiling
+//! (17.06 GB/s for the edge configuration, scaled 4×/16× in Fig. 13).
+//!
+//! # Examples
+//!
+//! ```
+//! use cq_mem::{DdrConfig, DdrModel, Dir};
+//!
+//! let mut mem = DdrModel::new(DdrConfig::cambricon_q());
+//! // Stream a 1 MiB weight tensor out of DRAM.
+//! let cycles = mem.transfer(0, 1 << 20, Dir::Read);
+//! assert!(cycles >= mem.peak_cycles(1 << 20));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod model;
+
+pub use config::{DdrConfig, DdrTiming};
+pub use model::{DdrEnergy, DdrModel, Dir, MemStats};

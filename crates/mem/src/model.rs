@@ -1,0 +1,502 @@
+//! Cycle-level DDR model: per-bank row-buffer tracking, command timing,
+//! traffic statistics and energy.
+//!
+//! Two API levels are exposed:
+//!
+//! * a **command API** ([`DdrModel::activate`], [`DdrModel::column_access`],
+//!   [`DdrModel::precharge`]) used by the NDP engine, whose in-place weight
+//!   update issues the paper's 3×ACTIVATE → WRITE stream → 3×PRECHARGE
+//!   sequence (§IV.B.3);
+//! * a **transfer API** ([`DdrModel::transfer`]) for bulk sequential tensor
+//!   traffic, which decomposes the range into rows/bursts and replays the
+//!   command sequence.
+
+use crate::config::DdrConfig;
+use std::fmt;
+
+/// Which direction a data transfer moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Memory → accelerator.
+    Read,
+    /// Accelerator → memory.
+    Write,
+}
+
+/// Aggregate statistics of all traffic a [`DdrModel`] has served.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemStats {
+    /// Busy cycles at the memory-controller clock.
+    pub cycles: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Row-buffer hits (column access to an already-open row).
+    pub row_hits: u64,
+    /// Row-buffer misses (required ACTIVATE, possibly PRECHARGE first).
+    pub row_misses: u64,
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued.
+    pub precharges: u64,
+    /// REFRESH stalls charged (one per tREFI of busy time).
+    pub refreshes: u64,
+    /// Bus-turnaround stalls (read↔write direction switches).
+    pub turnarounds: u64,
+    /// Dynamic DRAM energy in pJ.
+    pub energy_pj: f64,
+}
+
+impl MemStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Row-buffer hit rate (0.0 when no accesses were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Energy constants per DDR command (pJ), 45 nm class device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdrEnergy {
+    /// Energy per ACTIVATE+PRECHARGE pair.
+    pub act_pre_pj: f64,
+    /// Energy per byte transferred on the bus (read or write).
+    pub per_byte_pj: f64,
+}
+
+impl Default for DdrEnergy {
+    fn default() -> Self {
+        // Per-byte constant chosen so that a whole-row access lands in
+        // Table I's 0.65–1.3 nJ per 32-bit range: see cq-sim's EnergyModel.
+        DdrEnergy {
+            act_pre_pj: 15_000.0,
+            per_byte_pj: 244.0,
+        }
+    }
+}
+
+/// The DDR device + controller model.
+///
+/// # Examples
+///
+/// ```
+/// use cq_mem::{DdrConfig, DdrModel, Dir};
+///
+/// let mut m = DdrModel::new(DdrConfig::cambricon_q());
+/// let cycles = m.transfer(0, 4096, Dir::Read);
+/// assert!(cycles > 0);
+/// assert_eq!(m.stats().bytes_read, 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdrModel {
+    config: DdrConfig,
+    energy: DdrEnergy,
+    /// Open row per bank (`None` = precharged).
+    open_rows: Vec<Option<u64>>,
+    stats: MemStats,
+    /// Direction of the last column access (for bus-turnaround penalty).
+    last_dir: Option<Dir>,
+    /// Busy cycles accumulated since the last refresh charge.
+    since_refresh: u64,
+}
+
+impl DdrModel {
+    /// Creates a model with all banks precharged.
+    pub fn new(config: DdrConfig) -> Self {
+        DdrModel {
+            config,
+            energy: DdrEnergy::default(),
+            open_rows: vec![None; config.banks],
+            stats: MemStats::default(),
+            last_dir: None,
+            since_refresh: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DdrConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets statistics (open-row state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Decodes an address into (bank, row): rows are interleaved across
+    /// banks at row granularity so sequential streams engage all banks.
+    pub fn decode(&self, addr: u64) -> (usize, u64) {
+        let row_index = addr / self.config.row_bytes as u64;
+        let bank = (row_index % self.config.banks as u64) as usize;
+        let row = row_index / self.config.banks as u64;
+        (bank, row)
+    }
+
+    /// Issues an ACTIVATE to (bank, row). If another row is open in the
+    /// bank it is precharged first. Returns cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn activate(&mut self, bank: usize, row: u64) -> u64 {
+        assert!(bank < self.config.banks, "bank {bank} out of range");
+        let t = self.config.timing;
+        let mut cycles = 0;
+        match self.open_rows[bank] {
+            Some(open) if open == row => return 0, // already open
+            Some(_) => {
+                cycles += self.precharge(bank);
+            }
+            None => {}
+        }
+        self.open_rows[bank] = Some(row);
+        self.stats.activates += 1;
+        self.stats.energy_pj += self.energy.act_pre_pj;
+        cycles += t.t_rcd;
+        self.stats.cycles += t.t_rcd;
+        cycles
+    }
+
+    /// Issues a PRECHARGE to a bank. Returns cycles consumed (0 if the bank
+    /// was already precharged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn precharge(&mut self, bank: usize) -> u64 {
+        assert!(bank < self.config.banks, "bank {bank} out of range");
+        if self.open_rows[bank].is_none() {
+            return 0;
+        }
+        self.open_rows[bank] = None;
+        self.stats.precharges += 1;
+        let cycles = self.config.timing.t_rp;
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    /// A column access (READ or WRITE burst) of `bytes` bytes to an
+    /// already-open row of `bank`. Charges CAS latency once plus burst
+    /// transfer time, a bus-turnaround stall when the direction flips,
+    /// and periodic refresh stalls (one tRFC per tREFI of busy time).
+    /// Returns cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank has no open row (protocol violation).
+    pub fn column_access(&mut self, bank: usize, bytes: usize, dir: Dir) -> u64 {
+        assert!(
+            self.open_rows[bank].is_some(),
+            "column access to precharged bank {bank}"
+        );
+        let t = self.config.timing;
+        let bursts = bytes.div_ceil(self.config.burst_bytes()).max(1) as u64;
+        let mut cycles = t.t_cl + bursts * t.t_burst;
+        // Read↔write turnaround: the bus needs a few idle cycles to flip.
+        if self.last_dir.is_some() && self.last_dir != Some(dir) {
+            cycles += t.t_burst;
+            self.stats.turnarounds += 1;
+        }
+        self.last_dir = Some(dir);
+        // Refresh: charge one tRFC stall per tREFI of accumulated busy
+        // time (the average rate; exact scheduling is not modeled).
+        self.since_refresh += cycles;
+        if self.since_refresh >= t.t_refi {
+            self.since_refresh -= t.t_refi;
+            cycles += t.t_rfc;
+            self.stats.refreshes += 1;
+        }
+        self.stats.cycles += cycles;
+        match dir {
+            Dir::Read => self.stats.bytes_read += bytes as u64,
+            Dir::Write => self.stats.bytes_written += bytes as u64,
+        }
+        self.stats.energy_pj += bytes as f64 * self.energy.per_byte_pj;
+        cycles
+    }
+
+    /// Transfers a contiguous `[addr, addr+bytes)` range, issuing the
+    /// necessary ACT/column/PRE commands row by row. Returns total cycles.
+    ///
+    /// Sequential streams enjoy row-buffer locality: one ACTIVATE per row,
+    /// then back-to-back bursts.
+    pub fn transfer(&mut self, addr: u64, bytes: usize, dir: Dir) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let mut cycles = 0;
+        let mut cur = addr;
+        let end = addr + bytes as u64;
+        while cur < end {
+            let (bank, row) = self.decode(cur);
+            let row_end = (cur / self.config.row_bytes as u64 + 1) * self.config.row_bytes as u64;
+            let chunk = (end.min(row_end) - cur) as usize;
+            let was_hit = self.open_rows[bank] == Some(row);
+            if was_hit {
+                self.stats.row_hits += 1;
+            } else {
+                self.stats.row_misses += 1;
+                cycles += self.activate(bank, row);
+            }
+            cycles += self.column_access(bank, chunk, dir);
+            cur += chunk as u64;
+        }
+        cycles
+    }
+
+    /// Transfers a contiguous range with bank-level pipelining: the
+    /// ACTIVATE of the next row (different bank, by the interleaved
+    /// address map) overlaps the current row's data bursts, so a
+    /// sequential stream sustains near-peak bandwidth instead of paying
+    /// tRCD per row. This models the behaviour of a real multi-bank
+    /// controller; [`DdrModel::transfer`] is the conservative serialized
+    /// account.
+    ///
+    /// Returns total cycles.
+    pub fn transfer_pipelined(&mut self, addr: u64, bytes: usize, dir: Dir) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let t = self.config.timing;
+        let mut burst_cycles = 0u64;
+        let mut act_count = 0u64;
+        let mut cur = addr;
+        let end = addr + bytes as u64;
+        while cur < end {
+            let (bank, row) = self.decode(cur);
+            let row_end = (cur / self.config.row_bytes as u64 + 1) * self.config.row_bytes as u64;
+            let chunk = (end.min(row_end) - cur) as usize;
+            if self.open_rows[bank] != Some(row) {
+                self.stats.row_misses += 1;
+                if self.open_rows[bank].is_some() {
+                    self.stats.precharges += 1;
+                }
+                self.open_rows[bank] = Some(row);
+                self.stats.activates += 1;
+                self.stats.energy_pj += self.energy.act_pre_pj;
+                act_count += 1;
+            } else {
+                self.stats.row_hits += 1;
+            }
+            let bursts = chunk.div_ceil(self.config.burst_bytes()).max(1) as u64;
+            burst_cycles += bursts * t.t_burst;
+            match dir {
+                Dir::Read => self.stats.bytes_read += chunk as u64,
+                Dir::Write => self.stats.bytes_written += chunk as u64,
+            }
+            self.stats.energy_pj += chunk as f64 * self.energy.per_byte_pj;
+            cur += chunk as u64;
+        }
+        // Row activations pipeline behind data bursts when banks >= 2;
+        // only the first row's open latency and any activation backlog
+        // beyond the burst time are exposed.
+        let act_chain = act_count * (t.t_rcd + t.t_rp) / (self.config.banks as u64).max(1);
+        let cycles = t.t_rcd + t.t_cl + burst_cycles.max(act_chain);
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    /// Cycles a transfer of `bytes` would take at pure peak bandwidth
+    /// (lower bound, no row overheads).
+    pub fn peak_cycles(&self, bytes: usize) -> u64 {
+        (bytes as f64 / self.config.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Effective bandwidth utilization of all traffic so far (0..1).
+    pub fn utilization(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            return 0.0;
+        }
+        self.stats.total_bytes() as f64 / (self.stats.cycles as f64 * self.config.bytes_per_cycle())
+    }
+
+    /// Converts controller cycles to cycles at another clock (e.g. the
+    /// 1 GHz accelerator clock).
+    pub fn to_clock(&self, mem_cycles: u64, target_ghz: f64) -> u64 {
+        (mem_cycles as f64 * target_ghz * 1e3 / self.config.freq_mhz).ceil() as u64
+    }
+}
+
+impl fmt::Display for DdrModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} B moved, {:.1}% row hits]",
+            self.config,
+            self.stats.total_bytes(),
+            self.stats.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_mostly_hits() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        m.transfer(0, 1 << 20, Dir::Read); // 1 MiB
+        let s = m.stats();
+        assert_eq!(s.bytes_read, 1 << 20);
+        // 512 rows of 2 KiB: one miss each, zero hits (row-grain chunks).
+        assert_eq!(s.row_misses, 512);
+        assert_eq!(s.activates, 512);
+    }
+
+    #[test]
+    fn repeated_access_same_row_hits() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        m.transfer(0, 64, Dir::Read);
+        let c2 = m.transfer(64, 64, Dir::Read);
+        assert_eq!(m.stats().row_hits, 1);
+        // The hit path charges no ACT.
+        assert_eq!(m.stats().activates, 1);
+        assert!(c2 < m.config().timing.t_rcd + m.config().timing.t_cl + 100);
+    }
+
+    #[test]
+    fn bank_conflict_forces_precharge() {
+        let cfg = DdrConfig::cambricon_q();
+        let mut m = DdrModel::new(cfg);
+        let row_bytes = cfg.row_bytes as u64;
+        let banks = cfg.banks as u64;
+        // Two different rows mapping to the same bank.
+        m.transfer(0, 64, Dir::Read);
+        m.transfer(row_bytes * banks, 64, Dir::Read);
+        assert_eq!(m.stats().precharges, 1);
+        assert_eq!(m.stats().activates, 2);
+    }
+
+    #[test]
+    fn command_api_protocol() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        let c1 = m.activate(0, 5);
+        assert_eq!(c1, m.config().timing.t_rcd);
+        let c2 = m.activate(0, 5); // already open
+        assert_eq!(c2, 0);
+        let c3 = m.column_access(0, 64, Dir::Write);
+        assert!(c3 > 0);
+        let c4 = m.precharge(0);
+        assert_eq!(c4, m.config().timing.t_rp);
+        assert_eq!(m.precharge(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precharged bank")]
+    fn column_access_requires_open_row() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        m.column_access(0, 64, Dir::Read);
+    }
+
+    #[test]
+    fn transfer_cycles_exceed_peak_lower_bound() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        let bytes = 1 << 16;
+        let cycles = m.transfer(0, bytes, Dir::Write);
+        assert!(cycles >= m.peak_cycles(bytes));
+        // But within 2x for sequential traffic (row overheads amortized).
+        assert!(cycles < m.peak_cycles(bytes) * 2);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        m.transfer(0, 1 << 18, Dir::Read);
+        let u = m.utilization();
+        assert!(u > 0.5 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn clock_conversion() {
+        let m = DdrModel::new(DdrConfig::cambricon_q());
+        // 1066 controller cycles ≈ 1000 cycles at 1 GHz.
+        let c = m.to_clock(1066, 1.0);
+        assert!((c as i64 - 1000).abs() <= 1);
+    }
+
+    #[test]
+    fn energy_scales_with_traffic() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        m.transfer(0, 1024, Dir::Read);
+        let e1 = m.stats().energy_pj;
+        m.transfer(1 << 20, 1024 * 1024, Dir::Read);
+        assert!(m.stats().energy_pj > e1 * 100.0);
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        assert_eq!(m.transfer(0, 0, Dir::Read), 0);
+        assert_eq!(m.stats().cycles, 0);
+    }
+
+    #[test]
+    fn turnaround_penalty_on_direction_flip() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        m.transfer(0, 64, Dir::Read);
+        m.transfer(64, 64, Dir::Write); // same row, direction flips
+        assert_eq!(m.stats().turnarounds, 1);
+        m.transfer(128, 64, Dir::Write); // no flip
+        assert_eq!(m.stats().turnarounds, 1);
+    }
+
+    #[test]
+    fn refresh_charged_on_long_streams() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        // ~1M cycles of traffic at 16 B/cycle ≈ 16 MB: many tREFI windows.
+        m.transfer(0, 16 << 20, Dir::Read);
+        assert!(
+            m.stats().refreshes > 50,
+            "refreshes {}",
+            m.stats().refreshes
+        );
+    }
+
+    #[test]
+    fn pipelined_transfer_approaches_peak() {
+        let mut serial = DdrModel::new(DdrConfig::cambricon_q());
+        let mut pipelined = DdrModel::new(DdrConfig::cambricon_q());
+        let bytes = 1 << 20;
+        let c_serial = serial.transfer(0, bytes, Dir::Read);
+        let c_pipe = pipelined.transfer_pipelined(0, bytes, Dir::Read);
+        assert!(c_pipe < c_serial, "pipelined {c_pipe} >= serial {c_serial}");
+        let peak = pipelined.peak_cycles(bytes);
+        // Within 10% of peak for a sequential megabyte.
+        assert!(
+            (c_pipe as f64) < peak as f64 * 1.1,
+            "pipelined {c_pipe} vs peak {peak}"
+        );
+        assert_eq!(pipelined.stats().bytes_read, bytes as u64);
+    }
+
+    #[test]
+    fn pipelined_zero_bytes_free() {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        assert_eq!(m.transfer_pipelined(0, 0, Dir::Write), 0);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut s = MemStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.row_hits = 3;
+        s.row_misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

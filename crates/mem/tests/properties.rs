@@ -1,0 +1,88 @@
+//! Property-based tests for the DDR model's timing invariants.
+
+use cq_mem::{DdrConfig, DdrModel, Dir};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any transfer takes at least its peak-bandwidth lower bound and at
+    /// most a small multiple of it (row overheads bounded).
+    #[test]
+    fn transfer_cycles_bounded(addr in 0u64..(1 << 28), bytes in 1usize..(1 << 22)) {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        let cycles = m.transfer(addr, bytes, Dir::Read);
+        let peak = m.peak_cycles(bytes);
+        prop_assert!(cycles >= peak, "cycles {cycles} < peak {peak}");
+        // Worst case: every 2 KiB row pays ACT + CAS + refresh share.
+        prop_assert!(cycles <= peak * 4 + 400, "cycles {cycles} vs peak {peak}");
+    }
+
+    /// Statistics are internally consistent after arbitrary transfer
+    /// sequences: bytes add up, hits+misses equal row visits, energy grows
+    /// monotonically with traffic.
+    #[test]
+    fn stats_consistency(ops in prop::collection::vec((0u64..(1 << 26), 1usize..65536, any::<bool>()), 1..20)) {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        let mut expect_read = 0u64;
+        let mut expect_written = 0u64;
+        let mut last_energy = 0.0f64;
+        for (addr, bytes, write) in ops {
+            let dir = if write { Dir::Write } else { Dir::Read };
+            m.transfer(addr, bytes, dir);
+            match dir {
+                Dir::Read => expect_read += bytes as u64,
+                Dir::Write => expect_written += bytes as u64,
+            }
+            let s = m.stats();
+            prop_assert_eq!(s.bytes_read, expect_read);
+            prop_assert_eq!(s.bytes_written, expect_written);
+            prop_assert!(s.energy_pj >= last_energy);
+            last_energy = s.energy_pj;
+            prop_assert!(s.activates >= s.precharges);
+            prop_assert!(s.row_misses >= s.activates.saturating_sub(s.precharges));
+        }
+    }
+
+    /// Address decoding is a bijection at row granularity: distinct rows
+    /// map to distinct (bank, row) pairs.
+    #[test]
+    fn decode_injective(a in 0u64..(1 << 20), b in 0u64..(1 << 20)) {
+        let m = DdrModel::new(DdrConfig::cambricon_q());
+        let row_bytes = m.config().row_bytes as u64;
+        let (ba, ra) = m.decode(a * row_bytes);
+        let (bb, rb) = m.decode(b * row_bytes);
+        if a != b {
+            prop_assert!((ba, ra) != (bb, rb), "rows {a} and {b} collide");
+        } else {
+            prop_assert_eq!((ba, ra), (bb, rb));
+        }
+    }
+
+    /// The command API never panics for in-range banks and always reports
+    /// non-decreasing busy cycles.
+    #[test]
+    fn command_api_safe(cmds in prop::collection::vec((0usize..8, 0u64..64, any::<bool>()), 1..50)) {
+        let mut m = DdrModel::new(DdrConfig::cambricon_q());
+        let mut last = 0u64;
+        for (bank, row, pre) in cmds {
+            if pre {
+                m.precharge(bank);
+            } else {
+                m.activate(bank, row);
+                m.column_access(bank, 64, Dir::Read);
+            }
+            prop_assert!(m.stats().cycles >= last);
+            last = m.stats().cycles;
+        }
+    }
+
+    /// Bandwidth scaling: the scaled configuration moves the same data in
+    /// fewer controller cycles.
+    #[test]
+    fn scaling_reduces_cycles(bytes in 65536usize..(1 << 20)) {
+        let mut base = DdrModel::new(DdrConfig::cambricon_q());
+        let mut wide = DdrModel::new(DdrConfig::cambricon_q().scaled_bandwidth(4));
+        let c1 = base.transfer(0, bytes, Dir::Read);
+        let c4 = wide.transfer(0, bytes, Dir::Read);
+        prop_assert!(c4 < c1, "4x bus {c4} >= 1x bus {c1}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # cq-ndp — the near-data-processing engine
+//!
+//! Cambricon-Q performs the *updating weights* stage inside the memory
+//! system (paper §IV.B.3): a configurable optimizer datapath (the
+//! [`NdpoRegs`] realization of Eq. 1) sits beside the DRAM, weights and
+//! optimizer state never cross the DDR bus, and the acceleration core only
+//! streams gradients.
+//!
+//! * [`ndpo`] — the Eq. 1 datapath, proven equivalent to the reference
+//!   `cq-nn` optimizers (SGD/AdaGrad/RMSProp exactly; Adam via per-step
+//!   `CROSET` updates of c₅ for bias correction);
+//! * [`NdpEngine`] — timing/energy model of the 3×ACTIVATE → WRITE-stream →
+//!   3×PRECHARGE in-place update protocol over the `cq-mem` DDR model.
+//!
+//! # Examples
+//!
+//! ```
+//! use cq_ndp::{NdpoRegs, OptimizerKind};
+//!
+//! // Configure the datapath as RMSProp and update one weight.
+//! let regs = NdpoRegs::for_optimizer(OptimizerKind::RmsProp { lr: 0.01, beta: 0.9 }, 1);
+//! let (w, _m, v) = regs.update(1.0, 0.0, 0.0, 0.5);
+//! assert!(w < 1.0);
+//! assert!(v > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index-based numeric kernels read clearer here
+
+mod engine;
+pub mod ndpo;
+
+pub use engine::{NdpEngine, UpdateStats};
+pub use ndpo::{NdpoRegs, OptimizerKind, NDPO_EPS};

@@ -1,0 +1,290 @@
+//! Additional SFU activations: Sigmoid, Tanh, and a lightweight
+//! batch-normalization layer.
+//!
+//! The paper's SFU performs "scalar functions including non-linear
+//! operations" (§IV.D); ReLU lives in [`crate::layers`], and the rest of
+//! the common activation set lives here.
+
+use crate::error::NnError;
+use crate::layers::{Layer, QuantCtx};
+use crate::param::Param;
+use cq_tensor::Tensor;
+
+/// Sigmoid activation `1/(1+e^{-x})`.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    cached_y: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.cached_y = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let y = self.cached_y.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "sigmoid".into(),
+        })?;
+        Ok(grad_out.zip_map(y, |g, s| g * s * (1.0 - s))?)
+    }
+
+    fn name(&self) -> &str {
+        "sigmoid"
+    }
+}
+
+/// Tanh activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_y: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let y = x.map(|v| v.tanh());
+        self.cached_y = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let y = self.cached_y.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "tanh".into(),
+        })?;
+        Ok(grad_out.zip_map(y, |g, t| g * (1.0 - t * t))?)
+    }
+
+    fn name(&self) -> &str {
+        "tanh"
+    }
+}
+
+/// Per-feature batch normalization over `[B, F]` inputs with learnable
+/// scale γ and shift β (training-mode statistics only — sufficient for
+/// the proxy experiments, which evaluate on full batches).
+#[derive(Debug)]
+pub struct BatchNorm1d {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<(Tensor, Vec<f32>)>, // (normalized x̂, per-feature std)
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer for `features` features.
+    pub fn new(features: usize) -> Self {
+        BatchNorm1d {
+            gamma: Param::new(Tensor::ones(&[features])),
+            beta: Param::new(Tensor::zeros(&[features])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, x: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        if x.rank() != 2 {
+            return Err(NnError::InvalidConfig(format!(
+                "BatchNorm1d expects [B, F], got {:?}",
+                x.dims()
+            )));
+        }
+        let (b, f) = (x.dims()[0], x.dims()[1]);
+        if b == 0 {
+            return Err(NnError::InvalidConfig("empty batch".into()));
+        }
+        let mut mean = vec![0.0f32; f];
+        let mut var = vec![0.0f32; f];
+        for i in 0..b {
+            for j in 0..f {
+                mean[j] += x.data()[i * f + j];
+            }
+        }
+        for m in &mut mean {
+            *m /= b as f32;
+        }
+        for i in 0..b {
+            for j in 0..f {
+                let d = x.data()[i * f + j] - mean[j];
+                var[j] += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|v| (v / b as f32 + self.eps).sqrt())
+            .collect();
+        let mut xhat = Tensor::zeros(&[b, f]);
+        let mut y = Tensor::zeros(&[b, f]);
+        for i in 0..b {
+            for j in 0..f {
+                let h = (x.data()[i * f + j] - mean[j]) / std[j];
+                xhat.data_mut()[i * f + j] = h;
+                y.data_mut()[i * f + j] =
+                    self.gamma.value.data()[j] * h + self.beta.value.data()[j];
+            }
+        }
+        self.cache = Some((xhat, std));
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let (xhat, std) = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "batchnorm".into(),
+        })?;
+        let (b, f) = (grad_out.dims()[0], grad_out.dims()[1]);
+        // Parameter gradients.
+        for i in 0..b {
+            for j in 0..f {
+                let g = grad_out.data()[i * f + j];
+                self.gamma.grad.data_mut()[j] += g * xhat.data()[i * f + j];
+                self.beta.grad.data_mut()[j] += g;
+            }
+        }
+        // Input gradient (standard batch-norm backward).
+        let mut sum_g = vec![0.0f32; f];
+        let mut sum_gx = vec![0.0f32; f];
+        for i in 0..b {
+            for j in 0..f {
+                let g = grad_out.data()[i * f + j] * self.gamma.value.data()[j];
+                sum_g[j] += g;
+                sum_gx[j] += g * xhat.data()[i * f + j];
+            }
+        }
+        let mut gin = Tensor::zeros(&[b, f]);
+        for i in 0..b {
+            for j in 0..f {
+                let g = grad_out.data()[i * f + j] * self.gamma.value.data()[j];
+                gin.data_mut()[i * f + j] =
+                    (g - sum_g[j] / b as f32 - xhat.data()[i * f + j] * sum_gx[j] / b as f32)
+                        / std[j];
+            }
+        }
+        Ok(gin)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &str {
+        "batchnorm1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_tensor::init;
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let ctx = QuantCtx::fp32();
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[1, 3]).unwrap();
+        let y = s.forward(&x, &ctx).unwrap();
+        assert!(y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+        let g = s.backward(&Tensor::ones(&[1, 3]), &ctx).unwrap();
+        // Max derivative 0.25 at x=0; ~0 at saturation.
+        assert!((g.data()[1] - 0.25).abs() < 1e-6);
+        assert!(g.data()[0] < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let ctx = QuantCtx::fp32();
+        let mut t = Tanh::new();
+        let x = init::normal(&[2, 4], 0.0, 1.0, 1);
+        let _ = t.forward(&x, &ctx).unwrap();
+        let gin = t.backward(&Tensor::ones(&[2, 4]), &ctx).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 5] {
+            let mut x2 = x.clone();
+            x2.data_mut()[idx] += eps;
+            let lp = t.forward(&x2, &ctx).unwrap().sum();
+            x2.data_mut()[idx] -= 2.0 * eps;
+            let lm = t.forward(&x2, &ctx).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gin.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalizes() {
+        let ctx = QuantCtx::fp32();
+        let mut bn = BatchNorm1d::new(3);
+        let x = init::normal(&[64, 3], 5.0, 2.0, 2);
+        let y = bn.forward(&x, &ctx).unwrap();
+        // Output is ~N(0,1) per feature (gamma=1, beta=0).
+        for j in 0..3 {
+            let col: Vec<f32> = (0..64).map(|i| y.data()[i * 3 + j]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_matches_finite_difference() {
+        let ctx = QuantCtx::fp32();
+        let mut bn = BatchNorm1d::new(2);
+        let x = init::normal(&[8, 2], 1.0, 0.5, 3);
+        // Loss = weighted sum to get nonuniform gradients.
+        let weights = init::normal(&[8, 2], 0.0, 1.0, 4);
+        let y = bn.forward(&x, &ctx).unwrap();
+        let _ = y;
+        let gin = bn.backward(&weights, &ctx).unwrap();
+        let loss = |bn: &mut BatchNorm1d, x: &Tensor| {
+            bn.forward(x, &ctx).unwrap().mul(&weights).unwrap().sum()
+        };
+        let eps = 1e-3;
+        for idx in [0usize, 7, 15] {
+            let mut x2 = x.clone();
+            x2.data_mut()[idx] += eps;
+            let lp = loss(&mut bn, &x2);
+            x2.data_mut()[idx] -= 2.0 * eps;
+            let lm = loss(&mut bn, &x2);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gin.data()[idx]).abs() < 2e-2,
+                "idx {idx}: fd {fd} vs {}",
+                gin.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_rejects_bad_input() {
+        let ctx = QuantCtx::fp32();
+        let mut bn = BatchNorm1d::new(2);
+        assert!(bn.forward(&Tensor::zeros(&[4]), &ctx).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[0, 2]), &ctx).is_err());
+        assert!(bn.backward(&Tensor::zeros(&[1, 2]), &ctx).is_err());
+    }
+
+    #[test]
+    fn batchnorm_has_learnable_params() {
+        let mut bn = BatchNorm1d::new(4);
+        assert_eq!(bn.params_mut().len(), 2);
+        assert_eq!(bn.params_mut()[0].len(), 4);
+        assert_eq!(bn.name(), "batchnorm1d");
+    }
+}

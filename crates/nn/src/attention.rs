@@ -1,0 +1,279 @@
+//! Single-head self-attention block with mean pooling, the small-scale
+//! stand-in for the paper's Transformer benchmark in accuracy experiments.
+//!
+//! Input layout is `[B, T, D]`; the block computes Q/K/V projections,
+//! scaled-dot-product attention per sample, an output projection, and mean
+//! pooling over time, yielding `[B, D]` for a classification head. All
+//! projections run through the quantization context like every other
+//! layer's compute.
+
+use crate::error::NnError;
+use crate::layers::{Layer, QuantCtx};
+use crate::param::Param;
+use cq_tensor::ops;
+use cq_tensor::{init, Tensor};
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    xq: Tensor,        // [BT, D] quantized input
+    q: Tensor,         // [BT, D]
+    k: Tensor,         // [BT, D]
+    v: Tensor,         // [BT, D]
+    attn: Vec<Tensor>, // per-sample [T, T] softmax rows
+    ctx_out: Tensor,   // [BT, D] attention context (before Wo)
+    dims: (usize, usize, usize),
+}
+
+/// A self-attention + mean-pool block: `[B, T, D] → [B, D]`.
+#[derive(Debug)]
+pub struct SelfAttention {
+    name: String,
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    cache: Option<AttnCache>,
+    cached_w: Option<[Tensor; 4]>,
+}
+
+impl SelfAttention {
+    /// Creates a block with model dimension `d`.
+    pub fn new(name: impl Into<String>, d: usize, seed: u64) -> Self {
+        let mk = |s| Param::new(init::xavier_uniform(&[d, d], d, d, s));
+        SelfAttention {
+            name: name.into(),
+            wq: mk(seed),
+            wk: mk(seed.wrapping_add(1)),
+            wv: mk(seed.wrapping_add(2)),
+            wo: mk(seed.wrapping_add(3)),
+            cache: None,
+            cached_w: None,
+        }
+    }
+}
+
+fn softmax_rows(s: &mut Tensor) {
+    let t = s.dims()[1];
+    for row in s.data_mut().chunks_mut(t) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        if x.rank() != 3 {
+            return Err(NnError::InvalidConfig(format!(
+                "SelfAttention expects [B, T, D], got {:?}",
+                x.dims()
+            )));
+        }
+        let (b, t, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let flat = x.reshape(&[b * t, d])?;
+        let xq = ctx.q(&flat);
+        let w = [
+            ctx.q(&self.wq.value),
+            ctx.q(&self.wk.value),
+            ctx.q(&self.wv.value),
+            ctx.q(&self.wo.value),
+        ];
+        let q = ops::matmul(&xq, &w[0])?;
+        let k = ops::matmul(&xq, &w[1])?;
+        let v = ops::matmul(&xq, &w[2])?;
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut attn = Vec::with_capacity(b);
+        let mut ctx_out = Tensor::zeros(&[b * t, d]);
+        for bi in 0..b {
+            let qb = q.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
+            let kb = k.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
+            let vb = v.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
+            let mut s = ops::matmul_bt(&qb, &kb)?.scale(scale);
+            softmax_rows(&mut s);
+            let ob = ops::matmul(&s, &vb)?;
+            ctx_out.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(ob.data());
+            attn.push(s);
+        }
+        let y = ops::matmul(&ctx_out, &w[3])?;
+        // Mean-pool over time.
+        let mut pooled = Tensor::zeros(&[b, d]);
+        for bi in 0..b {
+            for ti in 0..t {
+                for di in 0..d {
+                    pooled.data_mut()[bi * d + di] += y.data()[(bi * t + ti) * d + di];
+                }
+            }
+        }
+        pooled.map_inplace(|v| v / t as f32);
+        self.cache = Some(AttnCache {
+            xq,
+            q,
+            k,
+            v,
+            attn,
+            ctx_out,
+            dims: (b, t, d),
+        });
+        self.cached_w = Some(w);
+        Ok(pooled)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let cache = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let w = self.cached_w.as_ref().expect("cached");
+        let (b, t, d) = cache.dims;
+        let g_pool = ctx.q(grad_out);
+        // Un-pool: each timestep receives grad/T.
+        let mut gy = Tensor::zeros(&[b * t, d]);
+        for bi in 0..b {
+            for ti in 0..t {
+                for di in 0..d {
+                    gy.data_mut()[(bi * t + ti) * d + di] = g_pool.data()[bi * d + di] / t as f32;
+                }
+            }
+        }
+        // Wo backward.
+        self.wo
+            .grad
+            .add_scaled(&ops::matmul_at(&cache.ctx_out, &gy)?, 1.0)?;
+        let g_ctx = ops::matmul_bt(&gy, &w[3])?;
+        // Attention backward per sample.
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut gq = Tensor::zeros(&[b * t, d]);
+        let mut gk = Tensor::zeros(&[b * t, d]);
+        let mut gv = Tensor::zeros(&[b * t, d]);
+        for bi in 0..b {
+            let a = &cache.attn[bi]; // [T, T]
+            let qb = cache.q.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
+            let kb = cache.k.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
+            let vb = cache.v.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
+            let gob = g_ctx.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
+            // dV = Aᵀ·dO ; dA = dO·Vᵀ.
+            let gvb = ops::matmul_at(a, &gob)?;
+            let mut ga = ops::matmul_bt(&gob, &vb)?;
+            // Softmax backward row-wise: dS = A ∘ (dA − rowsum(dA ∘ A)).
+            for ti in 0..t {
+                let row_a = &a.data()[ti * t..(ti + 1) * t];
+                let row_ga = &mut ga.data_mut()[ti * t..(ti + 1) * t];
+                let dot: f32 = row_a.iter().zip(row_ga.iter()).map(|(&x, &y)| x * y).sum();
+                for (gaj, &aj) in row_ga.iter_mut().zip(row_a) {
+                    *gaj = aj * (*gaj - dot);
+                }
+            }
+            let ga = ga.scale(scale);
+            // dQ = dS·K ; dK = dSᵀ·Q.
+            let gqb = ops::matmul(&ga, &kb)?;
+            let gkb = ops::matmul_at(&ga, &qb)?;
+            gq.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gqb.data());
+            gk.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gkb.data());
+            gv.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gvb.data());
+        }
+        // Projection weight grads and input grad.
+        self.wq
+            .grad
+            .add_scaled(&ops::matmul_at(&cache.xq, &gq)?, 1.0)?;
+        self.wk
+            .grad
+            .add_scaled(&ops::matmul_at(&cache.xq, &gk)?, 1.0)?;
+        self.wv
+            .grad
+            .add_scaled(&ops::matmul_at(&cache.xq, &gv)?, 1.0)?;
+        let mut gx = ops::matmul_bt(&gq, &w[0])?;
+        gx.add_scaled(&ops::matmul_bt(&gk, &w[1])?, 1.0)?;
+        gx.add_scaled(&ops::matmul_bt(&gv, &w[2])?, 1.0)?;
+        Ok(gx.reshape(&[b, t, d])?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let ctx = QuantCtx::fp32();
+        let mut a = SelfAttention::new("attn", 8, 1);
+        let x = init::normal(&[2, 5, 8], 0.0, 1.0, 2);
+        let y = a.forward(&x, &ctx).unwrap();
+        assert_eq!(y.dims(), &[2, 8]);
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let ctx = QuantCtx::fp32();
+        let mut a = SelfAttention::new("attn", 4, 3);
+        let x = init::normal(&[1, 6, 4], 0.0, 1.0, 4);
+        let _ = a.forward(&x, &ctx).unwrap();
+        let cache = a.cache.as_ref().unwrap();
+        for row in cache.attn[0].data().chunks(6) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let ctx = QuantCtx::fp32();
+        let mut a = SelfAttention::new("attn", 4, 5);
+        let x = init::normal(&[2, 3, 4], 0.0, 0.5, 6);
+        let y = a.forward(&x, &ctx).unwrap();
+        let gout = Tensor::ones(y.dims());
+        let gin = a.backward(&gout, &ctx).unwrap();
+        assert_eq!(gin.dims(), x.dims());
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        for idx in [0usize, 9, 23] {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = a.forward(&x2, &ctx).unwrap().sum();
+            x2.data_mut()[idx] = orig - eps;
+            let lm = a.forward(&x2, &ctx).unwrap().sum();
+            x2.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gin.data()[idx]).abs() < 0.02,
+                "idx {idx}: fd {fd} analytic {}",
+                gin.data()[idx]
+            );
+        }
+        // Weight gradient spot-check on Wq.
+        let analytic = {
+            let mut a2 = SelfAttention::new("attn", 4, 5);
+            let _ = a2.forward(&x, &ctx).unwrap();
+            let _ = a2.backward(&gout, &ctx).unwrap();
+            a2.params_mut()[0].grad.data()[0]
+        };
+        let orig = a.params_mut()[0].value.data()[0];
+        a.params_mut()[0].value.data_mut()[0] = orig + eps;
+        let lp = a.forward(&x, &ctx).unwrap().sum();
+        a.params_mut()[0].value.data_mut()[0] = orig - eps;
+        let lm = a.forward(&x, &ctx).unwrap().sum();
+        a.params_mut()[0].value.data_mut()[0] = orig;
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - analytic).abs() < 0.03, "fd {fd} analytic {analytic}");
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        let ctx = QuantCtx::fp32();
+        let mut a = SelfAttention::new("attn", 4, 5);
+        assert!(a.forward(&Tensor::zeros(&[2, 4]), &ctx).is_err());
+        assert!(a.backward(&Tensor::zeros(&[2, 4]), &ctx).is_err());
+    }
+}

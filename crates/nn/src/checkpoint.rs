@@ -1,0 +1,126 @@
+//! Parameter checkpointing: serialize a model's parameters to a compact
+//! binary blob and restore them later (dependency-free state_dict).
+//!
+//! Format: magic `CQCK`, u32 param count, then per parameter a u32
+//! element count followed by little-endian f32 values. Shapes are owned by
+//! the model, so loading validates only element counts.
+
+use crate::error::NnError;
+use crate::model::Sequential;
+
+const MAGIC: &[u8; 4] = b"CQCK";
+
+/// Serializes all parameters of `model` (values only, not gradients).
+pub fn save(model: &mut Sequential) -> Vec<u8> {
+    let params = model.params_mut();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        for &v in p.value.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Restores parameters saved by [`save`] into a structurally identical
+/// model.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if the blob is malformed or the
+/// parameter structure does not match.
+pub fn load(model: &mut Sequential, bytes: &[u8]) -> Result<(), NnError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], NnError> {
+        let slice = bytes
+            .get(*pos..*pos + n)
+            .ok_or_else(|| NnError::InvalidConfig("checkpoint truncated".into()))?;
+        *pos += n;
+        Ok(slice)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(NnError::InvalidConfig("not a CQCK checkpoint".into()));
+    }
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut params = model.params_mut();
+    if params.len() != count {
+        return Err(NnError::InvalidConfig(format!(
+            "checkpoint has {count} parameters, model has {}",
+            params.len()
+        )));
+    }
+    for p in params.iter_mut() {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        if len != p.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "parameter length {len} does not match model's {}",
+                p.len()
+            )));
+        }
+        for v in p.value.data_mut() {
+            *v = f32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        }
+    }
+    if pos != bytes.len() {
+        return Err(NnError::InvalidConfig(
+            "trailing bytes in checkpoint".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, QuantCtx, Relu};
+    use crate::optim::Sgd;
+    use cq_tensor::init;
+
+    fn model(seed: u64) -> Sequential {
+        let mut m = Sequential::new();
+        m.add(Dense::new("a", 4, 8, seed))
+            .add(Relu::new())
+            .add(Dense::new("b", 8, 3, seed + 1));
+        m
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_weights() {
+        let mut m1 = model(1);
+        // Perturb m1 by training a step so it differs from a fresh model.
+        let x = init::normal(&[4, 4], 0.0, 1.0, 2);
+        let mut opt = Sgd::new(0.1);
+        m1.train_step(&x, &[0, 1, 2, 0], &mut opt, &QuantCtx::fp32())
+            .unwrap();
+        let blob = save(&mut m1);
+        let mut m2 = model(99); // different init
+        load(&mut m2, &blob).unwrap();
+        let y1 = m1.forward(&x, &QuantCtx::fp32()).unwrap();
+        let y2 = m2.forward(&x, &QuantCtx::fp32()).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn rejects_mismatched_structure() {
+        let mut m1 = model(1);
+        let blob = save(&mut m1);
+        let mut wrong = Sequential::new();
+        wrong.add(Dense::new("only", 4, 8, 0));
+        assert!(load(&mut wrong, &blob).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_blobs() {
+        let mut m = model(1);
+        assert!(load(&mut m, b"nope").is_err());
+        let mut blob = save(&mut m);
+        blob.truncate(blob.len() - 2);
+        assert!(load(&mut m, &blob).is_err());
+        let mut blob = save(&mut m);
+        blob.push(0);
+        assert!(load(&mut m, &blob).is_err());
+    }
+}

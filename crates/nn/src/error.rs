@@ -1,0 +1,61 @@
+//! Error type for the training framework.
+
+use cq_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by network construction or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape/rank mismatch).
+    Tensor(TensorError),
+    /// `backward` was called before `forward` (no cached activations).
+    NoForwardCache {
+        /// The offending layer.
+        layer: String,
+    },
+    /// Invalid configuration (bad dims, empty batch, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward before forward in layer {layer}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("tensor error"));
+        assert!(Error::source(&e).is_some());
+        let e = NnError::NoForwardCache { layer: "fc".into() };
+        assert!(e.to_string().contains("fc"));
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,479 @@
+//! Network layers with quantization-aware forward/backward passes.
+//!
+//! Every layer receives a [`QuantCtx`]; the context's
+//! [`TrainingQuantizer`] is applied to the activations, weights and
+//! gradients *used for compute*, while FP32 master weights and weight
+//! gradients stay full precision — exactly the dataflow of Fig. 7 in the
+//! paper (quantized FW/NG/WG, full-precision ΔW and weight update).
+
+use crate::error::NnError;
+use crate::param::Param;
+use cq_quant::TrainingQuantizer;
+use cq_tensor::ops::{self, Conv2dParams};
+use cq_tensor::{init, Tensor};
+use std::fmt;
+
+/// Quantization context threaded through forward and backward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantCtx {
+    /// The quantizer applied to compute operands (activations, weights,
+    /// gradients). [`TrainingQuantizer::fp32`] makes every transform the
+    /// identity.
+    pub quantizer: TrainingQuantizer,
+}
+
+impl QuantCtx {
+    /// Full-precision context (no quantization anywhere).
+    pub fn fp32() -> Self {
+        QuantCtx {
+            quantizer: TrainingQuantizer::fp32(),
+        }
+    }
+
+    /// Context with the given training quantizer.
+    pub fn new(quantizer: TrainingQuantizer) -> Self {
+        QuantCtx { quantizer }
+    }
+
+    /// Quantize-dequantizes a tensor for compute.
+    pub fn q(&self, x: &Tensor) -> Tensor {
+        self.quantizer.fake_quantize(x)
+    }
+}
+
+impl Default for QuantCtx {
+    fn default() -> Self {
+        QuantCtx::fp32()
+    }
+}
+
+/// A differentiable network layer.
+///
+/// `backward` must be called after `forward` on the same input batch; it
+/// accumulates weight gradients internally and returns the gradient with
+/// respect to the layer input.
+pub trait Layer: fmt::Debug {
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if `x` has the wrong shape.
+    fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError>;
+
+    /// Backward pass: consumes ∂L/∂output, returns ∂L/∂input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError>;
+
+    /// The layer's trainable parameters (empty for activations/pooling).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Layer name for diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// Fully-connected layer: `y = x·W + b` (`x: [B, in]`, `W: [in, out]`).
+#[derive(Debug)]
+pub struct Dense {
+    name: String,
+    weight: Param,
+    bias: Param,
+    cached_xq: Option<Tensor>,
+    cached_wq: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights.
+    pub fn new(name: impl Into<String>, in_f: usize, out_f: usize, seed: u64) -> Self {
+        Dense {
+            name: name.into(),
+            weight: Param::new(init::xavier_uniform(&[in_f, out_f], in_f, out_f, seed)),
+            bias: Param::new(Tensor::zeros(&[out_f])),
+            cached_xq: None,
+            cached_wq: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let xq = ctx.q(x);
+        let wq = ctx.q(&self.weight.value);
+        let mut y = ops::matmul(&xq, &wq)?;
+        // Bias add in full precision (SFU path).
+        let (b, out_f) = (y.dims()[0], y.dims()[1]);
+        let bias = self.bias.value.data();
+        for i in 0..b {
+            for j in 0..out_f {
+                y.data_mut()[i * out_f + j] += bias[j];
+            }
+        }
+        self.cached_xq = Some(xq);
+        self.cached_wq = Some(wq);
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let xq = self.cached_xq.as_ref().ok_or(NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let wq = self.cached_wq.as_ref().expect("cached with xq");
+        let gq = ctx.q(grad_out);
+        // ΔW = xqᵀ·gq — full-precision result (paper: WG writes back FP32).
+        let gw = ops::matmul_at(xq, &gq)?;
+        self.weight.grad.add_scaled(&gw, 1.0)?;
+        // Δb = column sums of g.
+        let (b, out_f) = (gq.dims()[0], gq.dims()[1]);
+        for i in 0..b {
+            for j in 0..out_f {
+                self.bias.grad.data_mut()[j] += gq.data()[i * out_f + j];
+            }
+        }
+        // δ_in = gq·Wᵀ.
+        Ok(ops::matmul_bt(&gq, wq)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// 2-D convolution layer (`x: [B, C, H, W]`, weights `[F, C, K, K]`).
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    weight: Param,
+    params: Conv2dParams,
+    cached_xq: Option<Tensor>,
+    cached_wq: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights.
+    pub fn new(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        let fan_in = in_c * k * k;
+        Conv2d {
+            name: name.into(),
+            weight: Param::new(init::kaiming_normal(&[out_c, in_c, k, k], fan_in, seed)),
+            params: Conv2dParams::new(stride, padding),
+            cached_xq: None,
+            cached_wq: None,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let xq = ctx.q(x);
+        let wq = ctx.q(&self.weight.value);
+        let y = ops::conv2d(&xq, &wq, self.params)?;
+        self.cached_xq = Some(xq);
+        self.cached_wq = Some(wq);
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let xq = self.cached_xq.as_ref().ok_or(NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let wq = self.cached_wq.as_ref().expect("cached with xq");
+        let gq = ctx.q(grad_out);
+        let gw = ops::conv2d_grad_weight(xq, &gq, self.weight.value.dims(), self.params)?;
+        self.weight.grad.add_scaled(&gw, 1.0)?;
+        Ok(ops::conv2d_grad_input(&gq, wq, xq.dims(), self.params)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let mask = self.mask.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "relu".into(),
+        })?;
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &str {
+        "relu"
+    }
+}
+
+/// Non-overlapping 2-D max pooling with window `k`.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        MaxPool2d { k, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let out = ops::maxpool2d(x, self.k)?;
+        self.cache = Some((out.argmax, x.dims().to_vec()));
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let (argmax, dims) = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "maxpool".into(),
+        })?;
+        Ok(ops::maxpool2d_backward(grad_out, argmax, dims)?)
+    }
+
+    fn name(&self) -> &str {
+        "maxpool2d"
+    }
+}
+
+/// Flattens `[B, ...]` to `[B, features]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let b = x.dims()[0];
+        let features = x.len() / b.max(1);
+        self.dims = Some(x.dims().to_vec());
+        Ok(x.reshape(&[b, features])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let dims = self.dims.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "flatten".into(),
+        })?;
+        Ok(grad_out.reshape(dims)?)
+    }
+
+    fn name(&self) -> &str {
+        "flatten"
+    }
+}
+
+/// Global average pooling `[B, C, H, W] → [B, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        self.dims = Some(x.dims().to_vec());
+        Ok(ops::global_avgpool(x)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let dims = self.dims.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "gap".into(),
+        })?;
+        Ok(ops::global_avgpool_backward(grad_out, dims)?)
+    }
+
+    fn name(&self) -> &str {
+        "global_avgpool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_known() {
+        let mut d = Dense::new("fc", 2, 2, 1);
+        d.params_mut()[0].value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]).unwrap();
+        let y = d.forward(&x, &QuantCtx::fp32()).unwrap();
+        assert_eq!(y.data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_difference() {
+        let ctx = QuantCtx::fp32();
+        let mut d = Dense::new("fc", 3, 2, 7);
+        let x = init::normal(&[4, 3], 0.0, 1.0, 9);
+        // Loss = sum(y).
+        let y = d.forward(&x, &ctx).unwrap();
+        let gout = Tensor::ones(y.dims());
+        let gin = d.backward(&gout, &ctx).unwrap();
+        let eps = 1e-3;
+        // Input gradient check.
+        let mut x2 = x.clone();
+        for idx in [0usize, 5, 11] {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = d.forward(&x2, &ctx).unwrap().sum();
+            x2.data_mut()[idx] = orig - eps;
+            let lm = d.forward(&x2, &ctx).unwrap().sum();
+            x2.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gin.data()[idx]).abs() < 1e-2, "idx {idx}");
+        }
+        // Weight gradient check.
+        let gw0 = d.params_mut()[0].grad.data()[0];
+        let orig = d.params_mut()[0].value.data()[0];
+        d.params_mut()[0].value.data_mut()[0] = orig + eps;
+        let lp = d.forward(&x, &ctx).unwrap().sum();
+        d.params_mut()[0].value.data_mut()[0] = orig - eps;
+        let lm = d.forward(&x, &ctx).unwrap().sum();
+        d.params_mut()[0].value.data_mut()[0] = orig;
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - gw0).abs() < 2e-2, "fd {fd} gw {gw0}");
+    }
+
+    #[test]
+    fn dense_backward_without_forward_errors() {
+        let mut d = Dense::new("fc", 2, 2, 1);
+        let g = Tensor::ones(&[1, 2]);
+        assert!(matches!(
+            d.backward(&g, &QuantCtx::fp32()),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]).unwrap();
+        let y = r.forward(&x, &QuantCtx::fp32()).unwrap();
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let g = r
+            .backward(
+                &Tensor::from_vec(vec![5.0, 7.0], &[1, 2]).unwrap(),
+                &QuantCtx::fp32(),
+            )
+            .unwrap();
+        assert_eq!(g.data(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn conv_layer_roundtrip_shapes() {
+        let ctx = QuantCtx::fp32();
+        let mut c = Conv2d::new("c1", 3, 8, 3, 1, 1, 3);
+        let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, 4);
+        let y = c.forward(&x, &ctx).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+        let gin = c.backward(&Tensor::ones(y.dims()), &ctx).unwrap();
+        assert_eq!(gin.dims(), x.dims());
+        assert!(c.params_mut()[0].grad.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn flatten_and_pool_roundtrip() {
+        let ctx = QuantCtx::fp32();
+        let mut f = Flatten::new();
+        let x = init::normal(&[2, 3, 4, 4], 0.0, 1.0, 5);
+        let y = f.forward(&x, &ctx).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        assert_eq!(f.backward(&y, &ctx).unwrap().dims(), x.dims());
+
+        let mut p = MaxPool2d::new(2);
+        let y = p.forward(&x, &ctx).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 2, 2]);
+        assert_eq!(p.backward(&y, &ctx).unwrap().dims(), x.dims());
+
+        let mut g = GlobalAvgPool::new();
+        let y = g.forward(&x, &ctx).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(g.backward(&y, &ctx).unwrap().dims(), x.dims());
+    }
+
+    #[test]
+    fn quantized_forward_close_to_fp32() {
+        let fp = QuantCtx::fp32();
+        let q8 = QuantCtx::new(TrainingQuantizer::zhang2020_hqt());
+        let x = init::normal(&[4, 16], 0.0, 1.0, 8);
+        let mut d1 = Dense::new("fc", 16, 8, 2);
+        let mut d2 = Dense::new("fc", 16, 8, 2); // same seed, same weights
+        let y_fp = d1.forward(&x, &fp).unwrap();
+        let y_q = d2.forward(&x, &q8).unwrap();
+        let cos = y_fp.cosine_similarity(&y_q).unwrap();
+        assert!(cos > 0.999, "cosine {cos}");
+    }
+
+    #[test]
+    fn dense_feature_getters() {
+        let d = Dense::new("fc", 5, 9, 0);
+        assert_eq!(d.in_features(), 5);
+        assert_eq!(d.out_features(), 9);
+        assert_eq!(d.name(), "fc");
+    }
+}

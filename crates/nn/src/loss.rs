@@ -1,0 +1,175 @@
+//! Loss functions with analytic gradients.
+
+use crate::error::NnError;
+use cq_tensor::Tensor;
+
+/// Result of a loss evaluation: the scalar loss and ∂L/∂logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient with respect to the input logits/predictions.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over logits `[B, C]` with integer class labels.
+///
+/// The returned gradient is `(softmax − onehot)/B`, so downstream weight
+/// gradients are batch means.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if `labels.len()` differs from the
+/// batch size or any label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use cq_nn::loss::softmax_cross_entropy;
+/// use cq_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![5.0, -5.0], &[1, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(out.loss < 0.01); // confidently correct
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput, NnError> {
+    if logits.rank() != 2 {
+        return Err(NnError::InvalidConfig(format!(
+            "softmax_cross_entropy expects [B, C] logits, got {:?}",
+            logits.dims()
+        )));
+    }
+    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != b {
+        return Err(NnError::InvalidConfig(format!(
+            "{} labels for batch of {b}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(NnError::InvalidConfig(format!(
+            "label {bad} out of range for {c} classes"
+        )));
+    }
+    let mut grad = Tensor::zeros(&[b, c]);
+    let mut loss = 0.0f64;
+    for i in 0..b {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let label = labels[i];
+        let p_label = exps[label] / sum;
+        loss -= (p_label.max(1e-12)).ln() as f64;
+        for j in 0..c {
+            let p = exps[j] / sum;
+            grad.data_mut()[i * c + j] = (p - if j == label { 1.0 } else { 0.0 }) / b as f32;
+        }
+    }
+    Ok(LossOutput {
+        loss: (loss / b as f64) as f32,
+        grad,
+    })
+}
+
+/// Mean-squared-error loss between predictions and targets of equal shape.
+///
+/// # Errors
+///
+/// Returns a shape error if the operands differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<LossOutput, NnError> {
+    let diff = pred.sub(target)?;
+    let n = pred.len().max(1) as f32;
+    let loss = diff.sum_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok(LossOutput { loss, grad })
+}
+
+/// Classification accuracy of logits `[B, C]` against labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch dimension.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), b, "labels must match batch");
+    let mut correct = 0usize;
+    for i in 0..b {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / b.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits over 4 classes: loss = ln(4).
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = softmax_cross_entropy(&logits, &[1, 3]).unwrap();
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient sums to zero per row.
+        for i in 0..2 {
+            let s: f32 = out.grad.data()[i * 4..(i + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut logits = Tensor::from_vec(vec![0.5, -0.2, 1.5, -1.0, 0.3, 0.1], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = logits.data()[idx];
+            logits.data_mut()[idx] = orig + eps;
+            let lp = softmax_cross_entropy(&logits, &labels).unwrap().loss;
+            logits.data_mut()[idx] = orig - eps;
+            let lm = softmax_cross_entropy(&logits, &labels).unwrap().loss;
+            logits.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - out.grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: fd {fd} vs {}",
+                out.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn mse_known() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let out = mse(&p, &t).unwrap();
+        assert!((out.loss - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.3, 0.7], &[3, 2]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 1.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! LSTM layer with full backpropagation through time.
+//!
+//! Input layout is `[T, B, I]` (timestep-major so each step is contiguous);
+//! the layer outputs the final hidden state `[B, H]` for sequence
+//! classification / regression heads. This is the recurrent workload of the
+//! paper's PTB-LSTM benchmark, scaled down for the accuracy experiments.
+
+use crate::error::NnError;
+use crate::layers::{Layer, QuantCtx};
+use crate::param::Param;
+use cq_tensor::ops;
+use cq_tensor::{init, Tensor};
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    xq: Tensor,     // [B, I] quantized input
+    h_prev: Tensor, // [B, H]
+    c_prev: Tensor, // [B, H]
+    gates: Tensor,  // [B, 4H] post-activation (i, f, g, o)
+    c: Tensor,      // [B, H]
+}
+
+/// A single-layer LSTM processing `[T, B, I] → [B, H]`.
+#[derive(Debug)]
+pub struct Lstm {
+    name: String,
+    hidden: usize,
+    wx: Param,   // [I, 4H]
+    wh: Param,   // [H, 4H]
+    bias: Param, // [4H]
+    cache: Option<Vec<StepCache>>,
+    cached_wxq: Option<Tensor>,
+    cached_whq: Option<Tensor>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights and forget-gate bias
+    /// of 1.0 (standard trick for trainability).
+    pub fn new(name: impl Into<String>, input: usize, hidden: usize, seed: u64) -> Self {
+        let mut bias = Tensor::zeros(&[4 * hidden]);
+        for j in hidden..2 * hidden {
+            bias.data_mut()[j] = 1.0;
+        }
+        Lstm {
+            name: name.into(),
+            hidden,
+            wx: Param::new(init::xavier_uniform(
+                &[input, 4 * hidden],
+                input,
+                hidden,
+                seed,
+            )),
+            wh: Param::new(init::xavier_uniform(
+                &[hidden, 4 * hidden],
+                hidden,
+                hidden,
+                seed.wrapping_add(1),
+            )),
+            bias: Param::new(bias),
+            cache: None,
+            cached_wxq: None,
+            cached_whq: None,
+        }
+    }
+
+    /// Hidden-state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn step(
+        &self,
+        xq: &Tensor,
+        h_prev: &Tensor,
+        c_prev: &Tensor,
+        wxq: &Tensor,
+        whq: &Tensor,
+    ) -> Result<StepCache, NnError> {
+        let h = self.hidden;
+        let b = xq.dims()[0];
+        let mut z = ops::matmul(xq, wxq)?;
+        let zh = ops::matmul(h_prev, whq)?;
+        z.add_scaled(&zh, 1.0)?;
+        let bias = self.bias.value.data();
+        let mut gates = Tensor::zeros(&[b, 4 * h]);
+        let mut c = Tensor::zeros(&[b, h]);
+        for bi in 0..b {
+            for j in 0..h {
+                let zi = z.data()[bi * 4 * h + j] + bias[j];
+                let zf = z.data()[bi * 4 * h + h + j] + bias[h + j];
+                let zg = z.data()[bi * 4 * h + 2 * h + j] + bias[2 * h + j];
+                let zo = z.data()[bi * 4 * h + 3 * h + j] + bias[3 * h + j];
+                let (i_g, f_g, g_g, o_g) = (sigmoid(zi), sigmoid(zf), zg.tanh(), sigmoid(zo));
+                gates.data_mut()[bi * 4 * h + j] = i_g;
+                gates.data_mut()[bi * 4 * h + h + j] = f_g;
+                gates.data_mut()[bi * 4 * h + 2 * h + j] = g_g;
+                gates.data_mut()[bi * 4 * h + 3 * h + j] = o_g;
+                c.data_mut()[bi * h + j] = f_g * c_prev.data()[bi * h + j] + i_g * g_g;
+            }
+        }
+        Ok(StepCache {
+            xq: xq.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
+            gates,
+            c,
+        })
+    }
+
+    fn hidden_of(cache: &StepCache, hidden: usize) -> Tensor {
+        let b = cache.c.dims()[0];
+        let mut h_t = Tensor::zeros(&[b, hidden]);
+        for bi in 0..b {
+            for j in 0..hidden {
+                let o_g = cache.gates.data()[bi * 4 * hidden + 3 * hidden + j];
+                h_t.data_mut()[bi * hidden + j] = o_g * cache.c.data()[bi * hidden + j].tanh();
+            }
+        }
+        h_t
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        if x.rank() != 3 {
+            return Err(NnError::InvalidConfig(format!(
+                "LSTM expects [T, B, I], got {:?}",
+                x.dims()
+            )));
+        }
+        let (t, b, i) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let wxq = ctx.q(&self.wx.value);
+        let whq = ctx.q(&self.wh.value);
+        let mut h = Tensor::zeros(&[b, self.hidden]);
+        let mut c = Tensor::zeros(&[b, self.hidden]);
+        let mut caches = Vec::with_capacity(t);
+        for ti in 0..t {
+            let xt = x.slice_flat(ti * b * i, b * i)?.reshape(&[b, i])?;
+            let xq = ctx.q(&xt);
+            let cache = self.step(&xq, &h, &c, &wxq, &whq)?;
+            h = Self::hidden_of(&cache, self.hidden);
+            c = cache.c.clone();
+            caches.push(cache);
+        }
+        self.cache = Some(caches);
+        self.cached_wxq = Some(wxq);
+        self.cached_whq = Some(whq);
+        Ok(h)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let caches = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: self.name.clone(),
+        })?;
+        let wxq = self.cached_wxq.as_ref().expect("cached");
+        let whq = self.cached_whq.as_ref().expect("cached");
+        let h = self.hidden;
+        let t = caches.len();
+        let b = grad_out.dims()[0];
+        let i_dim = self.wx.value.dims()[0];
+        let mut dh = ctx.q(grad_out);
+        let mut dc = Tensor::zeros(&[b, h]);
+        let mut dx_all = Tensor::zeros(&[t, b, i_dim]);
+        for ti in (0..t).rev() {
+            let cache = &caches[ti];
+            let mut dz = Tensor::zeros(&[b, 4 * h]);
+            for bi in 0..b {
+                for j in 0..h {
+                    let i_g = cache.gates.data()[bi * 4 * h + j];
+                    let f_g = cache.gates.data()[bi * 4 * h + h + j];
+                    let g_g = cache.gates.data()[bi * 4 * h + 2 * h + j];
+                    let o_g = cache.gates.data()[bi * 4 * h + 3 * h + j];
+                    let c_t = cache.c.data()[bi * h + j];
+                    let tanh_c = c_t.tanh();
+                    let dh_ij = dh.data()[bi * h + j];
+                    let mut dc_ij = dc.data()[bi * h + j] + dh_ij * o_g * (1.0 - tanh_c * tanh_c);
+                    let do_ = dh_ij * tanh_c;
+                    let di = dc_ij * g_g;
+                    let df = dc_ij * cache.c_prev.data()[bi * h + j];
+                    let dg = dc_ij * i_g;
+                    dc_ij *= f_g;
+                    dc.data_mut()[bi * h + j] = dc_ij;
+                    dz.data_mut()[bi * 4 * h + j] = di * i_g * (1.0 - i_g);
+                    dz.data_mut()[bi * 4 * h + h + j] = df * f_g * (1.0 - f_g);
+                    dz.data_mut()[bi * 4 * h + 2 * h + j] = dg * (1.0 - g_g * g_g);
+                    dz.data_mut()[bi * 4 * h + 3 * h + j] = do_ * o_g * (1.0 - o_g);
+                }
+            }
+            // Weight gradients (full precision, accumulated).
+            self.wx
+                .grad
+                .add_scaled(&ops::matmul_at(&cache.xq, &dz)?, 1.0)?;
+            self.wh
+                .grad
+                .add_scaled(&ops::matmul_at(&cache.h_prev, &dz)?, 1.0)?;
+            for bi in 0..b {
+                for j in 0..4 * h {
+                    self.bias.grad.data_mut()[j] += dz.data()[bi * 4 * h + j];
+                }
+            }
+            // Input and recurrent gradients.
+            let dx = ops::matmul_bt(&dz, wxq)?;
+            dx_all.data_mut()[ti * b * i_dim..(ti + 1) * b * i_dim].copy_from_slice(dx.data());
+            dh = ops::matmul_bt(&dz, whq)?;
+        }
+        Ok(dx_all)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.bias]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let ctx = QuantCtx::fp32();
+        let mut l = Lstm::new("lstm", 5, 7, 1);
+        let x = init::normal(&[3, 2, 5], 0.0, 1.0, 2);
+        let h = l.forward(&x, &ctx).unwrap();
+        assert_eq!(h.dims(), &[2, 7]);
+        assert_eq!(l.hidden_size(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        let ctx = QuantCtx::fp32();
+        let mut l = Lstm::new("lstm", 5, 7, 1);
+        assert!(l.forward(&Tensor::zeros(&[2, 5]), &ctx).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let ctx = QuantCtx::fp32();
+        let mut l = Lstm::new("lstm", 3, 4, 5);
+        let x = init::normal(&[3, 2, 3], 0.0, 0.5, 6);
+        let h = l.forward(&x, &ctx).unwrap();
+        let gout = Tensor::ones(h.dims());
+        let gin = l.backward(&gout, &ctx).unwrap();
+        assert_eq!(gin.dims(), x.dims());
+        let eps = 1e-2;
+        // Check a few input coordinates (loss = sum of final hidden).
+        let mut x2 = x.clone();
+        for idx in [0usize, 7, 17] {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = l.forward(&x2, &ctx).unwrap().sum();
+            x2.data_mut()[idx] = orig - eps;
+            let lm = l.forward(&x2, &ctx).unwrap().sum();
+            x2.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gin.data()[idx]).abs() < 0.02,
+                "idx {idx}: fd {fd} analytic {}",
+                gin.data()[idx]
+            );
+        }
+        // Check weight gradient coordinates.
+        let _ = l.forward(&x, &ctx).unwrap();
+        for p in 0..2 {
+            let orig = l.params_mut()[p].value.data()[0];
+            let before = {
+                // re-run backward to get a fresh grad
+                let mut l2 = Lstm::new("lstm", 3, 4, 5);
+                let _ = l2.forward(&x, &ctx).unwrap();
+                let _ = l2.backward(&gout, &ctx).unwrap();
+                l2.params_mut()[p].grad.data()[0]
+            };
+            l.params_mut()[p].value.data_mut()[0] = orig + eps;
+            let lp = l.forward(&x, &ctx).unwrap().sum();
+            l.params_mut()[p].value.data_mut()[0] = orig - eps;
+            let lm = l.forward(&x, &ctx).unwrap().sum();
+            l.params_mut()[p].value.data_mut()[0] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - before).abs() < 0.05,
+                "param {p}: fd {fd} analytic {before}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let ctx = QuantCtx::fp32();
+        let mut l = Lstm::new("lstm", 3, 4, 5);
+        assert!(l.backward(&Tensor::ones(&[2, 4]), &ctx).is_err());
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut l = Lstm::new("lstm", 3, 4, 5);
+        let bias = &l.params_mut()[2].value;
+        assert_eq!(bias.data()[4], 1.0); // forget gate range [H, 2H)
+        assert_eq!(bias.data()[0], 0.0);
+    }
+}

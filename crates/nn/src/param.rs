@@ -1,0 +1,73 @@
+//! Trainable parameters.
+
+use cq_tensor::Tensor;
+
+/// A trainable parameter: its FP32 master value and accumulated gradient.
+///
+/// Quantized training (paper §II.A) keeps master weights in full precision;
+/// quantization happens on the *copies* used for compute, never on the
+/// master value an optimizer updates.
+///
+/// # Examples
+///
+/// ```
+/// use cq_nn::Param;
+/// use cq_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::ones(&[4]));
+/// p.grad.data_mut()[0] = 0.5;
+/// p.zero_grad();
+/// assert_eq!(p.grad.data(), &[0.0, 0.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// FP32 master value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        p.grad = Tensor::full(&[2], 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

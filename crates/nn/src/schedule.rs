@@ -1,0 +1,167 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains its benchmarks with standard recipes (step decay for
+//! the CNNs, inverse-sqrt warmup for Transformer); these schedules let
+//! the proxy experiments do the same. A schedule maps a 0-based step
+//! index to a learning rate; [`apply`] pushes it into any optimizer.
+
+use crate::optim::Optimizer;
+use std::fmt;
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Multiply by `gamma` every `every` steps.
+    StepDecay {
+        /// Initial rate.
+        lr: f32,
+        /// Steps between decays.
+        every: usize,
+        /// Multiplicative factor per decay.
+        gamma: f32,
+    },
+    /// Linear warmup to `lr` over `warmup` steps, then inverse-sqrt decay
+    /// (the Transformer recipe).
+    WarmupInverseSqrt {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup steps.
+        warmup: usize,
+    },
+    /// Cosine annealing from `lr` to `lr_min` over `total` steps.
+    Cosine {
+        /// Initial rate.
+        lr: f32,
+        /// Final rate.
+        lr_min: f32,
+        /// Steps to anneal over.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at 0-based step `t`.
+    pub fn at(&self, t: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay { lr, every, gamma } => {
+                lr * gamma.powi((t / every.max(1)) as i32)
+            }
+            LrSchedule::WarmupInverseSqrt { lr, warmup } => {
+                let warmup = warmup.max(1);
+                if t < warmup {
+                    lr * (t + 1) as f32 / warmup as f32
+                } else {
+                    lr * (warmup as f32 / (t + 1) as f32).sqrt()
+                }
+            }
+            LrSchedule::Cosine { lr, lr_min, total } => {
+                let total = total.max(1);
+                let progress = (t.min(total)) as f32 / total as f32;
+                lr_min + 0.5 * (lr - lr_min) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+        }
+    }
+}
+
+impl fmt::Display for LrSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LrSchedule::Constant { lr } => write!(f, "constant({lr})"),
+            LrSchedule::StepDecay { lr, every, gamma } => {
+                write!(f, "step({lr}, /{every}, x{gamma})")
+            }
+            LrSchedule::WarmupInverseSqrt { lr, warmup } => {
+                write!(f, "warmup-isqrt({lr}, {warmup})")
+            }
+            LrSchedule::Cosine { lr, lr_min, total } => {
+                write!(f, "cosine({lr}->{lr_min}, {total})")
+            }
+        }
+    }
+}
+
+/// Sets the optimizer's learning rate for step `t` and returns it.
+pub fn apply(schedule: &LrSchedule, opt: &mut dyn Optimizer, t: usize) -> f32 {
+    let lr = schedule.at(t);
+    opt.set_learning_rate(lr);
+    lr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Sgd};
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay {
+            lr: 1.0,
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_then_decays() {
+        let s = LrSchedule::WarmupInverseSqrt { lr: 1.0, warmup: 4 };
+        assert!(s.at(0) < s.at(1));
+        assert!((s.at(3) - 1.0).abs() < 1e-6); // peak at end of warmup
+        assert!(s.at(15) < s.at(3));
+        // Inverse sqrt: at t=15 (16 steps), lr = sqrt(4/16) = 0.5.
+        assert!((s.at(15) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_anneals_to_min() {
+        let s = LrSchedule::Cosine {
+            lr: 1.0,
+            lr_min: 0.1,
+            total: 100,
+        };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        assert!((s.at(100) - 0.1).abs() < 1e-6);
+        assert!((s.at(50) - 0.55).abs() < 1e-3); // midpoint
+        assert!((s.at(500) - 0.1).abs() < 1e-6); // clamped past total
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let s = LrSchedule::StepDecay {
+            lr: 0.2,
+            every: 1,
+            gamma: 0.5,
+        };
+        let mut opt = Sgd::new(0.0);
+        apply(&s, &mut opt, 0);
+        assert_eq!(opt.learning_rate(), 0.2);
+        apply(&s, &mut opt, 2);
+        assert_eq!(opt.learning_rate(), 0.05);
+        let mut adam = Adam::with_defaults(0.0);
+        apply(&s, &mut adam, 1);
+        assert_eq!(adam.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn display() {
+        assert!(LrSchedule::Constant { lr: 0.1 }
+            .to_string()
+            .contains("constant"));
+    }
+}

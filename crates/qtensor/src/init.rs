@@ -1,0 +1,122 @@
+//! Deterministic, seeded tensor initializers.
+//!
+//! Every stochastic component in this reproduction takes an explicit seed so
+//! all experiments are exactly reproducible run-to-run.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform initialization on `[lo, hi)`.
+///
+/// # Examples
+///
+/// ```
+/// use cq_tensor::init;
+/// let t = init::uniform(&[4, 4], -0.1, 0.1, 42);
+/// assert!(t.data().iter().all(|&x| (-0.1..0.1).contains(&x)));
+/// ```
+pub fn uniform(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(dims, |_| rng.gen_range(lo..hi))
+}
+
+/// Gaussian initialization with the given mean and standard deviation,
+/// using a Box–Muller transform over the seeded generator.
+pub fn normal(dims: &[usize], mean: f32, std: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(dims, |_| mean + std * sample_standard_normal(&mut rng))
+}
+
+/// Xavier/Glorot uniform initialization for a layer with the given fan-in
+/// and fan-out: `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(dims, -bound, bound, seed)
+}
+
+/// Kaiming/He normal initialization: `N(0, sqrt(2/fan_in))`, suited to ReLU
+/// networks.
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    normal(dims, 0.0, (2.0 / fan_in as f32).sqrt(), seed)
+}
+
+/// Samples one value from the standard normal distribution using the
+/// Box–Muller transform.
+pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// A long-tailed distribution: mostly `N(0, sigma)` but with probability
+/// `tail_prob` the sample is scaled by `tail_scale`. This reproduces the
+/// long-tail gradient distribution the paper's §III.B discusses (the reason
+/// E²BQM exists).
+pub fn long_tailed(
+    dims: &[usize],
+    sigma: f32,
+    tail_prob: f32,
+    tail_scale: f32,
+    seed: u64,
+) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(dims, |_| {
+        let x = sigma * sample_standard_normal(&mut rng);
+        if rng.gen::<f32>() < tail_prob {
+            x * tail_scale
+        } else {
+            x
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let a = uniform(&[100], -1.0, 1.0, 7);
+        let b = uniform(&[100], -1.0, 1.0, 7);
+        let c = uniform(&[100], -1.0, 1.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_statistics() {
+        let t = normal(&[10_000], 2.0, 0.5, 3);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 0.25).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let t = xavier_uniform(&[64, 64], 64, 64, 1);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(t.max_abs() <= bound);
+        assert!(t.max_abs() > bound * 0.5);
+    }
+
+    #[test]
+    fn kaiming_scale() {
+        let t = kaiming_normal(&[10_000], 100, 5);
+        let std = (t.sum_sq() / t.len() as f32).sqrt();
+        let expect = (2.0 / 100.0f32).sqrt();
+        assert!((std - expect).abs() < 0.02 * expect * 10.0);
+    }
+
+    #[test]
+    fn long_tailed_has_outliers() {
+        let t = long_tailed(&[10_000], 1.0, 0.01, 50.0, 11);
+        // The bulk should be within ~5 sigma; the tail far outside.
+        let bulk = t.data().iter().filter(|x| x.abs() < 5.0).count();
+        let tail = t.data().iter().filter(|x| x.abs() > 10.0).count();
+        assert!(bulk > 9_000);
+        assert!(tail > 10);
+    }
+}

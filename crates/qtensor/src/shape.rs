@@ -1,0 +1,183 @@
+//! Shapes and row-major stride computation.
+
+use crate::error::TensorError;
+use std::fmt;
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` owns its dimension list and knows how to convert between
+/// multi-dimensional indices and flat offsets.
+///
+/// # Examples
+///
+/// ```
+/// use cq_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// A rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains no elements (some dim is zero).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
+    /// from the shape rank or any coordinate exceeds its dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        Ok(index.iter().zip(self.strides()).map(|(&i, s)| i * s).sum())
+    }
+
+    /// Converts a flat offset back to a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `offset >= len()`.
+    pub fn unravel(&self, offset: usize) -> Result<Vec<usize>, TensorError> {
+        if offset >= self.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![offset],
+                shape: self.dims.clone(),
+            });
+        }
+        let mut rem = offset;
+        let mut index = vec![0; self.dims.len()];
+        for (i, s) in self.strides().iter().enumerate() {
+            index[i] = rem / s;
+            rem %= s;
+        }
+        Ok(index)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.len() {
+            let idx = s.unravel(flat).unwrap();
+            assert_eq!(s.offset(&idx).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.unravel(4).is_err());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_dim_shape() {
+        let s = Shape::new(&[0, 3]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let s: Shape = vec![2, 3].into();
+        assert_eq!(s.to_string(), "[2, 3]");
+        let s2: Shape = [2usize, 3].as_slice().into();
+        assert_eq!(s, s2);
+    }
+}

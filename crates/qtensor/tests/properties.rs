@@ -1,0 +1,101 @@
+//! Property-based tests for the tensor kernels' algebraic identities.
+
+use cq_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(
+        (m, k, n) in (1usize..8, 1usize..8, 1usize..8),
+        seed in 0u64..1000,
+    ) {
+        let a = cq_tensor::init::normal(&[m, k], 0.0, 1.0, seed);
+        let b = cq_tensor::init::normal(&[k, n], 0.0, 1.0, seed + 1);
+        let ab_t = ops::matmul(&a, &b).unwrap().transpose().unwrap();
+        let bt_at = ops::matmul(&b.transpose().unwrap(), &a.transpose().unwrap()).unwrap();
+        prop_assert!(close(&ab_t, &bt_at, 1e-4));
+    }
+
+    /// matmul_at/matmul_bt agree with explicit transposes.
+    #[test]
+    fn fused_transpose_variants(
+        (m, k, n) in (1usize..8, 1usize..8, 1usize..8),
+        seed in 0u64..1000,
+    ) {
+        let a = cq_tensor::init::normal(&[k, m], 0.0, 1.0, seed);
+        let b = cq_tensor::init::normal(&[k, n], 0.0, 1.0, seed + 1);
+        let fused = ops::matmul_at(&a, &b).unwrap();
+        let explicit = ops::matmul(&a.transpose().unwrap(), &b).unwrap();
+        prop_assert!(close(&fused, &explicit, 1e-4));
+        let c = cq_tensor::init::normal(&[m, k], 0.0, 1.0, seed + 2);
+        let d = cq_tensor::init::normal(&[n, k], 0.0, 1.0, seed + 3);
+        let fused = ops::matmul_bt(&c, &d).unwrap();
+        let explicit = ops::matmul(&c, &d.transpose().unwrap()).unwrap();
+        prop_assert!(close(&fused, &explicit, 1e-4));
+    }
+
+    /// Matmul distributes over addition: A·(B + C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes(
+        (m, k, n) in (1usize..6, 1usize..6, 1usize..6),
+        seed in 0u64..1000,
+    ) {
+        let a = cq_tensor::init::normal(&[m, k], 0.0, 1.0, seed);
+        let b = cq_tensor::init::normal(&[k, n], 0.0, 1.0, seed + 1);
+        let c = cq_tensor::init::normal(&[k, n], 0.0, 1.0, seed + 2);
+        let lhs = ops::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = ops::matmul(&a, &b).unwrap().add(&ops::matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    /// Convolution is linear in its input: conv(x+y, w) = conv(x,w) + conv(y,w).
+    #[test]
+    fn conv_is_linear(
+        (c, f, hw) in (1usize..4, 1usize..4, 3usize..8),
+        seed in 0u64..1000,
+    ) {
+        let p = ops::Conv2dParams::new(1, 1);
+        let x = cq_tensor::init::normal(&[1, c, hw, hw], 0.0, 1.0, seed);
+        let y = cq_tensor::init::normal(&[1, c, hw, hw], 0.0, 1.0, seed + 1);
+        let w = cq_tensor::init::normal(&[f, c, 3, 3], 0.0, 1.0, seed + 2);
+        let lhs = ops::conv2d(&x.add(&y).unwrap(), &w, p).unwrap();
+        let rhs = ops::conv2d(&x, &w, p).unwrap().add(&ops::conv2d(&y, &w, p).unwrap()).unwrap();
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    /// Max pooling then backward routes exactly the output gradient mass.
+    #[test]
+    fn maxpool_gradient_mass_conserved(
+        (ch, hw) in (1usize..4, 2usize..5),
+        seed in 0u64..1000,
+    ) {
+        let x = cq_tensor::init::normal(&[1, ch, hw * 2, hw * 2], 0.0, 1.0, seed);
+        let out = ops::maxpool2d(&x, 2).unwrap();
+        let gout = cq_tensor::init::normal(out.output.dims(), 0.0, 1.0, seed + 1);
+        let gin = ops::maxpool2d_backward(&gout, &out.argmax, x.dims()).unwrap();
+        prop_assert!((gin.sum() - gout.sum()).abs() < 1e-3);
+    }
+
+    /// Reductions: sum, mean and max_abs are consistent.
+    #[test]
+    fn reduction_consistency(v in prop::collection::vec(-100.0f32..100.0, 1..200)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v.clone(), &[n]).unwrap();
+        let sum: f32 = v.iter().sum();
+        prop_assert!((t.sum() - sum).abs() <= 1e-3 * (1.0 + sum.abs()));
+        prop_assert!((t.mean() - sum / n as f32).abs() <= 1e-3);
+        let max_abs = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        prop_assert_eq!(t.max_abs(), max_abs);
+    }
+}

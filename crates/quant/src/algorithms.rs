@@ -1,0 +1,514 @@
+//! Registry of statistic-based quantized-training algorithms (paper
+//! Table III) and the training-time quantizer configurations used by the
+//! evaluation (Zhu 2019 and Zhang 2020, each with and without HQT).
+
+use crate::e2bqm::{CandidateStrategy, E2bqmQuantizer, ErrorEstimator};
+use crate::format::{IntFormat, QuantParams};
+use crate::ldq::{LdqConfig, LdqTensor};
+use crate::qtensor::QuantizedTensor;
+use crate::rounding::{MiniFloat, RoundingMode};
+use cq_tensor::Tensor;
+use std::fmt;
+
+/// Precision of the *updating weights* stage (paper Table III: every
+/// state-of-the-art algorithm keeps weight update in high precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightUpdatePrecision {
+    /// 16-bit floating point (Wang et al. 2018).
+    Fp16,
+    /// 24-bit floating point (Yang et al. 2020).
+    Fp24,
+    /// 32-bit floating point (Zhu, Zhong, Zhang).
+    Fp32,
+}
+
+impl WeightUpdatePrecision {
+    /// Bytes per weight for this precision.
+    pub fn bytes(&self) -> usize {
+        match self {
+            WeightUpdatePrecision::Fp16 => 2,
+            WeightUpdatePrecision::Fp24 => 3,
+            WeightUpdatePrecision::Fp32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for WeightUpdatePrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WeightUpdatePrecision::Fp16 => "FP16",
+            WeightUpdatePrecision::Fp24 => "FP24",
+            WeightUpdatePrecision::Fp32 => "FP32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A row of the paper's Table III: a published low-bitwidth training
+/// algorithm and its statistic requirements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmSpec {
+    /// Citation-style name ("Zhu et al. 2019").
+    pub name: &'static str,
+    /// Training data format ("INT8", "FP8", "INT8/INT16", ...).
+    pub data_format: &'static str,
+    /// Statistics the algorithm computes on-the-fly.
+    pub statistics: &'static str,
+    /// Weight-update precision.
+    pub weight_update: WeightUpdatePrecision,
+    /// Special cases / notes from the table.
+    pub notes: &'static str,
+}
+
+/// The five algorithms of Table III.
+pub fn table3_algorithms() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec {
+            name: "Wang et al. 2018",
+            data_format: "FP8",
+            statistics: "max|X|",
+            weight_update: WeightUpdatePrecision::Fp16,
+            notes: "stochastic rounding",
+        },
+        AlgorithmSpec {
+            name: "Zhu et al. 2019",
+            data_format: "INT8",
+            statistics: "max|X|, cos(X, X')",
+            weight_update: WeightUpdatePrecision::Fp32,
+            notes: "learned clipping range",
+        },
+        AlgorithmSpec {
+            name: "Yang et al. 2020",
+            data_format: "INT8",
+            statistics: "max|X|",
+            weight_update: WeightUpdatePrecision::Fp24,
+            notes: "full 8-bit integer training",
+        },
+        AlgorithmSpec {
+            name: "Zhong et al. 2020",
+            data_format: "Shiftable INT8",
+            statistics: "max|X|",
+            weight_update: WeightUpdatePrecision::Fp32,
+            notes: "quantized in groups",
+        },
+        AlgorithmSpec {
+            name: "Zhang et al. 2020",
+            data_format: "INT8/INT16",
+            statistics: "max|X|, mean(X)-mean(X')",
+            weight_update: WeightUpdatePrecision::Fp32,
+            notes: "adaptive precision",
+        },
+    ]
+}
+
+/// How a training-time quantizer touches data: the scheme determines both
+/// the numeric transform and the number of full data passes the hardware
+/// needs (the 2× access cost HQT removes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantScheme {
+    /// No quantization (FP32 baseline).
+    Fp32,
+    /// A *static* fixed-point range set once and never adapted — the
+    /// inference-style quantization the paper's Fig. 2 shows cannot work
+    /// for training (gradient ranges drift by orders of magnitude).
+    StaticRange {
+        /// The fixed representable maximum.
+        theta: f32,
+        /// Target format.
+        format: IntFormat,
+    },
+    /// Miniature floating point with a rounding mode — Wang et al. 2018's
+    /// FP8 (e5m2) with stochastic rounding.
+    MiniFp {
+        /// The float format.
+        format: MiniFloat,
+        /// Rounding mode (stochastic for Wang 2018).
+        rounding: RoundingMode,
+        /// RNG seed for stochastic rounding.
+        seed: u64,
+    },
+    /// Layer-wise dynamic quantization: a global statistic pass then a
+    /// quantization pass (two-pass access), optionally with candidate
+    /// multiplexing applied layer-wide.
+    LayerWise {
+        /// Target format.
+        format: IntFormat,
+        /// Optional error-estimation multiplexing.
+        multiplex: Option<E2bqmQuantizer>,
+    },
+    /// HQT: block-local statistic+quantize (one-pass access) with optional
+    /// per-block E²BQM.
+    Hqt {
+        /// LDQ block size K.
+        block_size: usize,
+        /// Target format.
+        format: IntFormat,
+        /// Optional per-block error-estimation multiplexing.
+        multiplex: Option<E2bqmQuantizer>,
+    },
+}
+
+/// A named, ready-to-run training quantizer configuration.
+///
+/// Training simulations use [`TrainingQuantizer::fake_quantize`]: quantize
+/// then immediately dequantize, so downstream FP32 compute observes exactly
+/// the values the integer datapath would produce.
+///
+/// # Examples
+///
+/// ```
+/// use cq_quant::algorithms::TrainingQuantizer;
+/// use cq_tensor::init;
+///
+/// let q = TrainingQuantizer::zhang2020_hqt();
+/// let x = init::normal(&[256], 0.0, 0.1, 1);
+/// let xq = q.fake_quantize(&x);
+/// assert!(x.cosine_similarity(&xq)? > 0.999);
+/// assert_eq!(q.data_passes(), 1); // HQT: one-pass access
+/// # Ok::<(), cq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingQuantizer {
+    name: String,
+    scheme: QuantScheme,
+}
+
+impl TrainingQuantizer {
+    /// Creates a custom quantizer.
+    pub fn new(name: impl Into<String>, scheme: QuantScheme) -> Self {
+        TrainingQuantizer {
+            name: name.into(),
+            scheme,
+        }
+    }
+
+    /// Full-precision (unquantized) baseline.
+    pub fn fp32() -> Self {
+        TrainingQuantizer::new("FP32", QuantScheme::Fp32)
+    }
+
+    /// Zhu et al. 2019: layer-wise INT8 with direction-sensitive clipping,
+    /// emulated by a 4-way clip sweep arbitrated on cosine distance.
+    pub fn zhu2019() -> Self {
+        TrainingQuantizer::new(
+            "Zhu2019",
+            QuantScheme::LayerWise {
+                format: IntFormat::Int8,
+                multiplex: Some(E2bqmQuantizer::new(
+                    4,
+                    CandidateStrategy::ClipSweep,
+                    ErrorEstimator::Cosine,
+                    IntFormat::Int8,
+                )),
+            },
+        )
+    }
+
+    /// Zhu et al. 2019 + HQT: block-local statistics (LDQ), same 4-way clip
+    /// sweep per block.
+    pub fn zhu2019_hqt() -> Self {
+        TrainingQuantizer::new(
+            "Zhu2019+HQT",
+            QuantScheme::Hqt {
+                block_size: 1024,
+                format: IntFormat::Int8,
+                multiplex: Some(E2bqmQuantizer::new(
+                    4,
+                    CandidateStrategy::ClipSweep,
+                    ErrorEstimator::Cosine,
+                    IntFormat::Int8,
+                )),
+            },
+        )
+    }
+
+    /// Zhang et al. 2020: layer-wise adaptive INT8/INT16 arbitrated on mean
+    /// bias (vector distance), emulated by a format sweep.
+    pub fn zhang2020() -> Self {
+        TrainingQuantizer::new(
+            "Zhang2020",
+            QuantScheme::LayerWise {
+                format: IntFormat::Int8,
+                multiplex: Some(E2bqmQuantizer::new(
+                    4,
+                    CandidateStrategy::FormatSweep,
+                    ErrorEstimator::Mse,
+                    IntFormat::Int8,
+                )),
+            },
+        )
+    }
+
+    /// Zhang et al. 2020 + HQT: per-block adaptive precision.
+    pub fn zhang2020_hqt() -> Self {
+        TrainingQuantizer::new(
+            "Zhang2020+HQT",
+            QuantScheme::Hqt {
+                block_size: 1024,
+                format: IntFormat::Int8,
+                multiplex: Some(E2bqmQuantizer::new(
+                    4,
+                    CandidateStrategy::FormatSweep,
+                    ErrorEstimator::Mse,
+                    IntFormat::Int8,
+                )),
+            },
+        )
+    }
+
+    /// Yang et al. 2020: plain layer-wise max-|X| INT8 quantization (no
+    /// multiplexing; the "full 8-bit integer training" recipe).
+    pub fn yang2020() -> Self {
+        TrainingQuantizer::new(
+            "Yang2020",
+            QuantScheme::LayerWise {
+                format: IntFormat::Int8,
+                multiplex: None,
+            },
+        )
+    }
+
+    /// Zhong et al. 2020: shiftable fixed-point INT8, quantized in groups —
+    /// realized as block-local (group) statistics with a 2-way shiftable
+    /// scale multiplex.
+    pub fn zhong2020() -> Self {
+        TrainingQuantizer::new(
+            "Zhong2020",
+            QuantScheme::Hqt {
+                block_size: 256,
+                format: IntFormat::Int8,
+                multiplex: Some(E2bqmQuantizer::new(
+                    2,
+                    CandidateStrategy::ShiftableFxp,
+                    ErrorEstimator::Rectilinear,
+                    IntFormat::Int8,
+                )),
+            },
+        )
+    }
+
+    /// A static (never-adapted) quantizer with a fixed range — the
+    /// negative control for the Fig. 2 motivation experiment.
+    pub fn static_range(theta: f32, format: IntFormat) -> Self {
+        TrainingQuantizer::new(
+            format!("Static(theta={theta})"),
+            QuantScheme::StaticRange { theta, format },
+        )
+    }
+
+    /// Wang et al. 2018: FP8 (e5m2) with stochastic rounding.
+    pub fn wang2018(seed: u64) -> Self {
+        TrainingQuantizer::new(
+            "Wang2018-FP8",
+            QuantScheme::MiniFp {
+                format: MiniFloat::fp8_e5m2(),
+                rounding: RoundingMode::Stochastic,
+                seed,
+            },
+        )
+    }
+
+    /// Wang et al.'s format with nearest rounding — the ablation showing
+    /// why they need stochastic rounding.
+    pub fn fp8_nearest() -> Self {
+        TrainingQuantizer::new(
+            "FP8-nearest",
+            QuantScheme::MiniFp {
+                format: MiniFloat::fp8_e5m2(),
+                rounding: RoundingMode::Nearest,
+                seed: 0,
+            },
+        )
+    }
+
+    /// Plain HQT without multiplexing (pure LDQ).
+    pub fn ldq_only(block_size: usize, format: IntFormat) -> Self {
+        TrainingQuantizer::new(
+            format!("LDQ(K={block_size})"),
+            QuantScheme::Hqt {
+                block_size,
+                format,
+                multiplex: None,
+            },
+        )
+    }
+
+    /// The quantizer's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying scheme.
+    pub fn scheme(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// Whether any quantization is applied at all.
+    pub fn is_quantized(&self) -> bool {
+        !matches!(self.scheme, QuantScheme::Fp32)
+    }
+
+    /// Number of full passes over the data the scheme requires on hardware
+    /// without fused statistic+quantize: 2 for layer-wise (statistic pass +
+    /// quantize pass), 1 for HQT, 0 for FP32 (no quantization work).
+    pub fn data_passes(&self) -> u32 {
+        match self.scheme {
+            QuantScheme::Fp32 => 0,
+            // No statistic to gather: a single reformat pass.
+            QuantScheme::StaticRange { .. } | QuantScheme::MiniFp { .. } => 1,
+            QuantScheme::LayerWise { .. } => 2,
+            QuantScheme::Hqt { .. } => 1,
+        }
+    }
+
+    /// Quantizes then dequantizes `x`, producing the FP32 tensor the
+    /// integer datapath would effectively compute with.
+    pub fn fake_quantize(&self, x: &Tensor) -> Tensor {
+        match &self.scheme {
+            QuantScheme::Fp32 => x.clone(),
+            QuantScheme::StaticRange { theta, format } => {
+                let p = QuantParams::symmetric(*theta, *format);
+                x.map(|v| p.dequantize(p.quantize(v)))
+            }
+            QuantScheme::MiniFp {
+                format,
+                rounding,
+                seed,
+            } => format.quantize_tensor(x, *rounding, *seed),
+            QuantScheme::LayerWise { format, multiplex } => match multiplex {
+                None => QuantizedTensor::quantize_symmetric(x, *format).dequantize(),
+                Some(m) => m.quantize(x).selected.dequantize(),
+            },
+            QuantScheme::Hqt {
+                block_size,
+                format,
+                multiplex,
+            } => match multiplex {
+                None => LdqTensor::quantize(x, LdqConfig::new(*block_size, *format)).dequantize(),
+                Some(m) => {
+                    let sels = m.quantize_blocks(x, *block_size);
+                    crate::e2bqm::dequantize_blocks(&sels, x.dims())
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for TrainingQuantizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_tensor::init;
+
+    #[test]
+    fn table3_has_five_rows() {
+        let algos = table3_algorithms();
+        assert_eq!(algos.len(), 5);
+        assert!(algos.iter().any(|a| a.name.contains("Zhu")));
+        assert!(algos.iter().all(|a| a.weight_update.bytes() >= 2));
+    }
+
+    #[test]
+    fn fp32_is_identity() {
+        let q = TrainingQuantizer::fp32();
+        let x = init::normal(&[64], 0.0, 1.0, 1);
+        assert_eq!(q.fake_quantize(&x), x);
+        assert!(!q.is_quantized());
+        assert_eq!(q.data_passes(), 0);
+    }
+
+    #[test]
+    fn hqt_variants_single_pass() {
+        assert_eq!(TrainingQuantizer::zhu2019().data_passes(), 2);
+        assert_eq!(TrainingQuantizer::zhu2019_hqt().data_passes(), 1);
+        assert_eq!(TrainingQuantizer::zhang2020().data_passes(), 2);
+        assert_eq!(TrainingQuantizer::zhang2020_hqt().data_passes(), 1);
+    }
+
+    #[test]
+    fn all_quantizers_preserve_direction() {
+        let x = init::long_tailed(&[2048], 0.1, 0.01, 20.0, 5);
+        for q in [
+            TrainingQuantizer::zhu2019(),
+            TrainingQuantizer::zhu2019_hqt(),
+            TrainingQuantizer::zhang2020(),
+            TrainingQuantizer::zhang2020_hqt(),
+            TrainingQuantizer::ldq_only(256, IntFormat::Int8),
+        ] {
+            let xq = q.fake_quantize(&x);
+            let cos = x.cosine_similarity(&xq).unwrap();
+            assert!(cos > 0.98, "{}: cosine {cos}", q.name());
+        }
+    }
+
+    #[test]
+    fn hqt_error_not_worse_than_layerwise() {
+        // HQT (block-local) should match or beat layer-wise error.
+        let x = init::long_tailed(&[8192], 0.05, 0.01, 40.0, 8);
+        let lw = TrainingQuantizer::new(
+            "lw",
+            QuantScheme::LayerWise {
+                format: IntFormat::Int8,
+                multiplex: None,
+            },
+        );
+        let hqt = TrainingQuantizer::ldq_only(512, IntFormat::Int8);
+        let e_lw = x.l1_distance(&lw.fake_quantize(&x)).unwrap();
+        let e_hqt = x.l1_distance(&hqt.fake_quantize(&x)).unwrap();
+        assert!(e_hqt <= e_lw + 1e-4, "hqt {e_hqt} > layerwise {e_lw}");
+    }
+
+    #[test]
+    fn all_table3_algorithms_have_executable_quantizers() {
+        // Every Table III row maps to a runnable TrainingQuantizer.
+        let x = init::long_tailed(&[2048], 0.1, 0.01, 20.0, 5);
+        for q in [
+            TrainingQuantizer::wang2018(1),
+            TrainingQuantizer::zhu2019(),
+            TrainingQuantizer::yang2020(),
+            TrainingQuantizer::zhong2020(),
+            TrainingQuantizer::zhang2020(),
+        ] {
+            let back = q.fake_quantize(&x);
+            let cos = x.cosine_similarity(&back).unwrap();
+            assert!(cos > 0.95, "{}: cosine {cos}", q.name());
+        }
+    }
+
+    #[test]
+    fn static_range_clips_out_of_range_data() {
+        let q = TrainingQuantizer::static_range(0.01, IntFormat::Int8);
+        let x = Tensor::from_vec(vec![5.0, -5.0, 0.005], &[3]).unwrap();
+        let back = q.fake_quantize(&x);
+        // Values beyond the static range clip hard.
+        assert!((back.data()[0] - 0.01).abs() < 1e-4);
+        assert!((back.data()[1] + 0.01).abs() < 1e-4);
+        assert!((back.data()[2] - 0.005).abs() < 1e-4);
+        assert_eq!(q.data_passes(), 1);
+    }
+
+    #[test]
+    fn wang2018_fp8_is_coarse_but_unbiased() {
+        let q = TrainingQuantizer::wang2018(3);
+        let x = init::normal(&[10_000], 0.0, 1.0, 5);
+        let back = q.fake_quantize(&x);
+        // FP8 is coarse...
+        assert!(x.l1_distance(&back).unwrap() > 10.0);
+        // ...but stochastic rounding keeps the mean close (unbiased).
+        assert!((x.mean() - back.mean()).abs() < 0.01);
+        assert_eq!(q.name(), "Wang2018-FP8");
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(TrainingQuantizer::zhu2019().to_string(), "Zhu2019");
+        assert_eq!(TrainingQuantizer::zhang2020_hqt().name(), "Zhang2020+HQT");
+        assert_eq!(WeightUpdatePrecision::Fp24.to_string(), "FP24");
+        assert_eq!(WeightUpdatePrecision::Fp24.bytes(), 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Fixed-point formats and quantization parameters.
+//!
+//! Cambricon-Q's PE array is built from 4-bit operators and reaches wider
+//! widths (8/12/16-bit) by time-serial composition (paper §IV.D, §VII.C).
+//! This module models the numeric side: the [`IntFormat`] widths the
+//! hardware supports and the affine [`QuantParams`] (scale β, offset α) of
+//! the statistic-based quantization `X_q = round((X − α)/β)`.
+
+use std::fmt;
+
+/// A fixed-point integer width supported by the Cambricon-Q PE array.
+///
+/// Widths are multiples of 4 because the PEs are 4-bit operators composed
+/// bit-serially (paper §IV.D).
+///
+/// # Examples
+///
+/// ```
+/// use cq_quant::IntFormat;
+///
+/// assert_eq!(IntFormat::Int8.bits(), 8);
+/// assert_eq!(IntFormat::Int8.qmax(), 127);
+/// assert_eq!(IntFormat::Int8.pe_passes(), 2); // two 4-bit serial passes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntFormat {
+    /// 4-bit fixed point (single PE pass).
+    Int4,
+    /// 8-bit fixed point (the paper's primary training format).
+    Int8,
+    /// 12-bit fixed point.
+    Int12,
+    /// 16-bit fixed point.
+    Int16,
+}
+
+impl IntFormat {
+    /// All supported widths, narrowest first.
+    pub const ALL: [IntFormat; 4] = [
+        IntFormat::Int4,
+        IntFormat::Int8,
+        IntFormat::Int12,
+        IntFormat::Int16,
+    ];
+
+    /// Bit width of the format.
+    pub fn bits(&self) -> u32 {
+        match self {
+            IntFormat::Int4 => 4,
+            IntFormat::Int8 => 8,
+            IntFormat::Int12 => 12,
+            IntFormat::Int16 => 16,
+        }
+    }
+
+    /// Number of bytes an element occupies when stored (4-bit packs two per
+    /// byte, counted as half a byte).
+    pub fn bytes(&self) -> f64 {
+        self.bits() as f64 / 8.0
+    }
+
+    /// Largest representable quantized magnitude (symmetric range).
+    ///
+    /// Symmetric quantization uses `[-qmax, +qmax]` so that dequantization
+    /// is sign-symmetric; this matches max-|X| statistic quantizers.
+    pub fn qmax(&self) -> i32 {
+        (1i32 << (self.bits() - 1)) - 1
+    }
+
+    /// Smallest representable quantized value (`-qmax`, symmetric).
+    pub fn qmin(&self) -> i32 {
+        -self.qmax()
+    }
+
+    /// How many serial passes the 4-bit PE array needs for this width
+    /// (paper §IV.D: "4-bit, 8-bit, 12-bit and 16-bit quantization with
+    /// 4-bit operators").
+    pub fn pe_passes(&self) -> u32 {
+        self.bits() / 4
+    }
+}
+
+impl fmt::Display for IntFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INT{}", self.bits())
+    }
+}
+
+/// Affine quantization parameters: `X_q = round((X − offset)/scale)`.
+///
+/// For the max-|X| statistic quantizers the paper studies, `offset` is zero
+/// and `scale = θ / qmax` where θ is the max absolute value of the data
+/// being quantized.
+///
+/// # Examples
+///
+/// ```
+/// use cq_quant::{IntFormat, QuantParams};
+///
+/// let p = QuantParams::symmetric(2.54, IntFormat::Int8);
+/// let q = p.quantize(1.27);
+/// assert_eq!(q, 64); // 1.27 / (2.54/127) = 63.5 -> rounds away from zero
+/// let back = p.dequantize(q);
+/// assert!((back - 1.28).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Scale β. Always positive and finite.
+    pub scale: f32,
+    /// Offset α (zero for symmetric quantization).
+    pub offset: f32,
+    /// Target integer format.
+    pub format: IntFormat,
+}
+
+impl QuantParams {
+    /// Symmetric parameters from a statistic θ = max|X|.
+    ///
+    /// Zero or non-finite θ degenerates to a scale of 1.0 so that an
+    /// all-zero block quantizes to all zeros losslessly.
+    pub fn symmetric(theta: f32, format: IntFormat) -> Self {
+        let theta = if theta.is_finite() && theta > 0.0 {
+            theta
+        } else {
+            0.0
+        };
+        let scale = if theta == 0.0 {
+            1.0
+        } else {
+            theta / format.qmax() as f32
+        };
+        QuantParams {
+            scale,
+            offset: 0.0,
+            format,
+        }
+    }
+
+    /// Parameters with an explicit scale (used by E²BQM candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `scale` is not positive and finite.
+    pub fn with_scale(scale: f32, format: IntFormat) -> Self {
+        debug_assert!(scale.is_finite() && scale > 0.0, "bad scale {scale}");
+        QuantParams {
+            scale,
+            offset: 0.0,
+            format,
+        }
+    }
+
+    /// Quantizes a single value (round-to-nearest, clamped to the
+    /// representable range).
+    pub fn quantize(&self, x: f32) -> i32 {
+        let q = ((x - self.offset) / self.scale).round() as i64;
+        q.clamp(self.format.qmin() as i64, self.format.qmax() as i64) as i32
+    }
+
+    /// Dequantizes a single value.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale + self.offset
+    }
+
+    /// The largest magnitude this parameterization can represent without
+    /// clipping.
+    pub fn representable_max(&self) -> f32 {
+        self.format.qmax() as f32 * self.scale + self.offset.abs()
+    }
+
+    /// Whether quantizing `x` would clip (exceed the representable range).
+    pub fn clips(&self, x: f32) -> bool {
+        let q = ((x - self.offset) / self.scale).round();
+        q > self.format.qmax() as f32 || q < self.format.qmin() as f32
+    }
+}
+
+impl fmt::Display for QuantParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}(scale={:.3e}, offset={:.3e})",
+            self.format, self.scale, self.offset
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_widths() {
+        assert_eq!(IntFormat::Int4.bits(), 4);
+        assert_eq!(IntFormat::Int16.bits(), 16);
+        assert_eq!(IntFormat::Int4.qmax(), 7);
+        assert_eq!(IntFormat::Int8.qmax(), 127);
+        assert_eq!(IntFormat::Int12.qmax(), 2047);
+        assert_eq!(IntFormat::Int16.qmax(), 32767);
+    }
+
+    #[test]
+    fn pe_passes_bit_serial() {
+        assert_eq!(IntFormat::Int4.pe_passes(), 1);
+        assert_eq!(IntFormat::Int8.pe_passes(), 2);
+        assert_eq!(IntFormat::Int12.pe_passes(), 3);
+        assert_eq!(IntFormat::Int16.pe_passes(), 4);
+    }
+
+    #[test]
+    fn bytes_account_for_packing() {
+        assert_eq!(IntFormat::Int4.bytes(), 0.5);
+        assert_eq!(IntFormat::Int8.bytes(), 1.0);
+        assert_eq!(IntFormat::Int16.bytes(), 2.0);
+    }
+
+    #[test]
+    fn symmetric_roundtrip_at_extremes() {
+        let p = QuantParams::symmetric(10.0, IntFormat::Int8);
+        assert_eq!(p.quantize(10.0), 127);
+        assert_eq!(p.quantize(-10.0), -127);
+        assert!((p.dequantize(127) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let p = QuantParams::symmetric(1.0, IntFormat::Int8);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -127);
+        assert!(p.clips(2.0));
+        assert!(!p.clips(0.5));
+    }
+
+    #[test]
+    fn zero_theta_degenerates_gracefully() {
+        let p = QuantParams::symmetric(0.0, IntFormat::Int8);
+        assert_eq!(p.quantize(0.0), 0);
+        assert_eq!(p.dequantize(0), 0.0);
+        let p = QuantParams::symmetric(f32::NAN, IntFormat::Int8);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_half_scale() {
+        let p = QuantParams::symmetric(1.0, IntFormat::Int8);
+        for i in -100..=100 {
+            let x = i as f32 * 0.01;
+            let err = (p.dequantize(p.quantize(x)) - x).abs();
+            assert!(err <= p.scale / 2.0 + 1e-7, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(IntFormat::Int8.to_string(), "INT8");
+        let p = QuantParams::symmetric(1.0, IntFormat::Int4);
+        assert!(p.to_string().starts_with("INT4"));
+    }
+
+    #[test]
+    fn representable_max() {
+        let p = QuantParams::symmetric(5.0, IntFormat::Int8);
+        assert!((p.representable_max() - 5.0).abs() < 1e-5);
+    }
+}

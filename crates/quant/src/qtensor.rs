@@ -1,0 +1,209 @@
+//! Quantized tensor container and error metrics.
+
+use crate::format::QuantParams;
+use cq_tensor::Tensor;
+use std::fmt;
+
+/// A tensor quantized with a single set of parameters (one "buffer line" /
+/// one LDQ block worth of data in hardware terms).
+///
+/// # Examples
+///
+/// ```
+/// use cq_quant::{IntFormat, QuantizedTensor};
+/// use cq_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![0.5, -1.0, 0.25, 1.0], &[4])?;
+/// let q = QuantizedTensor::quantize_symmetric(&x, IntFormat::Int8);
+/// let back = q.dequantize();
+/// assert!(x.l1_distance(&back)? < 0.02);
+/// # Ok::<(), cq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    values: Vec<i32>,
+    params: QuantParams,
+    dims: Vec<usize>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor with explicit parameters.
+    pub fn quantize(x: &Tensor, params: QuantParams) -> Self {
+        QuantizedTensor {
+            values: x.data().iter().map(|&v| params.quantize(v)).collect(),
+            params,
+            dims: x.dims().to_vec(),
+        }
+    }
+
+    /// Quantizes a tensor symmetrically using its own max-|X| statistic
+    /// (the layer-wise dynamic quantization primitive).
+    pub fn quantize_symmetric(x: &Tensor, format: crate::IntFormat) -> Self {
+        let params = QuantParams::symmetric(x.max_abs(), format);
+        Self::quantize(x, params)
+    }
+
+    /// Reconstructs the full-precision tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self
+            .values
+            .iter()
+            .map(|&q| self.params.dequantize(q))
+            .collect();
+        Tensor::from_vec(data, &self.dims).expect("dims preserved by construction")
+    }
+
+    /// The quantized integer values.
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Original tensor dims.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Storage size in bytes: packed integer payload plus 2 bytes for the
+    /// statistic/tag (the paper's compression-ratio model stores θ in
+    /// 2 bytes per quantized unit).
+    pub fn storage_bytes(&self) -> f64 {
+        self.values.len() as f64 * self.params.format.bytes() + 2.0
+    }
+}
+
+impl fmt::Display for QuantizedTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QuantizedTensor[{} elems, {}]",
+            self.values.len(),
+            self.params
+        )
+    }
+}
+
+/// Error metrics between an original tensor and its quantized reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuantError {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Total rectilinear (L1) distance Σ|x − x'|.
+    pub l1: f64,
+    /// Cosine similarity (1.0 = perfect direction preservation).
+    pub cosine: f64,
+    /// Mean bias: mean(x) − mean(x') — the Zhang et al. statistic.
+    pub mean_bias: f64,
+}
+
+/// Computes all quantization error metrics between `original` and the
+/// reconstruction `dequantized`.
+///
+/// # Panics
+///
+/// Panics if the tensors have different shapes (programmer error: both sides
+/// always come from the same source tensor).
+pub fn quant_error(original: &Tensor, dequantized: &Tensor) -> QuantError {
+    assert_eq!(
+        original.dims(),
+        dequantized.dims(),
+        "quant_error operands must agree in shape"
+    );
+    let n = original.len().max(1) as f64;
+    let mut se = 0.0f64;
+    let mut l1 = 0.0f64;
+    for (&a, &b) in original.data().iter().zip(dequantized.data()) {
+        let d = (a - b) as f64;
+        se += d * d;
+        l1 += d.abs();
+    }
+    QuantError {
+        mse: se / n,
+        l1,
+        cosine: original
+            .cosine_similarity(dequantized)
+            .expect("shapes already checked") as f64,
+        mean_bias: original.mean() as f64 - dequantized.mean() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IntFormat;
+
+    #[test]
+    fn roundtrip_preserves_extremes_exactly() {
+        let x = Tensor::from_vec(vec![-2.0, 2.0, 1.0, 0.0], &[4]).unwrap();
+        let q = QuantizedTensor::quantize_symmetric(&x, IntFormat::Int8);
+        let back = q.dequantize();
+        assert!((back.data()[0] + 2.0).abs() < 1e-6);
+        assert!((back.data()[1] - 2.0).abs() < 1e-6);
+        assert_eq!(back.data()[3], 0.0);
+    }
+
+    #[test]
+    fn wider_formats_reduce_error() {
+        let x = cq_tensor::init::normal(&[1000], 0.0, 1.0, 42);
+        let mut last = f64::INFINITY;
+        for fmt in IntFormat::ALL {
+            let q = QuantizedTensor::quantize_symmetric(&x, fmt);
+            let e = quant_error(&x, &q.dequantize());
+            assert!(e.mse <= last, "{fmt}: mse {} > previous {last}", e.mse);
+            last = e.mse;
+        }
+    }
+
+    #[test]
+    fn zero_tensor_is_lossless() {
+        let x = Tensor::zeros(&[16]);
+        let q = QuantizedTensor::quantize_symmetric(&x, IntFormat::Int4);
+        assert_eq!(q.dequantize(), x);
+        let e = quant_error(&x, &q.dequantize());
+        assert_eq!(e.mse, 0.0);
+        assert_eq!(e.l1, 0.0);
+    }
+
+    #[test]
+    fn storage_bytes_packed() {
+        let x = Tensor::zeros(&[32]);
+        let q8 = QuantizedTensor::quantize_symmetric(&x, IntFormat::Int8);
+        assert_eq!(q8.storage_bytes(), 34.0); // 32 payload + 2 tag
+        let q4 = QuantizedTensor::quantize_symmetric(&x, IntFormat::Int4);
+        assert_eq!(q4.storage_bytes(), 18.0); // 16 payload + 2 tag
+    }
+
+    #[test]
+    fn quant_error_metrics_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.5, 1.5], &[2]).unwrap();
+        let e = quant_error(&a, &b);
+        assert!((e.mse - 0.25).abs() < 1e-9);
+        assert!((e.l1 - 1.0).abs() < 1e-9);
+        assert!((e.mean_bias - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dims_preserved() {
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let q = QuantizedTensor::quantize_symmetric(&x, IntFormat::Int8);
+        assert_eq!(q.dims(), &[2, 3, 4]);
+        assert_eq!(q.dequantize().dims(), &[2, 3, 4]);
+        assert_eq!(q.len(), 24);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Energy breakdown by hardware component (paper Fig. 12(d)):
+//! functional modules in the acceleration core (ACC), on-chip buffers
+//! (BUF), DRAM standby (DDR-SB) and DRAM dynamic (DDR-DY).
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A component category of the Fig. 12(d) energy breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Functional modules of the acceleration core (PE array, SFU, SQU,
+    /// QBC, decode, control).
+    Acc,
+    /// On-chip SRAM buffers (NBin, SB, NBout).
+    Buf,
+    /// DRAM standby (leakage + refresh, proportional to runtime).
+    DdrStandby,
+    /// DRAM dynamic (per-access energy, proportional to traffic).
+    DdrDynamic,
+}
+
+impl Component {
+    /// All components in display order.
+    pub const ALL: [Component; 4] = [
+        Component::Acc,
+        Component::Buf,
+        Component::DdrStandby,
+        Component::DdrDynamic,
+    ];
+
+    /// The paper's label for this component.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::Acc => "ACC",
+            Component::Buf => "BUF",
+            Component::DdrStandby => "DDR-SB",
+            Component::DdrDynamic => "DDR-DY",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Energy (pJ) attributed to each hardware component.
+///
+/// # Examples
+///
+/// ```
+/// use cq_sim::{Component, EnergyBreakdown};
+///
+/// let mut e = EnergyBreakdown::new();
+/// e.charge(Component::DdrDynamic, 1000.0);
+/// e.charge(Component::Acc, 250.0);
+/// assert_eq!(e.total_pj(), 1250.0);
+/// assert!((e.fraction(Component::DdrDynamic) - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    pj: [f64; 4],
+}
+
+impl EnergyBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    /// Adds energy to a component.
+    pub fn charge(&mut self, component: Component, pj: f64) {
+        self.pj[component as usize] += pj;
+    }
+
+    /// Energy attributed to a component (pJ).
+    pub fn energy_pj(&self, component: Component) -> f64 {
+        self.pj[component as usize]
+    }
+
+    /// Total energy across components (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.pj.iter().sum()
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() * 1e-9
+    }
+
+    /// Fraction of total energy in a component (0.0 for an empty breakdown).
+    pub fn fraction(&self, component: Component) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.energy_pj(component) / total
+        }
+    }
+
+    /// Memory-side energy (BUF + DDR standby + DDR dynamic) — the portion
+    /// the paper reports a 1.54× reduction on.
+    pub fn memory_side_pj(&self) -> f64 {
+        self.energy_pj(Component::Buf)
+            + self.energy_pj(Component::DdrStandby)
+            + self.energy_pj(Component::DdrDynamic)
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for i in 0..4 {
+            self.pj[i] += other.pj[i];
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        self.merge(&rhs);
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_pj().max(f64::MIN_POSITIVE);
+        for c in Component::ALL {
+            write!(
+                f,
+                "{}:{:.1}% ",
+                c.label(),
+                self.energy_pj(c) / total * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_fractions() {
+        let mut e = EnergyBreakdown::new();
+        e.charge(Component::Acc, 1.0);
+        e.charge(Component::Buf, 2.0);
+        e.charge(Component::DdrStandby, 3.0);
+        e.charge(Component::DdrDynamic, 4.0);
+        assert_eq!(e.total_pj(), 10.0);
+        assert!((e.fraction(Component::DdrDynamic) - 0.4).abs() < 1e-12);
+        assert_eq!(e.memory_side_pj(), 9.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let e = EnergyBreakdown::new();
+        assert_eq!(e.total_pj(), 0.0);
+        assert_eq!(e.fraction(Component::Acc), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = EnergyBreakdown::new();
+        a.charge(Component::Acc, 1.0);
+        let mut b = EnergyBreakdown::new();
+        b.charge(Component::Acc, 2.0);
+        b.charge(Component::Buf, 5.0);
+        a += b;
+        assert_eq!(a.energy_pj(Component::Acc), 3.0);
+        assert_eq!(a.energy_pj(Component::Buf), 5.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = Component::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["ACC", "BUF", "DDR-SB", "DDR-DY"]);
+    }
+
+    #[test]
+    fn total_mj_conversion() {
+        let mut e = EnergyBreakdown::new();
+        e.charge(Component::Acc, 1e9); // 1 mJ
+        assert!((e.total_mj() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_has_all_labels() {
+        let mut e = EnergyBreakdown::new();
+        e.charge(Component::Buf, 1.0);
+        let s = e.to_string();
+        for c in Component::ALL {
+            assert!(s.contains(c.label()));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-operation energy model, seeded with the paper's Table I constants
+//! (Horowitz, 45 nm; rows marked `*` are the paper's own measurements).
+//!
+//! All energies are in picojoules (pJ). DRAM access energy is normalized
+//! per byte from the table's per-access ranges (the midpoints of the 32/16/
+//! 8-bit rows all normalize to ≈244 pJ/B, which is the value used here).
+
+/// Energy cost table for arithmetic and memory operations.
+///
+/// # Examples
+///
+/// ```
+/// use cq_sim::EnergyModel;
+///
+/// let e = EnergyModel::tsmc45();
+/// // INT8 multiply is ~18x cheaper than FP32 multiply (Table I).
+/// assert!(e.fp_mul(32) / e.fixed_mul(8) > 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// DRAM access energy per byte (pJ/B).
+    pub dram_pj_per_byte: f64,
+    /// Large on-chip SRAM (NBin/SB/NBout) access energy per byte (pJ/B).
+    pub sram_pj_per_byte: f64,
+    /// Small local buffer (SQU 4 KB, register files) access energy per byte.
+    pub local_buf_pj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// The 45 nm model used throughout the paper's evaluation.
+    pub fn tsmc45() -> Self {
+        EnergyModel {
+            dram_pj_per_byte: 244.0,
+            sram_pj_per_byte: 8.0,
+            local_buf_pj_per_byte: 1.0,
+        }
+    }
+
+    /// Floating-point add energy (pJ) for a given bit width (Table I:
+    /// 0.9 pJ @ 32 b, 0.4 pJ @ 16 b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 16 or 32.
+    pub fn fp_add(&self, bits: u32) -> f64 {
+        match bits {
+            32 => 0.9,
+            16 => 0.4,
+            _ => panic!("no FP{bits} add energy in Table I"),
+        }
+    }
+
+    /// Floating-point multiply energy (pJ) (Table I: 3.7 pJ @ 32 b,
+    /// 1.1 pJ @ 16 b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 16 or 32.
+    pub fn fp_mul(&self, bits: u32) -> f64 {
+        match bits {
+            32 => 3.7,
+            16 => 1.1,
+            _ => panic!("no FP{bits} mul energy in Table I"),
+        }
+    }
+
+    /// Fixed-point add energy (pJ). Table I gives 0.1 @ 32 b, 0.05 @ 16 b,
+    /// 0.03 @ 8 b; 4-bit extrapolates the ~linear trend to 0.015 pJ.
+    pub fn fixed_add(&self, bits: u32) -> f64 {
+        match bits {
+            32 => 0.1,
+            16 => 0.05,
+            12 => 0.04,
+            8 => 0.03,
+            4 => 0.015,
+            _ => panic!("no INT{bits} add energy"),
+        }
+    }
+
+    /// Fixed-point multiply energy (pJ). Table I gives 3.1 @ 32 b,
+    /// 1.55 @ 16 b, 0.2 @ 8 b; multipliers scale ~quadratically so 4-bit
+    /// extrapolates to 0.05 pJ and 12-bit interpolates to 0.45 pJ.
+    pub fn fixed_mul(&self, bits: u32) -> f64 {
+        match bits {
+            32 => 3.1,
+            16 => 1.55,
+            12 => 0.45,
+            8 => 0.2,
+            4 => 0.05,
+            _ => panic!("no INT{bits} mul energy"),
+        }
+    }
+
+    /// Energy of one fixed-point multiply-accumulate at the given width.
+    pub fn fixed_mac(&self, bits: u32) -> f64 {
+        self.fixed_mul(bits) + self.fixed_add(bits.max(8))
+    }
+
+    /// Energy of one floating-point multiply-accumulate at the given width.
+    pub fn fp_mac(&self, bits: u32) -> f64 {
+        self.fp_mul(bits) + self.fp_add(bits)
+    }
+
+    /// DRAM traffic energy for `bytes` bytes.
+    pub fn dram(&self, bytes: f64) -> f64 {
+        bytes * self.dram_pj_per_byte
+    }
+
+    /// Large-SRAM traffic energy for `bytes` bytes.
+    pub fn sram(&self, bytes: f64) -> f64 {
+        bytes * self.sram_pj_per_byte
+    }
+
+    /// Small local-buffer traffic energy for `bytes` bytes.
+    pub fn local_buf(&self, bytes: f64) -> f64 {
+        bytes * self.local_buf_pj_per_byte
+    }
+
+    /// Relative cost of an operation versus the INT8 fixed add baseline,
+    /// reproducing Table I's "Relative costs" column.
+    pub fn relative_cost(&self, energy_pj: f64) -> f64 {
+        energy_pj / self.fixed_add(8)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::tsmc45()
+    }
+}
+
+/// One row of Table I, for regenerating the table verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Data bit width.
+    pub bits: u32,
+    /// Operation description.
+    pub operation: &'static str,
+    /// Energy in pJ (or pJ for the DRAM midpoint).
+    pub energy_pj: f64,
+    /// Cost relative to an 8-bit fixed-point add.
+    pub relative: f64,
+}
+
+/// Regenerates every row of Table I from the model.
+pub fn table1_rows(model: &EnergyModel) -> Vec<Table1Row> {
+    let mk = |bits, operation, energy_pj: f64| Table1Row {
+        bits,
+        operation,
+        energy_pj,
+        relative: model.relative_cost(energy_pj),
+    };
+    vec![
+        mk(32, "Floating-point ADD", model.fp_add(32)),
+        mk(32, "Floating-point MUL", model.fp_mul(32)),
+        mk(32, "Fixed-point ADD", model.fixed_add(32)),
+        mk(32, "Fixed-point MUL", model.fixed_mul(32)),
+        mk(32, "DRAM access (per 4B)", model.dram(4.0)),
+        mk(16, "Floating-point ADD", model.fp_add(16)),
+        mk(16, "Floating-point MUL", model.fp_mul(16)),
+        mk(16, "Fixed-point ADD", model.fixed_add(16)),
+        mk(16, "Fixed-point MUL", model.fixed_mul(16)),
+        mk(16, "DRAM access (per 2B)", model.dram(2.0)),
+        mk(8, "Fixed-point ADD", model.fixed_add(8)),
+        mk(8, "Fixed-point MUL", model.fixed_mul(8)),
+        mk(8, "DRAM access (per 1B)", model.dram(1.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let e = EnergyModel::tsmc45();
+        assert_eq!(e.fp_add(32), 0.9);
+        assert_eq!(e.fp_mul(32), 3.7);
+        assert_eq!(e.fixed_add(32), 0.1);
+        assert_eq!(e.fixed_mul(32), 3.1);
+        assert_eq!(e.fp_add(16), 0.4);
+        assert_eq!(e.fp_mul(16), 1.1);
+        assert_eq!(e.fixed_add(16), 0.05);
+        assert_eq!(e.fixed_mul(16), 1.55);
+        assert_eq!(e.fixed_add(8), 0.03);
+        assert_eq!(e.fixed_mul(8), 0.2);
+    }
+
+    #[test]
+    fn relative_costs_match_table1() {
+        let e = EnergyModel::tsmc45();
+        assert!((e.relative_cost(e.fp_add(32)) - 30.0).abs() < 1e-9);
+        assert!((e.relative_cost(e.fp_mul(32)) - 123.333).abs() < 0.01);
+        assert!((e.relative_cost(e.fixed_add(32)) - 3.333).abs() < 0.01);
+        assert!((e.relative_cost(e.fixed_mul(8)) - 6.667).abs() < 0.01);
+        assert!((e.relative_cost(e.fixed_add(16)) - 1.667).abs() < 0.01);
+    }
+
+    #[test]
+    fn dram_dominates_compute() {
+        // Table I's headline: a DRAM access costs thousands of INT8 adds.
+        let e = EnergyModel::tsmc45();
+        let rel = e.relative_cost(e.dram(1.0));
+        assert!(rel > 5000.0 && rel < 11000.0, "rel={rel}");
+    }
+
+    #[test]
+    fn narrower_is_cheaper() {
+        let e = EnergyModel::tsmc45();
+        assert!(e.fixed_mul(4) < e.fixed_mul(8));
+        assert!(e.fixed_mul(8) < e.fixed_mul(12));
+        assert!(e.fixed_mul(12) < e.fixed_mul(16));
+        assert!(e.fixed_add(4) < e.fixed_add(8));
+    }
+
+    #[test]
+    fn mac_energies() {
+        let e = EnergyModel::tsmc45();
+        assert!((e.fixed_mac(8) - 0.23).abs() < 1e-9);
+        assert!((e.fp_mac(32) - 4.6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no FP8 add")]
+    fn fp8_unsupported() {
+        EnergyModel::tsmc45().fp_add(8);
+    }
+
+    #[test]
+    fn table1_has_thirteen_rows() {
+        let rows = table1_rows(&EnergyModel::tsmc45());
+        assert_eq!(rows.len(), 13);
+        assert!(rows.iter().any(|r| r.operation.contains("DRAM")));
+    }
+}

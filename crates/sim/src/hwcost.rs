@@ -1,0 +1,227 @@
+//! Static area/power model of Cambricon-Q (paper Table VII, TSMC 45 nm).
+//!
+//! The paper obtains these numbers from RTL synthesis; here they are model
+//! inputs (see DESIGN.md's substitution table). The per-module powers drive
+//! the static-energy accounting of the cycle simulators, and the table
+//! itself is regenerated verbatim by the `table7_hw_characteristics`
+//! experiment binary.
+
+use std::fmt;
+
+/// A hardware module with its silicon cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleCost {
+    /// Module name as it appears in Table VII.
+    pub name: &'static str,
+    /// Area in mm² (45 nm).
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// The silicon cost report for one engine (acceleration core or NDP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCost {
+    /// Engine name.
+    pub name: &'static str,
+    /// Component modules.
+    pub modules: Vec<ModuleCost>,
+}
+
+impl EngineCost {
+    /// Total area of the engine (mm²).
+    pub fn total_area_mm2(&self) -> f64 {
+        self.modules.iter().map(|m| m.area_mm2).sum()
+    }
+
+    /// Total power of the engine (mW).
+    pub fn total_power_mw(&self) -> f64 {
+        self.modules.iter().map(|m| m.power_mw).sum()
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&ModuleCost> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Area share of a module in percent.
+    pub fn area_share(&self, name: &str) -> Option<f64> {
+        self.module(name)
+            .map(|m| m.area_mm2 / self.total_area_mm2() * 100.0)
+    }
+
+    /// Power share of a module in percent.
+    pub fn power_share(&self, name: &str) -> Option<f64> {
+        self.module(name)
+            .map(|m| m.power_mw / self.total_power_mw() * 100.0)
+    }
+}
+
+impl fmt::Display for EngineCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.2} mm², {:.2} mW",
+            self.name,
+            self.total_area_mm2(),
+            self.total_power_mw()
+        )
+    }
+}
+
+/// Table VII: the acceleration core module costs.
+// NBin's 6.28 mW is the paper's measured value, not a circle constant.
+#[allow(clippy::approx_constant)]
+pub fn acceleration_core_cost() -> EngineCost {
+    EngineCost {
+        name: "Acceleration Core",
+        modules: vec![
+            ModuleCost {
+                name: "SQU",
+                area_mm2: 0.42,
+                power_mw: 122.67,
+            },
+            ModuleCost {
+                name: "QBC",
+                area_mm2: 0.09,
+                power_mw: 1.69,
+            },
+            ModuleCost {
+                name: "FU",
+                area_mm2: 2.11,
+                power_mw: 483.88,
+            },
+            ModuleCost {
+                name: "NBin",
+                area_mm2: 1.31,
+                power_mw: 6.28,
+            },
+            ModuleCost {
+                name: "SB",
+                area_mm2: 1.52,
+                power_mw: 9.65,
+            },
+            ModuleCost {
+                name: "NBout",
+                area_mm2: 0.72,
+                power_mw: 4.43,
+            },
+            ModuleCost {
+                name: "Decode",
+                area_mm2: 0.11,
+                power_mw: 50.04,
+            },
+            ModuleCost {
+                name: "IB",
+                area_mm2: 0.36,
+                power_mw: 25.28,
+            },
+            ModuleCost {
+                name: "MC",
+                area_mm2: 0.23,
+                power_mw: 83.00,
+            },
+            ModuleCost {
+                name: "PHY",
+                area_mm2: 1.83,
+                power_mw: 104.45,
+            },
+        ],
+    }
+}
+
+/// Table VII: the NDP engine module costs.
+pub fn ndp_engine_cost() -> EngineCost {
+    EngineCost {
+        name: "NDP Engine",
+        modules: vec![
+            ModuleCost {
+                name: "SQU",
+                area_mm2: 0.42,
+                power_mw: 122.67,
+            },
+            ModuleCost {
+                name: "NDPO",
+                area_mm2: 0.07,
+                power_mw: 16.27,
+            },
+        ],
+    }
+}
+
+/// Extra cost of quantization support inside the acceleration core:
+/// SQU + QBC (the paper quotes 5.87% extra area, 13.95% extra power).
+pub fn quantization_overhead() -> (f64, f64) {
+    let core = acceleration_core_cost();
+    let extra_area: f64 = ["SQU", "QBC"]
+        .iter()
+        .filter_map(|n| core.module(n))
+        .map(|m| m.area_mm2)
+        .sum();
+    let extra_power: f64 = ["SQU", "QBC"]
+        .iter()
+        .filter_map(|n| core.module(n))
+        .map(|m| m.power_mw)
+        .sum();
+    (
+        extra_area / core.total_area_mm2() * 100.0,
+        extra_power / core.total_power_mw() * 100.0,
+    )
+}
+
+/// DRAM standby power (mW) used for the DDR-SB component of Fig. 12(d).
+/// Typical LPDDR4-class device standby+refresh draw at the paper's
+/// 17.06 GB/s configuration.
+pub const DRAM_STANDBY_MW: f64 = 150.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_totals_match_table7() {
+        let core = acceleration_core_cost();
+        assert!((core.total_area_mm2() - 8.70).abs() < 0.02); // paper: 8.69
+        assert!((core.total_power_mw() - 891.37).abs() < 0.1);
+    }
+
+    #[test]
+    fn ndp_totals_match_table7() {
+        let ndp = ndp_engine_cost();
+        assert!((ndp.total_area_mm2() - 0.49).abs() < 1e-9);
+        assert!((ndp.total_power_mw() - 138.94).abs() < 1e-9);
+    }
+
+    #[test]
+    fn module_shares_match_table7() {
+        let core = acceleration_core_cost();
+        // Table VII: SQU 4.88% area, 13.76% power (±rounding).
+        assert!((core.area_share("SQU").unwrap() - 4.88).abs() < 0.1);
+        assert!((core.power_share("SQU").unwrap() - 13.76).abs() < 0.1);
+        // FU dominates power at 54.29%.
+        assert!((core.power_share("FU").unwrap() - 54.29).abs() < 0.1);
+        let ndp = ndp_engine_cost();
+        assert!((ndp.area_share("NDPO").unwrap() - 13.3).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantization_overhead_matches_paper() {
+        let (area_pct, power_pct) = quantization_overhead();
+        // Paper: 5.87% extra area, 13.95% extra power.
+        assert!((area_pct - 5.87).abs() < 0.1, "area {area_pct}");
+        assert!((power_pct - 13.95).abs() < 0.1, "power {power_pct}");
+    }
+
+    #[test]
+    fn unknown_module_lookup() {
+        assert!(acceleration_core_cost().module("GPU").is_none());
+        assert!(acceleration_core_cost().area_share("GPU").is_none());
+    }
+
+    #[test]
+    fn display_mentions_totals() {
+        let s = acceleration_core_cost().to_string();
+        assert!(s.contains("Acceleration Core"));
+        assert!(s.contains("mm²"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Training-phase accounting.
+//!
+//! The paper's Fig. 12(b) breaks a training iteration into six parts:
+//! forward (FW), computing gradients on neurons (NG), computing gradients
+//! on weights (WG), updating weights (WU), statistic analysis (S), and
+//! quantization (Q). Every simulator in this workspace charges cycles and
+//! energy against these phases so breakdowns fall out for free.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// One of the six phases of a quantized training iteration (Fig. 12(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Forward pass.
+    Forward,
+    /// Backward: computing gradients on neurons (① in Fig. 1).
+    NeuronGrad,
+    /// Backward: computing gradients on weights (② in Fig. 1).
+    WeightGrad,
+    /// Backward: updating weights (③ in Fig. 1).
+    WeightUpdate,
+    /// Statistic analysis over data to be quantized.
+    Statistic,
+    /// Data reformating (quantization proper).
+    Quantize,
+}
+
+impl Phase {
+    /// All phases in the paper's display order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Forward,
+        Phase::NeuronGrad,
+        Phase::WeightGrad,
+        Phase::WeightUpdate,
+        Phase::Statistic,
+        Phase::Quantize,
+    ];
+
+    /// The paper's two-letter abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Phase::Forward => "FW",
+            Phase::NeuronGrad => "NG",
+            Phase::WeightGrad => "WG",
+            Phase::WeightUpdate => "WU",
+            Phase::Statistic => "S",
+            Phase::Quantize => "Q",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Cycles and energy charged to each phase.
+///
+/// # Examples
+///
+/// ```
+/// use cq_sim::{Phase, PhaseBreakdown};
+///
+/// let mut b = PhaseBreakdown::new();
+/// b.charge(Phase::Forward, 100, 5.0);
+/// b.charge(Phase::WeightUpdate, 50, 2.5);
+/// assert_eq!(b.total_cycles(), 150);
+/// assert_eq!(b.cycles(Phase::Forward), 100);
+/// assert!((b.fraction_cycles(Phase::WeightUpdate) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    cycles: [u64; 6],
+    energy_pj: [f64; 6],
+}
+
+impl PhaseBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        PhaseBreakdown::default()
+    }
+
+    /// Adds `cycles` and `energy_pj` to a phase.
+    pub fn charge(&mut self, phase: Phase, cycles: u64, energy_pj: f64) {
+        let i = phase as usize;
+        self.cycles[i] += cycles;
+        self.energy_pj[i] += energy_pj;
+    }
+
+    /// Cycles charged to a phase.
+    pub fn cycles(&self, phase: Phase) -> u64 {
+        self.cycles[phase as usize]
+    }
+
+    /// Energy (pJ) charged to a phase.
+    pub fn energy_pj(&self, phase: Phase) -> f64 {
+        self.energy_pj[phase as usize]
+    }
+
+    /// Total cycles across all phases.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total energy (pJ) across all phases.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy_pj.iter().sum()
+    }
+
+    /// Fraction of total cycles spent in a phase (0.0 if nothing charged).
+    pub fn fraction_cycles(&self, phase: Phase) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles(phase) as f64 / total as f64
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for i in 0..6 {
+            self.cycles[i] += other.cycles[i];
+            self.energy_pj[i] += other.energy_pj[i];
+        }
+    }
+
+    /// Scales cycles and energy by an integer factor (e.g. layers × batches).
+    pub fn scaled(&self, factor: u64) -> PhaseBreakdown {
+        let mut out = self.clone();
+        for i in 0..6 {
+            out.cycles[i] *= factor;
+            out.energy_pj[i] *= factor as f64;
+        }
+        out
+    }
+}
+
+impl Add for PhaseBreakdown {
+    type Output = PhaseBreakdown;
+
+    fn add(mut self, rhs: PhaseBreakdown) -> PhaseBreakdown {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl AddAssign for PhaseBreakdown {
+    fn add_assign(&mut self, rhs: PhaseBreakdown) {
+        self.merge(&rhs);
+    }
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_cycles().max(1) as f64;
+        for p in Phase::ALL {
+            write!(
+                f,
+                "{}:{:.1}% ",
+                p.abbrev(),
+                self.cycles(p) as f64 / total * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_totals() {
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::Forward, 10, 1.0);
+        b.charge(Phase::Forward, 5, 0.5);
+        b.charge(Phase::Quantize, 5, 2.0);
+        assert_eq!(b.cycles(Phase::Forward), 15);
+        assert_eq!(b.total_cycles(), 20);
+        assert!((b.total_energy_pj() - 3.5).abs() < 1e-12);
+        assert!((b.fraction_cycles(Phase::Quantize) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions() {
+        let b = PhaseBreakdown::new();
+        assert_eq!(b.fraction_cycles(Phase::Forward), 0.0);
+        assert_eq!(b.total_cycles(), 0);
+    }
+
+    #[test]
+    fn merge_and_add() {
+        let mut a = PhaseBreakdown::new();
+        a.charge(Phase::NeuronGrad, 7, 1.0);
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::NeuronGrad, 3, 2.0);
+        b.charge(Phase::WeightGrad, 4, 0.0);
+        let c = a.clone() + b.clone();
+        assert_eq!(c.cycles(Phase::NeuronGrad), 10);
+        assert_eq!(c.cycles(Phase::WeightGrad), 4);
+        a += b;
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::WeightUpdate, 5, 1.5);
+        let s = b.scaled(4);
+        assert_eq!(s.cycles(Phase::WeightUpdate), 20);
+        assert!((s.total_energy_pj() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        let abbrevs: Vec<_> = Phase::ALL.iter().map(|p| p.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["FW", "NG", "WG", "WU", "S", "Q"]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::Forward, 1, 0.0);
+        assert!(!b.to_string().is_empty());
+        assert!(b.to_string().contains("FW:"));
+    }
+}

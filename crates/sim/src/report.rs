@@ -1,0 +1,116 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple aligned-column text table used by the experiment binaries to
+/// print paper-style tables.
+///
+/// # Examples
+///
+/// ```
+/// use cq_sim::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Model", "Speedup"]);
+/// t.row(vec!["AlexNet".into(), "2.09x".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("AlexNet"));
+/// assert!(s.contains("Speedup"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        while cells.len() < self.headers.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                write!(f, "| {:<w$} ", cell, w = widths[i])?;
+            }
+            writeln!(f, "|")
+        };
+        print_row(f, &self.headers)?;
+        for (i, w) in widths.iter().enumerate() {
+            write!(f, "|{:-<w$}", "", w = w + 2)?;
+            if i == ncols - 1 {
+                writeln!(f, "|")?;
+            }
+        }
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as the paper writes them: `4.20x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(vec!["A", "BBBB"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| A     | BBBB |"));
+        assert!(s.contains("| xxxxx | 1    |"));
+        assert!(s.contains("| y     |      |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(ratio(4.2), "4.20x");
+        assert_eq!(pct(13.95), "13.9%");
+    }
+}

@@ -1,0 +1,149 @@
+//! Common result type produced by every platform simulator.
+
+use crate::breakdown::EnergyBreakdown;
+use crate::phase::PhaseBreakdown;
+use std::fmt;
+
+/// The outcome of simulating one training iteration (minibatch) of one
+/// workload on one platform.
+///
+/// All three platform models (Cambricon-Q, the TPU baseline, and the GPU
+/// analytical model) produce this type, so speedup and energy-efficiency
+/// comparisons are uniform.
+///
+/// # Examples
+///
+/// ```
+/// use cq_sim::{Phase, PhaseBreakdown, EnergyBreakdown, SimResult};
+///
+/// let mut phases = PhaseBreakdown::new();
+/// phases.charge(Phase::Forward, 2_000_000, 1e9);
+/// let r = SimResult::new("Cambricon-Q", "AlexNet", 1.0, phases, EnergyBreakdown::new());
+/// assert!((r.time_ms() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Platform name ("Cambricon-Q", "TPU", "GPU (TX2)", ...).
+    pub platform: String,
+    /// Workload name ("AlexNet", ...).
+    pub workload: String,
+    /// Clock frequency the cycle counts are relative to (GHz).
+    pub freq_ghz: f64,
+    /// Cycles and compute energy per training phase.
+    pub phases: PhaseBreakdown,
+    /// Energy by hardware component.
+    pub energy: EnergyBreakdown,
+}
+
+impl SimResult {
+    /// Creates a result.
+    pub fn new(
+        platform: impl Into<String>,
+        workload: impl Into<String>,
+        freq_ghz: f64,
+        phases: PhaseBreakdown,
+        energy: EnergyBreakdown,
+    ) -> Self {
+        SimResult {
+            platform: platform.into(),
+            workload: workload.into(),
+            freq_ghz,
+            phases,
+            energy,
+        }
+    }
+
+    /// Total cycles of the iteration.
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.total_cycles()
+    }
+
+    /// Wall-clock time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.total_cycles() as f64 / (self.freq_ghz * 1e9) * 1e3
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// Speedup of `self` over `other` (>1 means `self` is faster).
+    pub fn speedup_over(&self, other: &SimResult) -> f64 {
+        other.time_ms() / self.time_ms()
+    }
+
+    /// Energy-efficiency gain of `self` over `other` (>1 means `self`
+    /// consumes less energy for the same work).
+    pub fn energy_gain_over(&self, other: &SimResult) -> f64 {
+        other.total_energy_mj() / self.total_energy_mj()
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {:.3} ms, {:.3} mJ",
+            self.platform,
+            self.workload,
+            self.time_ms(),
+            self.total_energy_mj()
+        )
+    }
+}
+
+/// Geometric mean of a slice of ratios (the paper averages speedups and
+/// efficiency gains across benchmarks).
+///
+/// Returns 0.0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn result(cycles: u64, energy_pj: f64) -> SimResult {
+        let mut phases = PhaseBreakdown::new();
+        phases.charge(Phase::Forward, cycles, 0.0);
+        let mut energy = EnergyBreakdown::new();
+        energy.charge(crate::breakdown::Component::Acc, energy_pj);
+        SimResult::new("P", "W", 1.0, phases, energy)
+    }
+
+    #[test]
+    fn time_from_cycles() {
+        let r = result(1_000_000, 0.0);
+        assert!((r.time_ms() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_energy_gain() {
+        let fast = result(1_000, 100.0);
+        let slow = result(4_000, 500.0);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((fast.energy_gain_over(&slow) - 5.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_known() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_contains_units() {
+        let r = result(500, 42.0);
+        let s = r.to_string();
+        assert!(s.contains("ms") && s.contains("mJ"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Execution traces and ASCII visualization.
+//!
+//! Simulators can record per-unit [`TraceRecord`]s (layer × phase costs);
+//! the renderer draws proportional ASCII bars — the terminal stand-in for
+//! the paper's stacked-bar figures (12(b)/12(d)).
+
+use crate::phase::{Phase, PhaseBreakdown};
+use std::fmt;
+
+/// One traced unit of work (typically a layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Unit label (layer name).
+    pub label: String,
+    /// Cycles/energy per phase for this unit.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// An ordered trace of work units.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, label: impl Into<String>, breakdown: PhaseBreakdown) {
+        self.records.push(TraceRecord {
+            label: label.into(),
+            breakdown,
+        });
+    }
+
+    /// The records in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total cycles across all records.
+    pub fn total_cycles(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.breakdown.total_cycles())
+            .sum()
+    }
+
+    /// The `n` most expensive records, descending.
+    pub fn hotspots(&self, n: usize) -> Vec<&TraceRecord> {
+        let mut sorted: Vec<&TraceRecord> = self.records.iter().collect();
+        sorted.sort_by_key(|r| std::cmp::Reverse(r.breakdown.total_cycles()));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Renders proportional ASCII bars, one row per record, `width`
+    /// characters for the largest record. Each phase draws with its own
+    /// glyph: `F` forward, `N` neuron-grad, `W` weight-grad, `U` update,
+    /// `s`/`q` statistic/quantize.
+    pub fn render_bars(&self, width: usize) -> String {
+        let max = self
+            .records
+            .iter()
+            .map(|r| r.breakdown.total_cycles())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let label_w = self
+            .records
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(0);
+        let glyphs = ['F', 'N', 'W', 'U', 's', 'q'];
+        let mut out = String::new();
+        for r in &self.records {
+            let mut bar = String::new();
+            for (p, g) in Phase::ALL.iter().zip(glyphs) {
+                let cells =
+                    (r.breakdown.cycles(*p) as f64 / max as f64 * width as f64).round() as usize;
+                bar.extend(std::iter::repeat_n(g, cells));
+            }
+            out.push_str(&format!("{:label_w$} |{bar}\n", r.label, label_w = label_w));
+        }
+        out
+    }
+}
+
+impl FromIterator<(String, PhaseBreakdown)> for Trace {
+    fn from_iter<T: IntoIterator<Item = (String, PhaseBreakdown)>>(iter: T) -> Self {
+        let mut t = Trace::new();
+        for (label, b) in iter {
+            t.push(label, b);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_bars(60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(fw: u64, wu: u64) -> PhaseBreakdown {
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::Forward, fw, 0.0);
+        b.charge(Phase::WeightUpdate, wu, 0.0);
+        b
+    }
+
+    #[test]
+    fn push_and_totals() {
+        let mut t = Trace::new();
+        t.push("conv1", breakdown(100, 10));
+        t.push("fc6", breakdown(20, 200));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_cycles(), 330);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn hotspots_sorted_descending() {
+        let mut t = Trace::new();
+        t.push("small", breakdown(10, 0));
+        t.push("big", breakdown(1000, 0));
+        t.push("mid", breakdown(100, 0));
+        let hs = t.hotspots(2);
+        assert_eq!(hs[0].label, "big");
+        assert_eq!(hs[1].label, "mid");
+    }
+
+    #[test]
+    fn bars_proportional() {
+        let mut t = Trace::new();
+        t.push("a", breakdown(100, 0));
+        t.push("b", breakdown(50, 50));
+        let s = t.render_bars(40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Row a: 40 F glyphs. Row b: 20 F + 20 U.
+        assert_eq!(lines[0].matches('F').count(), 40);
+        assert_eq!(lines[1].matches('F').count(), 20);
+        assert_eq!(lines[1].matches('U').count(), 20);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = vec![("x".to_string(), breakdown(5, 5))]
+            .into_iter()
+            .collect();
+        assert_eq!(t.records()[0].label, "x");
+        assert!(!t.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_trace_renders_nothing() {
+        assert_eq!(Trace::new().render_bars(10), "");
+        assert_eq!(Trace::new().total_cycles(), 0);
+    }
+}

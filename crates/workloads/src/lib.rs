@@ -1,0 +1,31 @@
+//! # cq-workloads — benchmark network descriptions (paper Table VI)
+//!
+//! Layer-by-layer workload models of the six benchmarks the paper
+//! evaluates: AlexNet, ResNet-18, GoogLeNet, SqueezeNet-V1 (ImageNet,
+//! batch 32), Transformer-Base (WMT17, batch 260), and PTB-LSTM-Medium
+//! (PennTreeBank, batch 1000).
+//!
+//! Each [`Layer`] knows its weight/activation element counts and the MAC
+//! counts of the three training compute passes, which is everything the
+//! cycle simulators need to schedule work and traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use cq_workloads::models;
+//!
+//! let alexnet = models::alexnet();
+//! // AlexNet is the most weight-heavy CNN in the suite (~62M).
+//! assert!(alexnet.total_weights() > 60_000_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::too_many_arguments)] // layer constructors take full dimension lists
+
+pub mod layer;
+pub mod models;
+mod network;
+
+pub use layer::{conv, linear, Layer, LayerKind, MatmulDims};
+pub use network::Network;

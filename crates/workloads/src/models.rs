@@ -1,0 +1,356 @@
+//! The six benchmark networks of the paper's Table VI, encoded layer by
+//! layer with their standard dimensions.
+//!
+//! Pooling/activation/normalization layers contribute negligible MACs and
+//! are folded into the adjacent compute layers' spatial dimensions.
+
+use crate::layer::{conv, linear, Layer, LayerKind};
+use crate::network::Network;
+
+/// AlexNet on ImageNet, batch 32 (Krizhevsky 2012 dimensions, ungrouped).
+pub fn alexnet() -> Network {
+    Network::new(
+        "AlexNet",
+        "ImageNet",
+        32,
+        vec![
+            conv("conv1", 3, 96, 11, 227, 55),
+            conv("conv2", 96, 256, 5, 27, 27),
+            conv("conv3", 256, 384, 3, 13, 13),
+            conv("conv4", 384, 384, 3, 13, 13),
+            conv("conv5", 384, 256, 3, 13, 13),
+            linear("fc6", 9216, 4096),
+            linear("fc7", 4096, 4096),
+            linear("fc8", 4096, 1000),
+        ],
+    )
+}
+
+/// ResNet-18 on ImageNet, batch 32 (He et al. 2016).
+pub fn resnet18() -> Network {
+    let mut layers = vec![conv("conv1", 3, 64, 7, 224, 112)];
+    // layer1: two basic blocks at 56x56, 64 channels.
+    for b in 0..2 {
+        layers.push(conv(&format!("layer1.{b}.conv1"), 64, 64, 3, 56, 56));
+        layers.push(conv(&format!("layer1.{b}.conv2"), 64, 64, 3, 56, 56));
+    }
+    // layer2: downsample to 28x28, 128 channels (+1x1 shortcut).
+    layers.push(conv("layer2.0.conv1", 64, 128, 3, 56, 28));
+    layers.push(conv("layer2.0.conv2", 128, 128, 3, 28, 28));
+    layers.push(conv("layer2.0.downsample", 64, 128, 1, 56, 28));
+    layers.push(conv("layer2.1.conv1", 128, 128, 3, 28, 28));
+    layers.push(conv("layer2.1.conv2", 128, 128, 3, 28, 28));
+    // layer3: 14x14, 256 channels.
+    layers.push(conv("layer3.0.conv1", 128, 256, 3, 28, 14));
+    layers.push(conv("layer3.0.conv2", 256, 256, 3, 14, 14));
+    layers.push(conv("layer3.0.downsample", 128, 256, 1, 28, 14));
+    layers.push(conv("layer3.1.conv1", 256, 256, 3, 14, 14));
+    layers.push(conv("layer3.1.conv2", 256, 256, 3, 14, 14));
+    // layer4: 7x7, 512 channels.
+    layers.push(conv("layer4.0.conv1", 256, 512, 3, 14, 7));
+    layers.push(conv("layer4.0.conv2", 512, 512, 3, 7, 7));
+    layers.push(conv("layer4.0.downsample", 256, 512, 1, 14, 7));
+    layers.push(conv("layer4.1.conv1", 512, 512, 3, 7, 7));
+    layers.push(conv("layer4.1.conv2", 512, 512, 3, 7, 7));
+    layers.push(linear("fc", 512, 1000));
+    Network::new("ResNet-18", "ImageNet", 32, layers)
+}
+
+/// One GoogLeNet inception module: six convolutions.
+fn inception(
+    name: &str,
+    hw: usize,
+    in_c: usize,
+    c1x1: usize,
+    c3red: usize,
+    c3: usize,
+    c5red: usize,
+    c5: usize,
+    pool_proj: usize,
+) -> Vec<Layer> {
+    vec![
+        conv(&format!("{name}.1x1"), in_c, c1x1, 1, hw, hw),
+        conv(&format!("{name}.3x3red"), in_c, c3red, 1, hw, hw),
+        conv(&format!("{name}.3x3"), c3red, c3, 3, hw, hw),
+        conv(&format!("{name}.5x5red"), in_c, c5red, 1, hw, hw),
+        conv(&format!("{name}.5x5"), c5red, c5, 5, hw, hw),
+        conv(&format!("{name}.pool_proj"), in_c, pool_proj, 1, hw, hw),
+    ]
+}
+
+/// GoogLeNet on ImageNet, batch 32 (Szegedy et al. 2015, aux heads omitted).
+pub fn googlenet() -> Network {
+    let mut layers = vec![
+        conv("conv1", 3, 64, 7, 224, 112),
+        conv("conv2.red", 64, 64, 1, 56, 56),
+        conv("conv2", 64, 192, 3, 56, 56),
+    ];
+    layers.extend(inception("3a", 28, 192, 64, 96, 128, 16, 32, 32));
+    layers.extend(inception("3b", 28, 256, 128, 128, 192, 32, 96, 64));
+    layers.extend(inception("4a", 14, 480, 192, 96, 208, 16, 48, 64));
+    layers.extend(inception("4b", 14, 512, 160, 112, 224, 24, 64, 64));
+    layers.extend(inception("4c", 14, 512, 128, 128, 256, 24, 64, 64));
+    layers.extend(inception("4d", 14, 512, 112, 144, 288, 32, 64, 64));
+    layers.extend(inception("4e", 14, 528, 256, 160, 320, 32, 128, 128));
+    layers.extend(inception("5a", 7, 832, 256, 160, 320, 32, 128, 128));
+    layers.extend(inception("5b", 7, 832, 384, 192, 384, 48, 128, 128));
+    layers.push(linear("fc", 1024, 1000));
+    Network::new("GoogLeNet", "ImageNet", 32, layers)
+}
+
+/// One SqueezeNet fire module: squeeze 1x1, expand 1x1 + expand 3x3.
+fn fire(name: &str, hw: usize, in_c: usize, squeeze: usize, expand: usize) -> Vec<Layer> {
+    vec![
+        conv(&format!("{name}.squeeze"), in_c, squeeze, 1, hw, hw),
+        conv(&format!("{name}.expand1x1"), squeeze, expand, 1, hw, hw),
+        conv(&format!("{name}.expand3x3"), squeeze, expand, 3, hw, hw),
+    ]
+}
+
+/// SqueezeNet v1.0 on ImageNet, batch 32 (Iandola et al. 2016).
+pub fn squeezenet_v1() -> Network {
+    let mut layers = vec![conv("conv1", 3, 96, 7, 224, 109)];
+    layers.extend(fire("fire2", 54, 96, 16, 64));
+    layers.extend(fire("fire3", 54, 128, 16, 64));
+    layers.extend(fire("fire4", 54, 128, 32, 128));
+    layers.extend(fire("fire5", 27, 256, 32, 128));
+    layers.extend(fire("fire6", 27, 256, 48, 192));
+    layers.extend(fire("fire7", 27, 384, 48, 192));
+    layers.extend(fire("fire8", 27, 384, 64, 256));
+    layers.extend(fire("fire9", 13, 512, 64, 256));
+    layers.push(conv("conv10", 512, 1000, 1, 13, 13));
+    Network::new("SqueezeNet", "ImageNet", 32, layers)
+}
+
+/// Transformer-Base on WMT17 (Vaswani et al. 2017: 6+6 layers, d_model 512,
+/// d_ff 2048, 8 heads; 32 k vocab output projection).
+///
+/// Table VI's "batchsize 260" is a *token* batch: encoded here as
+/// 10 sequences of 26 tokens. (A 260-sentence batch would make the
+/// weight-update phase negligible, contradicting the paper's §VII.D
+/// observation that Transformer is WU-heavy.)
+pub fn transformer_base() -> Network {
+    const SEQ: usize = 26;
+    let mut layers = Vec::new();
+    for i in 0..6 {
+        layers.push(Layer::new(
+            format!("encoder.{i}"),
+            LayerKind::TransformerLayer {
+                d_model: 512,
+                d_ff: 2048,
+                seq_len: SEQ,
+                attn_projections: 4,
+            },
+        ));
+    }
+    for i in 0..6 {
+        layers.push(Layer::new(
+            format!("decoder.{i}"),
+            LayerKind::TransformerLayer {
+                d_model: 512,
+                d_ff: 2048,
+                seq_len: SEQ,
+                attn_projections: 8,
+            },
+        ));
+    }
+    layers.push(Layer::new(
+        "generator",
+        LayerKind::TokenLinear {
+            in_f: 512,
+            out_f: 32_000,
+            seq_len: SEQ,
+        },
+    ));
+    Network::new("Transformer", "WMT17", 10, layers)
+}
+
+/// PTB-LSTM-Medium on PennTreeBank, batch 1000 (2×650 hidden, 35 steps,
+/// 10 k vocab projection).
+pub fn ptb_lstm_medium() -> Network {
+    Network::new(
+        "LSTM",
+        "PennTreeBank",
+        1000,
+        vec![
+            Layer::new(
+                "lstm1",
+                LayerKind::Lstm {
+                    input: 650,
+                    hidden: 650,
+                    seq_len: 35,
+                },
+            ),
+            Layer::new(
+                "lstm2",
+                LayerKind::Lstm {
+                    input: 650,
+                    hidden: 650,
+                    seq_len: 35,
+                },
+            ),
+            Layer::new(
+                "decoder",
+                LayerKind::TokenLinear {
+                    in_f: 650,
+                    out_f: 10_000,
+                    seq_len: 35,
+                },
+            ),
+        ],
+    )
+}
+
+/// VGG-16 on ImageNet, batch 32 (Simonyan & Zisserman 2015). Not part of
+/// Table VI, but the paper's §II.B motivation measures quantized-training
+/// overheads on VGGNet (38% of compute time on V100), and FloatPIM's 5.2%
+/// degradation example is VGG — so the workload model is provided.
+pub fn vgg16() -> Network {
+    let cfg: &[(usize, usize, usize)] = &[
+        // (in_c, out_c, hw)
+        (3, 64, 224),
+        (64, 64, 224),
+        (64, 128, 112),
+        (128, 128, 112),
+        (128, 256, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (256, 512, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+    ];
+    let mut layers: Vec<Layer> = cfg
+        .iter()
+        .enumerate()
+        .map(|(i, &(ic, oc, hw))| conv(&format!("conv{}", i + 1), ic, oc, 3, hw, hw))
+        .collect();
+    layers.push(linear("fc6", 512 * 7 * 7, 4096));
+    layers.push(linear("fc7", 4096, 4096));
+    layers.push(linear("fc8", 4096, 1000));
+    Network::new("VGG-16", "ImageNet", 32, layers)
+}
+
+/// All six benchmarks in the paper's Table VI order.
+pub fn all_benchmarks() -> Vec<Network> {
+    vec![
+        alexnet(),
+        resnet18(),
+        googlenet(),
+        squeezenet_v1(),
+        transformer_base(),
+        ptb_lstm_medium(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mweights(n: &Network) -> f64 {
+        n.total_weights() as f64 / 1e6
+    }
+
+    #[test]
+    fn alexnet_parameter_count() {
+        // ~62.4M ungrouped (61M with the original grouped convs).
+        let m = mweights(&alexnet());
+        assert!((m - 62.0).abs() < 2.0, "AlexNet {m}M");
+    }
+
+    #[test]
+    fn resnet18_parameter_count() {
+        let m = mweights(&resnet18());
+        assert!((m - 11.5).abs() < 0.5, "ResNet-18 {m}M");
+    }
+
+    #[test]
+    fn googlenet_parameter_count() {
+        let m = mweights(&googlenet());
+        assert!((m - 6.5).abs() < 1.0, "GoogLeNet {m}M");
+    }
+
+    #[test]
+    fn squeezenet_parameter_count() {
+        let m = mweights(&squeezenet_v1());
+        assert!((m - 1.24).abs() < 0.15, "SqueezeNet {m}M");
+    }
+
+    #[test]
+    fn transformer_parameter_count() {
+        let m = mweights(&transformer_base());
+        assert!((m - 60.0).abs() < 5.0, "Transformer {m}M");
+    }
+
+    #[test]
+    fn lstm_parameter_count() {
+        let m = mweights(&ptb_lstm_medium());
+        assert!((m - 13.3).abs() < 1.0, "LSTM {m}M");
+    }
+
+    #[test]
+    fn alexnet_macs_per_image() {
+        // ~0.7-1.1 GMACs per image.
+        let n = alexnet();
+        let g = n.forward_macs() as f64 / n.batch_size as f64 / 1e9;
+        assert!(g > 0.6 && g < 1.3, "AlexNet {g} GMACs");
+    }
+
+    #[test]
+    fn resnet18_macs_per_image() {
+        let n = resnet18();
+        let g = n.forward_macs() as f64 / n.batch_size as f64 / 1e9;
+        assert!(g > 1.5 && g < 2.2, "ResNet-18 {g} GMACs");
+    }
+
+    #[test]
+    fn squeezenet_is_light() {
+        let n = squeezenet_v1();
+        let g = n.forward_macs() as f64 / n.batch_size as f64 / 1e9;
+        assert!(g < 1.0, "SqueezeNet {g} GMACs");
+    }
+
+    #[test]
+    fn wu_intensity_ranking_matches_paper() {
+        // Paper §VII.D: AlexNet and Transformer are WU-heavy; GoogLeNet and
+        // SqueezeNet are WU-light.
+        let heavy = [alexnet().wu_intensity(), transformer_base().wu_intensity()];
+        let light = [googlenet().wu_intensity(), squeezenet_v1().wu_intensity()];
+        for h in heavy {
+            for l in light {
+                assert!(h > l * 3.0, "expected heavy {h} >> light {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn vgg16_parameter_count() {
+        // ~138M parameters, ~15.5 GMACs per image.
+        let n = vgg16();
+        let m = mweights(&n);
+        assert!((m - 138.0).abs() < 4.0, "VGG-16 {m}M");
+        let g = n.forward_macs() as f64 / n.batch_size as f64 / 1e9;
+        assert!(g > 14.0 && g < 17.0, "VGG-16 {g} GMACs");
+    }
+
+    #[test]
+    fn batch_sizes_match_table6() {
+        let batches: Vec<usize> = all_benchmarks().iter().map(|n| n.batch_size).collect();
+        assert_eq!(batches, vec![32, 32, 32, 32, 10, 1000]);
+        // Transformer: 10 sequences x 26 tokens = Table VI's 260-token batch.
+        let t = transformer_base();
+        let tokens_per_sample = 26;
+        assert_eq!(t.batch_size * tokens_per_sample, 260);
+    }
+
+    #[test]
+    fn all_benchmarks_have_layers() {
+        for n in all_benchmarks() {
+            assert!(!n.layers.is_empty(), "{} has no layers", n.name);
+            assert!(n.total_weights() > 0);
+            assert!(n.forward_macs() > 0);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests tying the workload models' accounting together.
+
+use cq_workloads::{conv, linear, models, Layer, LayerKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// For conv and linear layers, the matmul decomposition's MAC count
+    /// equals the layer's own forward-MAC accounting (times batch).
+    #[test]
+    fn matmul_macs_match_forward_macs(
+        in_c in 1usize..64,
+        out_c in 1usize..64,
+        k in 1usize..6,
+        hw in 6usize..32,
+        batch in 1usize..8,
+    ) {
+        let out_hw = hw - k + 1;
+        let layer = conv("c", in_c, out_c, k, hw, out_hw);
+        let decomposed: u64 = layer
+            .as_matmuls(batch)
+            .iter()
+            .map(|mm| mm.macs())
+            .sum();
+        prop_assert_eq!(decomposed, layer.forward_macs() * batch as u64);
+    }
+
+    #[test]
+    fn linear_matmul_macs_match(in_f in 1usize..512, out_f in 1usize..512, batch in 1usize..16) {
+        let layer = linear("fc", in_f, out_f);
+        let decomposed: u64 = layer.as_matmuls(batch).iter().map(|mm| mm.macs()).sum();
+        prop_assert_eq!(decomposed, layer.forward_macs() * batch as u64);
+    }
+
+    /// LSTM decomposition: gate matmul repeated per timestep.
+    #[test]
+    fn lstm_matmul_macs_match(input in 1usize..128, hidden in 1usize..128, t in 1usize..40, batch in 1usize..8) {
+        let layer = Layer::new(
+            "lstm",
+            LayerKind::Lstm {
+                input,
+                hidden,
+                seq_len: t,
+            },
+        );
+        let mms = layer.as_matmuls(batch);
+        prop_assert_eq!(mms.len(), 1);
+        prop_assert_eq!(mms[0].serial_repeats, t as u64);
+        let decomposed: u64 = mms.iter().map(|mm| mm.macs()).sum();
+        prop_assert_eq!(decomposed, layer.forward_macs() * batch as u64);
+    }
+
+    /// Weight counts never depend on the batch; activation counts scale
+    /// linearly with it.
+    #[test]
+    fn batch_scaling_invariants(in_f in 1usize..128, out_f in 1usize..128) {
+        let layer = linear("fc", in_f, out_f);
+        prop_assert_eq!(layer.weight_count(), (in_f * out_f) as u64);
+        prop_assert_eq!(layer.input_count() * 3, (in_f * 3) as u64);
+    }
+}
+
+#[test]
+fn transformer_decomposition_covers_macs() {
+    // The transformer layer's two-matmul decomposition reproduces the
+    // layer's own accounting exactly.
+    for net in [models::transformer_base()] {
+        for layer in &net.layers {
+            let decomposed: u64 = layer
+                .as_matmuls(net.batch_size)
+                .iter()
+                .map(|mm| mm.macs())
+                .sum();
+            let direct = layer.forward_macs() * net.batch_size as u64;
+            assert_eq!(decomposed, direct, "{}", layer.name);
+        }
+    }
+}
+
+#[test]
+fn all_benchmarks_decompose() {
+    for net in models::all_benchmarks() {
+        for layer in &net.layers {
+            let mms = layer.as_matmuls(net.batch_size);
+            assert!(!mms.is_empty(), "{}: no matmuls", layer.name);
+            for mm in &mms {
+                assert!(mm.m > 0 && mm.n > 0 && mm.k > 0 && mm.serial_repeats > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Explore the Cambricon-Q design space: sweep PE-array count, memory
+//! bandwidth and training width, and print where each benchmark becomes
+//! compute- versus memory-bound — the kind of what-if a downstream user
+//! would run before committing to a configuration.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use cq_accel::{CambriconQ, CqConfig};
+use cq_ndp::OptimizerKind;
+use cq_quant::IntFormat;
+use cq_workloads::models;
+
+fn main() {
+    let adam = OptimizerKind::Adam {
+        lr: 1e-3,
+        beta1: 0.9,
+        beta2: 0.999,
+    };
+    let nets = [models::resnet18(), models::alexnet()];
+
+    println!("PE arrays x bandwidth sweep (ResNet-18 / AlexNet iteration ms):\n");
+    println!(
+        "{:>9} {:>9} {:>12} {:>12}",
+        "PE arrays", "BW (GB/s)", "ResNet-18", "AlexNet"
+    );
+    for (arrays, bw_factor) in [(1usize, 1usize), (2, 1), (4, 2), (8, 4), (16, 4), (64, 16)] {
+        let mut cfg = CqConfig::edge();
+        cfg.pe_arrays = arrays;
+        cfg.squ_units = bw_factor;
+        cfg.ddr = cfg.ddr.scaled_bandwidth(bw_factor);
+        let chip = CambriconQ::new(cfg.clone());
+        let times: Vec<f64> = nets
+            .iter()
+            .map(|n| chip.simulate(n, adam).time_ms())
+            .collect();
+        println!(
+            "{:>9} {:>9.1} {:>12.2} {:>12.2}",
+            arrays,
+            cfg.ddr.peak_bandwidth_gbps(),
+            times[0],
+            times[1]
+        );
+    }
+
+    println!("\nTraining width sweep (ResNet-18):\n");
+    println!("{:>7} {:>12} {:>12}", "width", "time (ms)", "energy (mJ)");
+    for fmt in [
+        IntFormat::Int4,
+        IntFormat::Int8,
+        IntFormat::Int12,
+        IntFormat::Int16,
+    ] {
+        let chip = CambriconQ::new(CqConfig::edge().with_format(fmt));
+        let r = chip.simulate(&nets[0], adam);
+        println!(
+            "{:>7} {:>12.2} {:>12.2}",
+            fmt.to_string(),
+            r.time_ms(),
+            r.total_energy_mj()
+        );
+    }
+
+    println!("\nPer-layer hotspots (AlexNet, edge configuration):\n");
+    let chip = CambriconQ::edge();
+    let (_, profile) = chip.simulate_profiled(&nets[1], adam);
+    let trace: cq_sim::Trace = profile.into_iter().collect();
+    for r in trace.hotspots(5) {
+        println!(
+            "  {:18} {:>10} cycles  ({})",
+            r.label,
+            r.breakdown.total_cycles(),
+            r.breakdown
+        );
+    }
+    println!("\nPhase bars per layer (F=FW N=NG W=WG U=WU s/q=stat/quant):\n");
+    print!("{}", trace.render_bars(56));
+}

@@ -1,0 +1,72 @@
+//! Quickstart: quantize data with HQT, compile a matrix multiply to the
+//! Cambricon-Q ISA, and execute it on the functional machine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cq_accel::{compile_dense_forward, CqConfig, DenseLayout, Machine};
+use cq_quant::{E2bqmQuantizer, IntFormat, LdqConfig, LdqTensor};
+use cq_tensor::{init, ops, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- 1. Local Dynamic Quantization (one-pass, block-local) -----
+    let gradients = init::long_tailed(&[4096], 0.01, 0.01, 50.0, 42);
+    let ldq = LdqTensor::quantize(&gradients, LdqConfig::new(1024, IntFormat::Int8));
+    let restored = ldq.dequantize();
+    println!(
+        "LDQ: {} blocks, compression {:.2}x, cosine fidelity {:.4}",
+        ldq.blocks().len(),
+        ldq.compression_ratio(),
+        gradients.cosine_similarity(&restored)?
+    );
+
+    // ----- 2. E2BQM: 4-way candidate quantization with arbitration -----
+    let squ = E2bqmQuantizer::hardware_default();
+    let sel = squ.quantize(&gradients);
+    println!(
+        "E2BQM picked way {} (candidate errors: {:?})",
+        sel.way,
+        sel.errors
+            .iter()
+            .map(|e| format!("{e:.2}"))
+            .collect::<Vec<_>>()
+    );
+
+    // ----- 3. Compile y = x·W to the Cambricon-Q ISA -----
+    let config = CqConfig::edge();
+    let (m, k, n) = (96u32, 64u32, 80u32);
+    let x = init::normal(&[m as usize, k as usize], 0.0, 1.0, 1);
+    let w = init::normal(&[k as usize, n as usize], 0.0, 0.2, 2);
+    let layout = DenseLayout {
+        input: 0,
+        weight: m * k * 4,
+        output: (m * k + k * n) * 4,
+    };
+    let program = compile_dense_forward(&config, layout, m, k, n);
+    println!(
+        "\nCompiled program: {} instructions. First five:",
+        program.len()
+    );
+    for instr in program.iter().take(5) {
+        println!("  {instr}");
+    }
+
+    // ----- 4. Execute on the functional machine -----
+    let mut machine = Machine::new(config, (m * k + k * n + m * n) as usize);
+    machine.dram_mut()[..(m * k) as usize].copy_from_slice(x.data());
+    machine.dram_mut()[(m * k) as usize..(m * k + k * n) as usize].copy_from_slice(w.data());
+    let stats = machine.run(&program)?;
+    let out = Tensor::from_vec(
+        machine.dram()[(m * k + k * n) as usize..].to_vec(),
+        &[m as usize, n as usize],
+    )?;
+    let reference = ops::matmul(&x, &w)?;
+    println!(
+        "\nMachine executed {} instructions, {} MACs, {} quantized elements",
+        stats.instructions, stats.macs, stats.quantized_elements
+    );
+    println!(
+        "Quantized result vs FP32 reference: cosine {:.5}",
+        reference.cosine_similarity(&out)?
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Simulate one training iteration of every benchmark on Cambricon-Q, the
+//! TPU baseline and the Jetson TX2 GPU model — the data behind Fig. 12.
+//!
+//! Run with: `cargo run --release --example simulate_chip`
+
+use cq_accel::{CambriconQ, CqConfig};
+use cq_baselines::{GpuModel, Tpu};
+use cq_ndp::OptimizerKind;
+use cq_sim::Phase;
+use cq_workloads::models;
+
+fn main() {
+    let adam = OptimizerKind::Adam {
+        lr: 1e-3,
+        beta1: 0.9,
+        beta2: 0.999,
+    };
+    let cq = CambriconQ::edge();
+    let cq_no_ndp = CambriconQ::new(CqConfig::edge().without_ndp());
+    let tpu = Tpu::paper();
+    let gpu = GpuModel::jetson_tx2();
+
+    println!(
+        "{:12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "model", "CQ ms", "noNDP ms", "TPU ms", "GPU ms", "spTPU", "spGPU"
+    );
+    for net in models::all_benchmarks() {
+        let r = cq.simulate(&net, adam);
+        let rn = cq_no_ndp.simulate(&net, adam);
+        let rt = tpu.simulate(&net, adam);
+        let rg = gpu.simulate(&net, adam, true);
+        println!(
+            "{:12} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x {:>7.2}x",
+            net.name,
+            r.time_ms(),
+            rn.time_ms(),
+            rt.time_ms(),
+            rg.time_ms(),
+            r.speedup_over(&rt),
+            r.speedup_over(&rg),
+        );
+    }
+
+    // Detailed phase breakdown for the most WU-heavy benchmark.
+    let alexnet = models::alexnet();
+    let r = cq.simulate(&alexnet, adam);
+    let rt = tpu.simulate(&alexnet, adam);
+    println!("\nAlexNet phase breakdown (fraction of iteration time):");
+    for res in [&r, &rt] {
+        print!("  {:12}", res.platform);
+        for p in Phase::ALL {
+            print!(
+                " {}={:5.1}%",
+                p.abbrev(),
+                res.phases.fraction_cycles(p) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("\nAlexNet energy components:");
+    for res in [&r, &rt] {
+        println!("  {:12} {}", res.platform, res.energy);
+    }
+}

@@ -1,0 +1,119 @@
+//! Invariants of the baseline platform models that the Fig. 12/13
+//! comparisons rest on.
+
+use cq_baselines::{GpuModel, Tpu, TpuConfig};
+use cq_ndp::OptimizerKind;
+use cq_sim::Phase;
+use cq_workloads::models;
+
+fn sgd() -> OptimizerKind {
+    OptimizerKind::Sgd { lr: 0.01 }
+}
+
+fn adam() -> OptimizerKind {
+    OptimizerKind::Adam {
+        lr: 1e-3,
+        beta1: 0.9,
+        beta2: 0.999,
+    }
+}
+
+/// Adam's extra optimizer state makes every platform's weight update more
+/// expensive than SGD's.
+#[test]
+fn adam_wu_costs_more_than_sgd_everywhere() {
+    let net = models::alexnet();
+    let tpu = Tpu::paper();
+    let t_sgd = tpu.simulate(&net, sgd());
+    let t_adam = tpu.simulate(&net, adam());
+    assert!(
+        t_adam.phases.cycles(Phase::WeightUpdate) > t_sgd.phases.cycles(Phase::WeightUpdate)
+    );
+    let gpu = GpuModel::jetson_tx2();
+    let g_sgd = gpu.simulate(&net, sgd(), false);
+    let g_adam = gpu.simulate(&net, adam(), false);
+    assert!(
+        g_adam.phases.cycles(Phase::WeightUpdate) > g_sgd.phases.cycles(Phase::WeightUpdate)
+    );
+}
+
+/// TPU iteration time decomposes consistently: every phase is charged and
+/// total cycles equal the sum over phases.
+#[test]
+fn tpu_phase_accounting_consistent() {
+    let r = Tpu::paper().simulate(&models::resnet18(), adam());
+    let sum: u64 = Phase::ALL.iter().map(|&p| r.phases.cycles(p)).sum();
+    assert_eq!(sum, r.total_cycles());
+    for p in [Phase::Forward, Phase::NeuronGrad, Phase::WeightGrad, Phase::WeightUpdate] {
+        assert!(r.phases.cycles(p) > 0, "{p} empty");
+    }
+}
+
+/// A larger staging buffer only helps the TPU (fewer DRAM quantize-pass
+/// round trips).
+#[test]
+fn tpu_staging_buffer_monotone() {
+    let net = models::alexnet();
+    let mut small = TpuConfig::paper();
+    small.staging_bytes = 4 * 1024;
+    let mut large = TpuConfig::paper();
+    large.staging_bytes = 64 * 1024 * 1024;
+    let r_small = Tpu::new(small).simulate(&net, sgd());
+    let r_large = Tpu::new(large).simulate(&net, sgd());
+    assert!(
+        r_large.total_cycles() < r_small.total_cycles(),
+        "large staging {} >= small {}",
+        r_large.total_cycles(),
+        r_small.total_cycles()
+    );
+    // The savings appear specifically in the quantize phase.
+    assert!(r_large.phases.cycles(Phase::Quantize) < r_small.phases.cycles(Phase::Quantize));
+}
+
+/// GPU model scaling sanity: time decreases monotonically from TX2 to
+/// 1080Ti to V100 on every benchmark, and energy follows power × time.
+#[test]
+fn gpu_model_ordering_on_all_benchmarks() {
+    let tx2 = GpuModel::jetson_tx2();
+    let ti = GpuModel::gtx_1080ti();
+    let v100 = GpuModel::v100();
+    for net in models::all_benchmarks() {
+        let a = tx2.simulate(&net, sgd(), false);
+        let b = ti.simulate(&net, sgd(), false);
+        let c = v100.simulate(&net, sgd(), false);
+        assert!(a.time_ms() > b.time_ms(), "{}: TX2 vs 1080Ti", net.name);
+        assert!(b.time_ms() > c.time_ms(), "{}: 1080Ti vs V100", net.name);
+    }
+}
+
+/// The GPU's quantization overhead is additive: the FP32 phases are
+/// identical with and without quantization; only S/Q grow.
+#[test]
+fn gpu_quantization_is_pure_overhead() {
+    let gpu = GpuModel::jetson_tx2();
+    let net = models::googlenet();
+    let fp = gpu.simulate(&net, sgd(), false);
+    let q = gpu.simulate(&net, sgd(), true);
+    for p in [Phase::Forward, Phase::NeuronGrad, Phase::WeightGrad, Phase::WeightUpdate] {
+        assert_eq!(fp.phases.cycles(p), q.phases.cycles(p), "{p} changed");
+    }
+    assert_eq!(fp.phases.cycles(Phase::Statistic), 0);
+    assert!(q.phases.cycles(Phase::Statistic) > 0);
+    assert!(q.phases.cycles(Phase::Quantize) > 0);
+}
+
+/// VGG-16 (the §II.B motivation workload) runs on every platform and is
+/// the heaviest CNN in the suite.
+#[test]
+fn vgg16_is_heaviest_cnn() {
+    let vgg = models::vgg16();
+    let tpu = Tpu::paper();
+    let r_vgg = tpu.simulate(&vgg, adam());
+    let r_alex = tpu.simulate(&models::alexnet(), adam());
+    assert!(r_vgg.time_ms() > r_alex.time_ms() * 2.0);
+    // Quantization overhead on VGG is substantial (the paper's 38% V100
+    // figure motivates the whole design): S+Q visible on the TPU too.
+    let sq = r_vgg.phases.fraction_cycles(Phase::Statistic)
+        + r_vgg.phases.fraction_cycles(Phase::Quantize);
+    assert!(sq > 0.03, "S+Q fraction {sq}");
+}

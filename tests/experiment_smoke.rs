@@ -1,0 +1,59 @@
+//! Smoke tests: every (fast) experiment module renders without panicking,
+//! so all 25 experiment binaries stay runnable.
+
+use cq_experiments::{crosscheck, extensions, hqt, motivation, perf, tables};
+use cq_ndp::OptimizerKind;
+
+#[test]
+fn static_tables_render() {
+    for t in [
+        tables::table1(),
+        tables::table2(),
+        tables::table3(),
+        tables::table5(),
+        tables::table7(),
+        tables::table9(),
+    ] {
+        assert!(!t.to_string().is_empty());
+    }
+}
+
+#[test]
+fn hqt_sweeps_render() {
+    assert!(hqt::ldq_compression_sweep().to_string().contains("C_LDQ"));
+    assert!(hqt::e2bqm_way_sweep().to_string().contains("Ways"));
+    assert!(hqt::qbc_line_width_sweep(1).to_string().contains("Line"));
+}
+
+#[test]
+fn perf_pipeline_renders_all_figures() {
+    let rows = perf::run_comparison();
+    assert_eq!(rows.len(), 6);
+    assert!(!perf::fig12a_table(&rows).is_empty());
+    assert!(!perf::fig12c_table(&rows).is_empty());
+    let (d, ratio) = perf::fig12d_table(&rows);
+    assert!(!d.is_empty() && ratio > 1.0);
+    assert!(!perf::ablation_ndp_table(&rows).is_empty());
+    assert!(!perf::int4_gains().is_empty());
+    assert!(!perf::fig13_table().is_empty());
+}
+
+#[test]
+fn motivation_and_extensions_render() {
+    assert!(!motivation::fig3_gpu_overhead().is_empty());
+    let adam = OptimizerKind::Adam {
+        lr: 1e-3,
+        beta1: 0.9,
+        beta2: 0.999,
+    };
+    assert!(!extensions::traffic_analysis(adam).is_empty());
+    assert!(!extensions::buffer_sweep().is_empty());
+    assert!(!extensions::memory_patterns().is_empty());
+}
+
+#[test]
+fn crosscheck_renders() {
+    let rows = crosscheck::run_crosscheck();
+    assert_eq!(rows.len(), 6);
+    assert!(!crosscheck::crosscheck_table(&rows).is_empty());
+}

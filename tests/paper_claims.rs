@@ -1,0 +1,202 @@
+//! Integration tests pinning the paper's headline claims to the simulator
+//! stack (shape, not absolute numbers — see EXPERIMENTS.md).
+
+use cq_accel::{CambriconQ, CqConfig, ScaleVariant};
+use cq_baselines::{GpuModel, Tpu};
+use cq_ndp::OptimizerKind;
+use cq_quant::ldq::compression_loss;
+use cq_quant::IntFormat;
+use cq_sim::hwcost::quantization_overhead;
+use cq_sim::{geomean, Phase};
+use cq_workloads::models;
+
+fn adam() -> OptimizerKind {
+    OptimizerKind::Adam {
+        lr: 1e-3,
+        beta1: 0.9,
+        beta2: 0.999,
+    }
+}
+
+/// Abstract claim: Cambricon-Q beats both baselines on every benchmark in
+/// both time and energy (Fig. 12).
+#[test]
+fn cambricon_q_wins_everywhere() {
+    let cq = CambriconQ::edge();
+    let tpu = Tpu::paper();
+    let gpu = GpuModel::jetson_tx2();
+    for net in models::all_benchmarks() {
+        let r = cq.simulate(&net, adam());
+        let rt = tpu.simulate(&net, adam());
+        let rg = gpu.simulate(&net, adam(), true);
+        assert!(r.speedup_over(&rt) > 1.0, "{} vs TPU", net.name);
+        assert!(r.speedup_over(&rg) > 1.0, "{} vs GPU", net.name);
+        assert!(r.energy_gain_over(&rt) > 1.0, "{} energy vs TPU", net.name);
+        assert!(r.energy_gain_over(&rg) > 1.0, "{} energy vs GPU", net.name);
+    }
+}
+
+/// The geomean speedups/energy gains land in the paper's regime:
+/// GPU gaps (paper 4.20x perf / 6.41x energy) are larger than TPU gaps
+/// (1.70x / 1.62x).
+#[test]
+fn headline_geomeans_in_paper_regime() {
+    let cq = CambriconQ::edge();
+    let tpu = Tpu::paper();
+    let gpu = GpuModel::jetson_tx2();
+    let mut sp_t = Vec::new();
+    let mut sp_g = Vec::new();
+    let mut en_t = Vec::new();
+    let mut en_g = Vec::new();
+    for net in models::all_benchmarks() {
+        let r = cq.simulate(&net, adam());
+        let rt = tpu.simulate(&net, adam());
+        let rg = gpu.simulate(&net, adam(), true);
+        sp_t.push(r.speedup_over(&rt));
+        sp_g.push(r.speedup_over(&rg));
+        en_t.push(r.energy_gain_over(&rt));
+        en_g.push(r.energy_gain_over(&rg));
+    }
+    let (sp_t, sp_g) = (geomean(&sp_t), geomean(&sp_g));
+    let (en_t, en_g) = (geomean(&en_t), geomean(&en_g));
+    assert!((1.2..2.6).contains(&sp_t), "TPU speedup {sp_t}");
+    assert!((2.5..7.0).contains(&sp_g), "GPU speedup {sp_g}");
+    assert!((1.2..2.6).contains(&en_t), "TPU energy {en_t}");
+    assert!((3.5..12.0).contains(&en_g), "GPU energy {en_g}");
+    assert!(sp_g > sp_t && en_g > en_t);
+}
+
+/// §VII.D: without NDP, WU-heavy models (AlexNet, Transformer) retain only
+/// marginal improvement, while WU-light models (GoogLeNet, SqueezeNet) are
+/// barely affected.
+#[test]
+fn ndp_ablation_matches_section_7d() {
+    let with = CambriconQ::edge();
+    let without = CambriconQ::new(CqConfig::edge().without_ndp());
+    let ndp_benefit = |net| {
+        let a = with.simulate(&net, adam());
+        let b = without.simulate(&net, adam());
+        a.speedup_over(&b)
+    };
+    let heavy = [
+        ndp_benefit(models::alexnet()),
+        ndp_benefit(models::transformer_base()),
+    ];
+    let light = [
+        ndp_benefit(models::googlenet()),
+        ndp_benefit(models::squeezenet_v1()),
+    ];
+    for h in heavy {
+        assert!(h > 1.3, "WU-heavy model should need NDP: {h}");
+        for l in light {
+            assert!(l < 1.15, "WU-light model should not need NDP: {l}");
+            assert!(h > l);
+        }
+    }
+}
+
+/// §VII.C: 4-bit mode yields roughly the paper's 2.33x/2.35x gains.
+#[test]
+fn int4_mode_gains() {
+    let int8 = CambriconQ::edge();
+    let int4 = CambriconQ::new(CqConfig::edge().with_format(IntFormat::Int4));
+    let mut perf = Vec::new();
+    let mut energy = Vec::new();
+    for net in models::all_benchmarks() {
+        let r8 = int8.simulate(&net, adam());
+        let r4 = int4.simulate(&net, adam());
+        perf.push(r4.speedup_over(&r8));
+        energy.push(r4.energy_gain_over(&r8));
+    }
+    let (p, e) = (geomean(&perf), geomean(&energy));
+    assert!((1.5..3.5).contains(&p), "INT4 perf gain {p} (paper 2.33x)");
+    assert!(
+        (1.2..3.5).contains(&e),
+        "INT4 energy gain {e} (paper 2.35x)"
+    );
+}
+
+/// Fig. 13: each scaled variant beats its GPU counterpart on ResNet-18.
+#[test]
+fn fig13_scaled_variants_beat_their_gpus() {
+    let pairs = [
+        (CambriconQ::edge(), GpuModel::jetson_tx2()),
+        (
+            CambriconQ::new(CqConfig::scaled(ScaleVariant::T)),
+            GpuModel::gtx_1080ti(),
+        ),
+        (
+            CambriconQ::new(CqConfig::scaled(ScaleVariant::V)),
+            GpuModel::v100(),
+        ),
+    ];
+    let net = models::resnet18();
+    for (chip, gpu) in pairs {
+        let rc = chip.simulate(&net, adam());
+        let rg = gpu.simulate(&net, adam(), true);
+        assert!(
+            rc.speedup_over(&rg) > 1.0,
+            "{} vs {}: {:.2}",
+            rc.platform,
+            rg.platform,
+            rc.speedup_over(&rg)
+        );
+    }
+}
+
+/// Fig. 12(b) shape: quantization phases are small on Cambricon-Q (fused
+/// one-pass HQT) but visible on the TPU (extra quantize pass).
+#[test]
+fn quantization_phase_asymmetry() {
+    let cq = CambriconQ::edge();
+    let tpu = Tpu::paper();
+    let net = models::alexnet();
+    let r = cq.simulate(&net, adam());
+    let rt = tpu.simulate(&net, adam());
+    let cq_sq =
+        r.phases.fraction_cycles(Phase::Statistic) + r.phases.fraction_cycles(Phase::Quantize);
+    let tpu_sq =
+        rt.phases.fraction_cycles(Phase::Statistic) + rt.phases.fraction_cycles(Phase::Quantize);
+    assert!(cq_sq < 0.1, "Cambricon-Q S+Q fraction {cq_sq}");
+    assert!(tpu_sq > cq_sq * 2.0, "TPU S+Q {tpu_sq} vs CQ {cq_sq}");
+}
+
+/// §II.B motivation: quantized training is slower than FP32 on the GPU
+/// (Fig. 3's 1.09x-1.78x) — the whole reason Cambricon-Q exists.
+#[test]
+fn gpu_quantization_slowdown() {
+    let gpu = GpuModel::jetson_tx2();
+    let mut slowdowns = Vec::new();
+    for net in models::all_benchmarks() {
+        let fp = gpu.simulate(&net, adam(), false);
+        let q = gpu.simulate(&net, adam(), true);
+        slowdowns.push(q.time_ms() / fp.time_ms());
+    }
+    let gm = geomean(&slowdowns);
+    assert!(gm > 1.05 && gm < 2.0, "geomean slowdown {gm}");
+}
+
+/// §III.A: LDQ compression-efficiency loss thresholds.
+#[test]
+fn ldq_compression_thresholds() {
+    let n = 1 << 22;
+    assert!(compression_loss(200, n) < 0.01);
+    assert!(compression_loss(4000, n) < 0.0005);
+}
+
+/// Table VII: quantization support costs 5.87% area / 13.95% power.
+#[test]
+fn quantization_hardware_overhead() {
+    let (area, power) = quantization_overhead();
+    assert!((area - 5.87).abs() < 0.1);
+    assert!((power - 13.95).abs() < 0.1);
+}
+
+/// The paper's peak-performance claims: 2 TOPS INT8 / 8 TOPS INT4 at the
+/// edge; Q-T ≈ 16 TOPS; Q-V ≈ 128 TOPS.
+#[test]
+fn peak_performance_claims() {
+    assert!((CqConfig::edge().peak_tops_int8() - 2.048).abs() < 0.01);
+    assert!((CqConfig::scaled(ScaleVariant::T).peak_tops_int8() - 16.4).abs() < 0.1);
+    assert!((CqConfig::scaled(ScaleVariant::V).peak_tops_int8() - 131.1).abs() < 1.0);
+}
