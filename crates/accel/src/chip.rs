@@ -135,6 +135,30 @@ impl CambriconQ {
         optimizer: OptimizerKind,
     ) -> (SimResult, Vec<(String, PhaseBreakdown)>) {
         let mut mem = DdrModel::new(self.config.ddr);
+        self.run_iteration(net, optimizer, &mut mem)
+    }
+
+    /// Like [`CambriconQ::simulate`], but also returns the DDR model's
+    /// ECC/fault accounting. With the default `DdrConfig` (ECC off, no
+    /// fault process) the returned [`cq_mem::EccStats`] is all-zero and
+    /// the `SimResult` is bit-identical to [`CambriconQ::simulate`].
+    pub fn simulate_resilient(
+        &self,
+        net: &Network,
+        optimizer: OptimizerKind,
+    ) -> (SimResult, cq_mem::EccStats) {
+        let mut mem = DdrModel::new(self.config.ddr);
+        let (result, _) = self.run_iteration(net, optimizer, &mut mem);
+        (result, *mem.ecc_stats())
+    }
+
+    /// One training iteration against a caller-owned memory model.
+    fn run_iteration(
+        &self,
+        net: &Network,
+        optimizer: OptimizerKind,
+        mem: &mut DdrModel,
+    ) -> (SimResult, Vec<(String, PhaseBreakdown)>) {
         let mut phases = PhaseBreakdown::new();
         let mut energy = EnergyBreakdown::new();
         let batch = net.batch_size;
@@ -165,7 +189,7 @@ impl CambriconQ {
                 &[(inputs, self.qbytes()), (weights, self.qbytes())],
                 &[(outputs, self.qbytes())],
                 weights, // FP32 cell reads behind the NDP SQU
-                &mut mem,
+                mem,
                 &mut phases,
                 &mut energy,
             );
@@ -181,7 +205,7 @@ impl CambriconQ {
                 ],
                 &[(inputs, self.qbytes())],
                 weights,
-                &mut mem,
+                mem,
                 &mut phases,
                 &mut energy,
             );
@@ -200,13 +224,13 @@ impl CambriconQ {
                 &[(inputs, self.qbytes()), (outputs, self.qbytes())],
                 wg_writes,
                 0,
-                &mut mem,
+                mem,
                 &mut phases,
                 &mut energy,
             );
             // WU.
             if self.config.ndp_enabled {
-                let stats = ndp.update_weights(weights, &mut mem);
+                let stats = ndp.update_weights(weights, mem);
                 let cycles = mem.to_clock(stats.cycles, self.config.freq_ghz);
                 phases.charge(Phase::WeightUpdate, cycles, stats.compute_energy_pj);
                 energy.charge(Component::Acc, stats.compute_energy_pj);

@@ -10,7 +10,8 @@
 
 use crate::config::CqConfig;
 use cq_quant::e2bqm::E2bqmSelection;
-use cq_quant::{CandidateStrategy, E2bqmQuantizer, ErrorEstimator};
+use cq_quant::guard::GuardAction;
+use cq_quant::{CandidateStrategy, DegradeEvent, E2bqmQuantizer, ErrorEstimator, GuardedQuantizer};
 use cq_sim::EnergyModel;
 use cq_tensor::Tensor;
 
@@ -108,6 +109,52 @@ impl Squ {
         let cost = self.stream_cost(x.len() as u64);
         let sels = self.quantizer.quantize_blocks(x, self.block_elems);
         (sels, cost)
+    }
+
+    /// Like [`Squ::quantize`] but through the overflow/NaN guard: anomalous
+    /// blocks are recovered (sanitize / recompute θ / re-multiplex wider)
+    /// instead of panicking, and each recovery is returned as a
+    /// [`DegradeEvent`]. Re-multiplexed blocks are charged one extra Quant
+    /// Unit pass, since the hardware replays the block through the
+    /// multiplexer at the wider width.
+    pub fn quantize_guarded(
+        &self,
+        x: &Tensor,
+    ) -> (Vec<E2bqmSelection>, SquCost, Vec<DegradeEvent>) {
+        let mut cost = self.stream_cost(x.len() as u64);
+        let guard = GuardedQuantizer::new(self.quantizer);
+        let (sels, events) = guard.quantize_blocks(x, self.block_elems);
+        self.charge_degrades(&mut cost, &events, self.block_elems as u64);
+        (sels, cost, events)
+    }
+
+    /// Quantizes one block whose θ statistic register holds an externally
+    /// observed (possibly fault-corrupted) value; the guard validates and
+    /// recovers. This is the fault-injection seam for the SQU's statistic
+    /// registers.
+    pub fn quantize_guarded_with_theta(
+        &self,
+        x: &Tensor,
+        theta: f32,
+    ) -> (E2bqmSelection, SquCost, Vec<DegradeEvent>) {
+        let mut cost = self.stream_cost(x.len() as u64);
+        let guard = GuardedQuantizer::new(self.quantizer);
+        let (sel, events) = guard.quantize_with_theta(x, theta);
+        self.charge_degrades(&mut cost, &events, x.len() as u64);
+        (sel, cost, events)
+    }
+
+    /// Charges the extra Quant Unit pass each re-multiplexed block costs.
+    fn charge_degrades(&self, cost: &mut SquCost, events: &[DegradeEvent], block_elems: u64) {
+        let remuxes = events
+            .iter()
+            .filter(|e| matches!(e.action, GuardAction::Remultiplexed { .. }))
+            .count() as u64;
+        if remuxes == 0 {
+            return;
+        }
+        cost.quant_cycles += remuxes * block_elems.div_ceil(self.lanes as u64);
+        cost.energy_pj += (remuxes * block_elems) as f64 * self.energy.fixed_mul(16);
     }
 }
 

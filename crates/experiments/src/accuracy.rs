@@ -222,7 +222,6 @@ pub fn table8_render(rows: &[AccuracyRow]) -> TextTable {
     t
 }
 
-
 /// Extended accuracy sweep: all five Table III algorithms (not just the
 /// two the paper's Table VIII evaluates) on the CNN and LSTM proxies.
 pub fn table8_extended(seed: u64) -> TextTable {

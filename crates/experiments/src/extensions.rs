@@ -131,7 +131,6 @@ pub fn buffer_sweep() -> TextTable {
     t
 }
 
-
 /// Memory access-pattern study: achieved bandwidth of the DDR model under
 /// sequential, strided, and bank-pipelined access — why tensor layouts
 /// that preserve row locality matter for the 17.06 GB/s budget.

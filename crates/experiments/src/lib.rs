@@ -36,6 +36,7 @@
 //! | `ldq_ablation` | [`hqt`] | LDQ block-size and QBC line-width sweeps |
 //! | `timing_crosscheck` | [`crosscheck`] | two timing models agree |
 //! | `table8_extended` | [`accuracy`] | all five Table III algorithms |
+//! | `fault_sweep` | [`resilience`] | resilience under injected faults |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,4 +47,5 @@ pub mod extensions;
 pub mod hqt;
 pub mod motivation;
 pub mod perf;
+pub mod resilience;
 pub mod tables;

@@ -1,0 +1,326 @@
+//! Typed fault events and the resilience report.
+
+use cq_mem::EccStats;
+use cq_quant::guard::{GuardAction, QuantAnomaly};
+use cq_quant::{DegradeEvent, IntFormat};
+use cq_sim::report::TextTable;
+use std::fmt;
+
+/// Where a fault landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDomain {
+    /// DRAM cells / DDR bus.
+    Dram,
+    /// On-chip SRAM buffers (NBin/SB/NBout, SQU buffers).
+    Sram,
+    /// A quantizer statistic register (θ).
+    StatReg,
+}
+
+impl fmt::Display for FaultDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultDomain::Dram => "DRAM",
+            FaultDomain::Sram => "SRAM",
+            FaultDomain::StatReg => "stat-reg",
+        })
+    }
+}
+
+/// One entry of the typed fault/resilience log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A fault was injected into live data.
+    Injected {
+        /// Domain the fault landed in.
+        domain: FaultDomain,
+        /// Element index within the corrupted buffer.
+        index: usize,
+        /// Bit position within the element.
+        bit: u32,
+    },
+    /// ECC corrected a single-bit error.
+    Corrected {
+        /// Domain of the protected access.
+        domain: FaultDomain,
+    },
+    /// ECC detected a multi-bit error it cannot correct. The access
+    /// completes with poisoned data flagged — never a panic.
+    Uncorrectable {
+        /// Domain of the protected access.
+        domain: FaultDomain,
+    },
+    /// Corruption passed through undetected (no ECC, or an aliasing
+    /// multi-bit pattern).
+    Silent {
+        /// Domain of the unprotected access.
+        domain: FaultDomain,
+    },
+    /// The guarded quantizer re-multiplexed a block onto a wider format
+    /// after an overflow (E²BQM fallback): precision degrades, the run
+    /// survives.
+    DegradedPrecision {
+        /// Block index within the quantized tensor.
+        block: usize,
+        /// Format before the fallback.
+        from: IntFormat,
+        /// Format after the fallback.
+        to: IntFormat,
+    },
+    /// The guard sanitized non-finite inputs before quantization.
+    Sanitized {
+        /// Block index within the quantized tensor.
+        block: usize,
+        /// Elements replaced.
+        replaced: usize,
+    },
+    /// The guard rejected a corrupt θ and recomputed it from data.
+    StatisticRecovered {
+        /// Block index within the quantized tensor.
+        block: usize,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::Injected { domain, index, bit } => {
+                write!(f, "inject {domain}[{index}] bit {bit}")
+            }
+            FaultEvent::Corrected { domain } => write!(f, "{domain}: corrected"),
+            FaultEvent::Uncorrectable { domain } => write!(f, "{domain}: uncorrectable"),
+            FaultEvent::Silent { domain } => write!(f, "{domain}: silent corruption"),
+            FaultEvent::DegradedPrecision { block, from, to } => {
+                write!(f, "block {block}: degraded {from} → {to}")
+            }
+            FaultEvent::Sanitized { block, replaced } => {
+                write!(f, "block {block}: sanitized {replaced} values")
+            }
+            FaultEvent::StatisticRecovered { block } => {
+                write!(f, "block {block}: θ recovered")
+            }
+        }
+    }
+}
+
+impl From<DegradeEvent> for FaultEvent {
+    fn from(e: DegradeEvent) -> Self {
+        match (e.anomaly, e.action) {
+            (_, GuardAction::Remultiplexed { from, to }) => FaultEvent::DegradedPrecision {
+                block: e.block,
+                from,
+                to,
+            },
+            (_, GuardAction::SanitizedInput { replaced }) => FaultEvent::Sanitized {
+                block: e.block,
+                replaced,
+            },
+            (QuantAnomaly::CorruptStatistic { .. }, _)
+            | (_, GuardAction::RecomputedStatistic { .. }) => {
+                FaultEvent::StatisticRecovered { block: e.block }
+            }
+        }
+    }
+}
+
+/// Aggregated counts of a [`FaultEvent`] log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts {
+    /// Faults injected into live data.
+    pub injected: u64,
+    /// ECC corrections.
+    pub corrected: u64,
+    /// Detected-uncorrectable errors.
+    pub uncorrectable: u64,
+    /// Silent corruptions.
+    pub silent: u64,
+    /// E²BQM precision fallbacks.
+    pub degraded_precision: u64,
+    /// Sanitized quantizer inputs.
+    pub sanitized: u64,
+    /// Recovered θ statistics.
+    pub statistic_recovered: u64,
+}
+
+impl EventCounts {
+    /// Tallies an event log.
+    pub fn tally(events: &[FaultEvent]) -> Self {
+        let mut c = EventCounts::default();
+        for e in events {
+            match e {
+                FaultEvent::Injected { .. } => c.injected += 1,
+                FaultEvent::Corrected { .. } => c.corrected += 1,
+                FaultEvent::Uncorrectable { .. } => c.uncorrectable += 1,
+                FaultEvent::Silent { .. } => c.silent += 1,
+                FaultEvent::DegradedPrecision { .. } => c.degraded_precision += 1,
+                FaultEvent::Sanitized { .. } => c.sanitized += 1,
+                FaultEvent::StatisticRecovered { .. } => c.statistic_recovered += 1,
+            }
+        }
+        c
+    }
+
+    /// All recoveries the resilience machinery performed.
+    pub fn recovered(&self) -> u64 {
+        self.corrected + self.degraded_precision + self.sanitized + self.statistic_recovered
+    }
+}
+
+/// One row of a fault-sweep: a (workload, protection config, fault rate)
+/// cell with its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Workload name.
+    pub workload: String,
+    /// Protection configuration label (e.g. "no-ECC", "ECC", "ECC+E²BQM").
+    pub config: String,
+    /// DRAM bit error rate of the run.
+    pub ber: f64,
+    /// Total iteration cycles.
+    pub cycles: u64,
+    /// Total energy in mJ.
+    pub energy_mj: f64,
+    /// DDR-path ECC accounting.
+    pub ecc: EccStats,
+    /// Value-level event tallies.
+    pub counts: EventCounts,
+}
+
+impl ResilienceReport {
+    /// Silent corruptions from both accounting layers: unprotected or
+    /// aliased DDR bit flips plus value-level silent events.
+    pub fn silent_corruptions(&self) -> u64 {
+        self.ecc.silent_corruptions() + self.counts.silent
+    }
+
+    /// Renders a sweep as a text table, one row per report.
+    pub fn table(rows: &[ResilienceReport]) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "workload",
+            "config",
+            "BER",
+            "cycles",
+            "energy mJ",
+            "corrected",
+            "uncorr.",
+            "silent",
+            "degraded",
+            "θ-recov",
+        ]);
+        for r in rows {
+            t.row(vec![
+                r.workload.clone(),
+                r.config.clone(),
+                format!("{:.0e}", r.ber),
+                r.cycles.to_string(),
+                format!("{:.3}", r.energy_mj),
+                r.ecc.corrected.to_string(),
+                r.ecc.detected_uncorrectable.to_string(),
+                r.silent_corruptions().to_string(),
+                r.counts.degraded_precision.to_string(),
+                r.counts.statistic_recovered.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_every_variant() {
+        let events = vec![
+            FaultEvent::Injected {
+                domain: FaultDomain::Dram,
+                index: 0,
+                bit: 3,
+            },
+            FaultEvent::Corrected {
+                domain: FaultDomain::Dram,
+            },
+            FaultEvent::Uncorrectable {
+                domain: FaultDomain::Dram,
+            },
+            FaultEvent::Silent {
+                domain: FaultDomain::Sram,
+            },
+            FaultEvent::DegradedPrecision {
+                block: 1,
+                from: IntFormat::Int8,
+                to: IntFormat::Int16,
+            },
+            FaultEvent::Sanitized {
+                block: 0,
+                replaced: 2,
+            },
+            FaultEvent::StatisticRecovered { block: 4 },
+        ];
+        let c = EventCounts::tally(&events);
+        assert_eq!(c.injected, 1);
+        assert_eq!(c.corrected, 1);
+        assert_eq!(c.uncorrectable, 1);
+        assert_eq!(c.silent, 1);
+        assert_eq!(c.degraded_precision, 1);
+        assert_eq!(c.sanitized, 1);
+        assert_eq!(c.statistic_recovered, 1);
+        assert_eq!(c.recovered(), 4);
+    }
+
+    #[test]
+    fn degrade_event_conversion() {
+        let remux = DegradeEvent {
+            block: 2,
+            anomaly: QuantAnomaly::Overflow { fraction: 0.1 },
+            action: GuardAction::Remultiplexed {
+                from: IntFormat::Int8,
+                to: IntFormat::Int12,
+            },
+        };
+        assert!(matches!(
+            FaultEvent::from(remux),
+            FaultEvent::DegradedPrecision {
+                block: 2,
+                from: IntFormat::Int8,
+                to: IntFormat::Int12
+            }
+        ));
+        let theta = DegradeEvent {
+            block: 0,
+            anomaly: QuantAnomaly::CorruptStatistic { theta: f32::NAN },
+            action: GuardAction::RecomputedStatistic { theta: 1.0 },
+        };
+        assert!(matches!(
+            FaultEvent::from(theta),
+            FaultEvent::StatisticRecovered { block: 0 }
+        ));
+    }
+
+    #[test]
+    fn events_display() {
+        let e = FaultEvent::Injected {
+            domain: FaultDomain::StatReg,
+            index: 0,
+            bit: 30,
+        };
+        assert!(e.to_string().contains("stat-reg"));
+    }
+
+    #[test]
+    fn report_table_renders_rows() {
+        let r = ResilienceReport {
+            workload: "AlexNet".into(),
+            config: "ECC".into(),
+            ber: 1e-6,
+            cycles: 123,
+            energy_mj: 4.5,
+            ecc: EccStats::default(),
+            counts: EventCounts::default(),
+        };
+        let t = ResilienceReport::table(std::slice::from_ref(&r));
+        assert_eq!(t.len(), 1);
+        let s = t.to_string();
+        assert!(s.contains("AlexNet") && s.contains("1e-6"), "{s}");
+    }
+}

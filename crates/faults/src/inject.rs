@@ -1,0 +1,256 @@
+//! Deterministic value-level fault injection.
+//!
+//! The DDR model injects faults *statistically* (counts and costs); this
+//! module injects them *into actual values* — f32 tensors streaming
+//! through SRAM buffers, DRAM-resident weight rows, or the SQU's θ
+//! statistic registers — so the functional consequences (NaNs, blown-up
+//! scales, saturated blocks) are real and the guards downstream have
+//! something to catch. All sampling is counter-based off a single seed:
+//! the same [`FaultInjector`] replayed over the same calls produces the
+//! same corruption, which is what makes the fault-sweep experiments
+//! reproducible.
+
+use crate::events::{FaultDomain, FaultEvent};
+
+/// What kind of corruption to apply to a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one uniformly chosen bit.
+    BitFlip,
+    /// Force one bit to 1 (stuck-at-1 cell).
+    StuckAtOne,
+    /// Force one bit to 0 (stuck-at-0 cell).
+    StuckAtZero,
+}
+
+/// Stateless SplitMix64 finalizer (same construction as `cq-mem`'s
+/// counter-based sampler).
+fn hash64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable, deterministic fault injector with an event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    seed: u64,
+    draws: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// An injector drawing from `seed`'s stream.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            draws: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Next raw word of the stream.
+    fn next(&mut self) -> u64 {
+        self.draws += 1;
+        hash64(self.seed ^ self.draws.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Next uniform draw in `[0, 1)`.
+    fn next_unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next index in `0..n`.
+    fn next_index(&mut self, n: usize) -> usize {
+        ((self.next() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Drains the event log.
+    pub fn take_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Applies one fault to a single f32, returning the corrupted value.
+    pub fn corrupt_value(&mut self, value: f32, kind: FaultKind) -> f32 {
+        let bit = self.next_index(32) as u32;
+        let bits = value.to_bits();
+        let out = match kind {
+            FaultKind::BitFlip => bits ^ (1 << bit),
+            FaultKind::StuckAtOne => bits | (1 << bit),
+            FaultKind::StuckAtZero => bits & !(1 << bit),
+        };
+        f32::from_bits(out)
+    }
+
+    /// Corrupts a θ statistic-register value by one bit flip, logging the
+    /// event. A flip in the exponent field turns a plausible statistic
+    /// into a huge/tiny/non-finite one — exactly the failure the guarded
+    /// quantizer must absorb.
+    pub fn corrupt_theta(&mut self, theta: f32) -> f32 {
+        let out = self.corrupt_value(theta, FaultKind::BitFlip);
+        self.events.push(FaultEvent::Injected {
+            domain: FaultDomain::StatReg,
+            index: 0,
+            bit: (theta.to_bits() ^ out.to_bits()).trailing_zeros(),
+        });
+        out
+    }
+
+    /// Samples bit flips over a slice at a per-bit error rate, applying
+    /// and logging each. Returns how many bits were flipped.
+    ///
+    /// The flip count is Poisson(`len × 32 × ber`) via CDF inversion, so
+    /// rates far below one-per-slice behave correctly (usually zero flips,
+    /// occasionally one) instead of being rounded away.
+    pub fn corrupt_slice(&mut self, data: &mut [f32], ber: f64, domain: FaultDomain) -> usize {
+        if data.is_empty() || ber <= 0.0 {
+            return 0;
+        }
+        let lambda = data.len() as f64 * 32.0 * ber;
+        let u = self.next_unit();
+        let mut k = 0usize;
+        let mut p = (-lambda).exp();
+        let mut cdf = p;
+        while u > cdf && k < 4096 {
+            k += 1;
+            p *= lambda / k as f64;
+            cdf += p;
+        }
+        for _ in 0..k {
+            let index = self.next_index(data.len());
+            let bit = self.next_index(32) as u32;
+            data[index] = f32::from_bits(data[index].to_bits() ^ (1 << bit));
+            self.events
+                .push(FaultEvent::Injected { domain, index, bit });
+        }
+        k
+    }
+
+    /// Applies a stuck-at fault to one element of a buffer, logging it.
+    pub fn stuck_at(&mut self, data: &mut [f32], index: usize, bit: u32, one: bool) {
+        assert!(index < data.len(), "stuck-at index {index} out of bounds");
+        assert!(bit < 32, "stuck-at bit {bit} out of range");
+        let kind = if one {
+            FaultKind::StuckAtOne
+        } else {
+            FaultKind::StuckAtZero
+        };
+        let bits = data[index].to_bits();
+        data[index] = f32::from_bits(match kind {
+            FaultKind::StuckAtOne => bits | (1 << bit),
+            _ => bits & !(1 << bit),
+        });
+        self.events.push(FaultEvent::Injected {
+            domain: FaultDomain::Sram,
+            index,
+            bit,
+        });
+    }
+
+    /// Corrupts a contiguous burst of elements (a failed SRAM line or DRAM
+    /// burst): every element in `start..start+len` gets one bit flip.
+    pub fn burst(&mut self, data: &mut [f32], start: usize, len: usize, domain: FaultDomain) {
+        let end = (start + len).min(data.len());
+        for (index, v) in data.iter_mut().enumerate().take(end).skip(start) {
+            let bit = self.next_index(32) as u32;
+            *v = f32::from_bits(v.to_bits() ^ (1 << bit));
+            self.events
+                .push(FaultEvent::Injected { domain, index, bit });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultInjector::new(9);
+        let mut b = FaultInjector::new(9);
+        let mut da = vec![1.0f32; 4096];
+        let mut db = da.clone();
+        a.corrupt_slice(&mut da, 1e-4, FaultDomain::Sram);
+        b.corrupt_slice(&mut db, 1e-4, FaultDomain::Sram);
+        assert_eq!(da, db);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = FaultInjector::new(1);
+        let mut b = FaultInjector::new(2);
+        let mut da = vec![1.0f32; 4096];
+        let mut db = da.clone();
+        a.corrupt_slice(&mut da, 1e-3, FaultDomain::Dram);
+        b.corrupt_slice(&mut db, 1e-3, FaultDomain::Dram);
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn zero_rate_is_a_noop() {
+        let mut inj = FaultInjector::new(5);
+        let mut data = vec![0.25f32; 1000];
+        let flips = inj.corrupt_slice(&mut data, 0.0, FaultDomain::Sram);
+        assert_eq!(flips, 0);
+        assert!(data.iter().all(|&v| v == 0.25));
+        assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn flip_count_tracks_rate() {
+        let mut inj = FaultInjector::new(3);
+        let mut data = vec![1.0f32; 1 << 16];
+        // λ = 65536 × 32 × 1e-4 ≈ 210 expected flips.
+        let flips = inj.corrupt_slice(&mut data, 1e-4, FaultDomain::Dram);
+        assert!((100..400).contains(&flips), "flips {flips}");
+        assert_eq!(inj.events().len(), flips);
+    }
+
+    #[test]
+    fn stuck_at_forces_bit() {
+        let mut inj = FaultInjector::new(1);
+        let mut data = vec![0.0f32; 4];
+        inj.stuck_at(&mut data, 2, 30, true); // high exponent bit
+        assert!(data[2] != 0.0);
+        inj.stuck_at(&mut data, 2, 30, false);
+        assert_eq!(data[2], 0.0);
+    }
+
+    #[test]
+    fn burst_corrupts_the_whole_run() {
+        let mut inj = FaultInjector::new(7);
+        let mut data = vec![1.0f32; 64];
+        inj.burst(&mut data, 8, 16, FaultDomain::Sram);
+        let touched = data.iter().filter(|&&v| v != 1.0).count();
+        assert_eq!(touched, 16, "every burst element must change");
+        assert_eq!(inj.events().len(), 16);
+    }
+
+    #[test]
+    fn theta_corruption_changes_exactly_one_bit() {
+        let mut inj = FaultInjector::new(11);
+        for _ in 0..100 {
+            let theta = 1.5f32;
+            let bad = inj.corrupt_theta(theta);
+            assert_eq!((theta.to_bits() ^ bad.to_bits()).count_ones(), 1);
+        }
+        assert_eq!(inj.events().len(), 100);
+    }
+
+    #[test]
+    fn take_events_drains() {
+        let mut inj = FaultInjector::new(2);
+        let mut data = vec![1.0f32; 8];
+        inj.burst(&mut data, 0, 8, FaultDomain::Sram);
+        assert_eq!(inj.take_events().len(), 8);
+        assert!(inj.events().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Fault-sweep configuration: what to inject and what protects against it.
+
+use crate::inject::FaultInjector;
+use cq_mem::{DdrConfig, EccConfig, FaultModel};
+
+/// One cell of a fault sweep: an injection intensity paired with the
+/// protection mechanisms that are armed against it.
+///
+/// A plan is pure data — it does not own an RNG stream. [`FaultPlan::injector`]
+/// mints a fresh deterministic [`FaultInjector`] from the plan's seed, and
+/// [`FaultPlan::ddr_config`] stamps the DDR-side fault model and ECC
+/// configuration onto a base [`DdrConfig`], so the same plan replayed over the
+/// same workload reproduces the same corruption bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every deterministic sampler the plan mints.
+    pub seed: u64,
+    /// DRAM bit error rate applied on the DDR path (per transferred bit).
+    pub dram_ber: f64,
+    /// SRAM bit error rate applied to on-chip buffers by value-level
+    /// injection (per stored bit).
+    pub sram_ber: f64,
+    /// Whether to corrupt quantizer θ statistic registers.
+    pub corrupt_theta: bool,
+    /// DDR-path ECC configuration armed against the DRAM faults.
+    pub ecc: EccConfig,
+    /// Whether the guarded quantizer (E²BQM re-multiplexing fallback) is
+    /// armed against value-level corruption.
+    pub guarded_quant: bool,
+}
+
+impl FaultPlan {
+    /// A fault-free, unprotected plan: the zero-cost baseline.
+    pub fn clean(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            dram_ber: 0.0,
+            sram_ber: 0.0,
+            corrupt_theta: false,
+            ecc: EccConfig::off(),
+            guarded_quant: false,
+        }
+    }
+
+    /// Faults at `ber` with no protection at all: corruption passes silently.
+    pub fn unprotected(seed: u64, ber: f64) -> Self {
+        FaultPlan {
+            dram_ber: ber,
+            sram_ber: ber,
+            corrupt_theta: true,
+            ..FaultPlan::clean(seed)
+        }
+    }
+
+    /// Faults at `ber` with SECDED ECC on the DDR path only.
+    pub fn ecc_only(seed: u64, ber: f64) -> Self {
+        FaultPlan {
+            ecc: EccConfig::secded(),
+            ..FaultPlan::unprotected(seed, ber)
+        }
+    }
+
+    /// Faults at `ber` with the full stack armed: SECDED on the DDR path
+    /// plus the guarded quantizer's E²BQM re-multiplexing fallback.
+    pub fn full_protection(seed: u64, ber: f64) -> Self {
+        FaultPlan {
+            guarded_quant: true,
+            ..FaultPlan::ecc_only(seed, ber)
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match (self.ecc.is_on(), self.guarded_quant) {
+            (false, false) => "no-ECC",
+            (true, false) => "ECC",
+            (true, true) => "ECC+E2BQM",
+            (false, true) => "E2BQM",
+        }
+    }
+
+    /// True when the plan injects no faults anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.dram_ber == 0.0 && self.sram_ber == 0.0 && !self.corrupt_theta
+    }
+
+    /// Stamps the plan's DDR-side fault model and ECC config onto a base
+    /// DDR configuration.
+    pub fn ddr_config(&self, base: DdrConfig) -> DdrConfig {
+        let cfg = base.with_ecc(self.ecc);
+        if self.dram_ber > 0.0 {
+            cfg.with_fault(FaultModel::new(self.dram_ber, self.seed))
+        } else {
+            cfg
+        }
+    }
+
+    /// A fresh value-level injector drawing from the plan's seed.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_name_the_armed_protections() {
+        assert_eq!(FaultPlan::unprotected(0, 1e-6).label(), "no-ECC");
+        assert_eq!(FaultPlan::ecc_only(0, 1e-6).label(), "ECC");
+        assert_eq!(FaultPlan::full_protection(0, 1e-6).label(), "ECC+E2BQM");
+    }
+
+    #[test]
+    fn clean_plan_leaves_ddr_config_untouched() {
+        let base = DdrConfig::cambricon_q();
+        let cfg = FaultPlan::clean(42).ddr_config(base);
+        assert_eq!(cfg, base);
+        assert!(FaultPlan::clean(42).is_clean());
+    }
+
+    #[test]
+    fn faulty_plan_arms_the_ddr_model() {
+        let base = DdrConfig::cambricon_q();
+        let plan = FaultPlan::ecc_only(7, 1e-5);
+        let cfg = plan.ddr_config(base);
+        assert!(cfg.ecc.is_on());
+        assert_eq!(cfg.fault, Some(FaultModel::new(1e-5, 7)));
+        assert!(!plan.is_clean());
+    }
+
+    #[test]
+    fn injectors_from_the_same_plan_agree() {
+        let plan = FaultPlan::full_protection(3, 1e-4);
+        let mut a = plan.injector();
+        let mut b = plan.injector();
+        assert_eq!(a.corrupt_theta(1.0), b.corrupt_theta(1.0));
+    }
+}

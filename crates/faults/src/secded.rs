@@ -1,0 +1,208 @@
+//! A real Hamming SECDED(72,64) codec.
+//!
+//! The timing model in `cq-mem` accounts ECC statistically; this module is
+//! the bit-level ground truth it abstracts: 64 data bits protected by 7
+//! Hamming check bits (positions 1, 2, 4, …, 64 of the codeword) plus one
+//! overall parity bit. Any single-bit error — in the data, the check bits,
+//! or the parity bit itself — is located and corrected; any double-bit
+//! error is detected but not correctable, which is exactly the
+//! single-error-correct / double-error-detect contract server DRAM ships
+//! with.
+
+/// Codeword length in bits: 64 data + 7 Hamming checks + overall parity.
+pub const CODE_BITS: usize = 72;
+
+/// Outcome of decoding one protected word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Secded {
+    /// No error detected.
+    Clean,
+    /// A single-bit error was corrected.
+    Corrected {
+        /// The repaired data word.
+        data: u64,
+        /// Codeword position of the flipped bit (0 = overall parity).
+        position: u32,
+    },
+    /// A double-bit error: detected, not correctable.
+    DoubleBit,
+}
+
+/// Codeword positions (1..72) that hold data bits: everything except the
+/// powers of two where the Hamming check bits live.
+fn data_positions() -> [usize; 64] {
+    let mut out = [0usize; 64];
+    let mut d = 0;
+    let mut pos = 1usize;
+    while d < 64 {
+        if !pos.is_power_of_two() {
+            out[d] = pos;
+            d += 1;
+        }
+        pos += 1;
+    }
+    out
+}
+
+/// Spreads a data word over its codeword positions; check positions stay 0.
+fn spread(data: u64) -> u128 {
+    let mut code = 0u128;
+    for (d, pos) in data_positions().iter().enumerate() {
+        if (data >> d) & 1 == 1 {
+            code |= 1u128 << pos;
+        }
+    }
+    code
+}
+
+/// Recomputes the 7 Hamming check bits of a spread codeword.
+fn hamming_checks(code: u128) -> u8 {
+    let mut check = 0u8;
+    for i in 0..7u32 {
+        let sel = 1usize << i;
+        let mut parity = false;
+        for pos in 1..CODE_BITS {
+            if pos & sel != 0 && (code >> pos) & 1 == 1 {
+                parity = !parity;
+            }
+        }
+        if parity {
+            check |= 1 << i;
+        }
+    }
+    check
+}
+
+/// Encodes a 64-bit data word into its 8-bit check byte: Hamming checks in
+/// bits 0..=6, overall parity in bit 7.
+pub fn encode(data: u64) -> u8 {
+    let mut code = spread(data);
+    let checks = hamming_checks(code);
+    for i in 0..7u32 {
+        if (checks >> i) & 1 == 1 {
+            code |= 1u128 << (1usize << i);
+        }
+    }
+    let overall = (code.count_ones() % 2) as u8;
+    checks | (overall << 7)
+}
+
+/// Decodes a (possibly corrupted) data word against its (possibly
+/// corrupted) check byte.
+pub fn decode(data: u64, check: u8) -> Secded {
+    let mut code = spread(data);
+    for i in 0..7u32 {
+        if (check >> i) & 1 == 1 {
+            code |= 1u128 << (1usize << i);
+        }
+    }
+    // With the received check bits in place, each recomputed check bit is
+    // data-parity ⊕ received-check — i.e. the syndrome directly.
+    let syndrome = hamming_checks(code) as usize;
+    let stored_parity = (check >> 7) & 1;
+    let parity_mismatch = (code.count_ones() % 2) as u8 != stored_parity;
+    match (syndrome, parity_mismatch) {
+        (0, false) => Secded::Clean,
+        // Overall-parity bit itself flipped; the data is intact.
+        (0, true) => Secded::Corrected { data, position: 0 },
+        (s, true) if s < CODE_BITS => {
+            // Single-bit error at codeword position s. Repair the data if
+            // it landed on a data position (a flipped check bit leaves the
+            // data untouched).
+            let mut repaired = data;
+            if let Some(d) = data_positions().iter().position(|&p| p == s) {
+                repaired ^= 1u64 << d;
+            }
+            Secded::Corrected {
+                data: repaired,
+                position: s as u32,
+            }
+        }
+        // Nonzero syndrome with matching parity (an even number of flips),
+        // or a syndrome pointing outside the codeword: uncorrectable.
+        _ => Secded::DoubleBit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Flips one bit of the (data, check) pair by codeword position:
+    /// positions 1..72 via the data/check layout, 0 = parity bit.
+    fn flip(data: u64, check: u8, position: usize) -> (u64, u8) {
+        if position == 0 {
+            return (data, check ^ 0x80);
+        }
+        if position.is_power_of_two() {
+            let i = position.trailing_zeros();
+            return (data, check ^ (1 << i));
+        }
+        let d = data_positions()
+            .iter()
+            .position(|&p| p == position)
+            .expect("non-check position holds data");
+        (data ^ (1u64 << d), check)
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 1, 1 << 63] {
+            assert_eq!(decode(data, encode(data)), Secded::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let check = encode(data);
+        for pos in 0..CODE_BITS {
+            let (bad_data, bad_check) = flip(data, check, pos);
+            match decode(bad_data, bad_check) {
+                Secded::Corrected {
+                    data: repaired,
+                    position,
+                } => {
+                    assert_eq!(repaired, data, "position {pos}");
+                    assert_eq!(position as usize, pos);
+                }
+                other => panic!("position {pos}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let check = encode(data);
+        for a in 0..CODE_BITS {
+            for b in (a + 1)..CODE_BITS {
+                let (d1, c1) = flip(data, check, a);
+                let (d2, c2) = flip(d1, c1, b);
+                assert_eq!(
+                    decode(d2, c2),
+                    Secded::DoubleBit,
+                    "positions {a},{b} escaped detection"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn random_words_roundtrip(data in any::<u64>()) {
+            prop_assert_eq!(decode(data, encode(data)), Secded::Clean);
+        }
+
+        #[test]
+        fn random_single_flips_correct(data in any::<u64>(), pos in 0usize..CODE_BITS) {
+            let check = encode(data);
+            let (bd, bc) = flip(data, check, pos);
+            match decode(bd, bc) {
+                Secded::Corrected { data: repaired, .. } => prop_assert_eq!(repaired, data),
+                other => prop_assert!(false, "expected correction, got {:?}", other),
+            }
+        }
+    }
+}

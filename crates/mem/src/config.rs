@@ -1,5 +1,6 @@
 //! DDR geometry and timing configuration.
 
+use crate::ecc::{EccConfig, FaultModel};
 use std::fmt;
 
 /// Timing parameters of the DDR device, in memory-controller clock cycles.
@@ -61,6 +62,11 @@ pub struct DdrConfig {
     pub freq_mhz: f64,
     /// Timing parameters.
     pub timing: DdrTiming,
+    /// ECC protection of the data path (off by default, exactly free).
+    pub ecc: EccConfig,
+    /// Optional transient-fault process on transferred data. `None` (the
+    /// default) means the fault path is never sampled.
+    pub fault: Option<FaultModel>,
 }
 
 impl DdrConfig {
@@ -72,7 +78,21 @@ impl DdrConfig {
             bus_bytes: 8,
             freq_mhz: 1066.0,
             timing: DdrTiming::default(),
+            ecc: EccConfig::off(),
+            fault: None,
         }
+    }
+
+    /// The same configuration with the given ECC setting.
+    pub fn with_ecc(mut self, ecc: EccConfig) -> Self {
+        self.ecc = ecc;
+        self
+    }
+
+    /// The same configuration with a transient-fault process attached.
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// A configuration with bandwidth scaled by an integer factor, used for

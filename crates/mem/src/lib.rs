@@ -25,7 +25,9 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod ecc;
 mod model;
 
 pub use config::{DdrConfig, DdrTiming};
+pub use ecc::{EccConfig, EccMode, EccStats, FaultModel, ECC_WORD_BYTES};
 pub use model::{DdrEnergy, DdrModel, Dir, MemStats};

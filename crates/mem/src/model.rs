@@ -12,6 +12,7 @@
 //!   command sequence.
 
 use crate::config::DdrConfig;
+use crate::ecc::{hash64, hash_to_unit, EccStats, ECC_WORD_BYTES};
 use std::fmt;
 
 /// Which direction a data transfer moves.
@@ -108,6 +109,10 @@ pub struct DdrModel {
     last_dir: Option<Dir>,
     /// Busy cycles accumulated since the last refresh charge.
     since_refresh: u64,
+    /// ECC and fault accounting (all zero unless configured).
+    ecc_stats: EccStats,
+    /// Draw counter of the counter-based fault sampler.
+    fault_draws: u64,
 }
 
 impl DdrModel {
@@ -120,6 +125,8 @@ impl DdrModel {
             stats: MemStats::default(),
             last_dir: None,
             since_refresh: 0,
+            ecc_stats: EccStats::default(),
+            fault_draws: 0,
         }
     }
 
@@ -133,9 +140,103 @@ impl DdrModel {
         &self.stats
     }
 
-    /// Resets statistics (open-row state is kept).
+    /// Resets statistics (open-row state and the fault-sampler position
+    /// are kept, so a fault stream does not restart mid-run).
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+        self.ecc_stats = EccStats::default();
+    }
+
+    /// ECC and fault accounting accumulated so far. All-zero unless the
+    /// configuration enables ECC or attaches a fault process.
+    pub fn ecc_stats(&self) -> &EccStats {
+        &self.ecc_stats
+    }
+
+    /// Samples the fault process and charges ECC checker/correction costs
+    /// for one access of `bytes` data bytes. Returns extra cycles, which
+    /// the caller adds to both its return value and `stats.cycles`.
+    ///
+    /// Exactly zero-cost (no state touched, returns 0) when ECC is off and
+    /// no fault process is attached.
+    fn ecc_and_faults(&mut self, bytes: usize) -> u64 {
+        let ecc = self.config.ecc;
+        let fault = self.config.fault;
+        if !ecc.is_on() && fault.is_none() {
+            return 0;
+        }
+        let words = bytes.div_ceil(ECC_WORD_BYTES).max(1) as u64;
+        let mut extra = 0;
+        if ecc.is_on() {
+            self.ecc_stats.words_checked += words;
+            self.ecc_stats.check_cycles += ecc.check_cycles;
+            extra += ecc.check_cycles;
+            let check_pj = bytes as f64 * ecc.check_pj_per_byte
+                + bytes as f64 * ecc.storage_overhead * self.energy.per_byte_pj;
+            self.ecc_stats.energy_pj += check_pj;
+            self.stats.energy_pj += check_pj;
+        }
+        let Some(f) = fault else { return extra };
+        if f.ber <= 0.0 {
+            return extra;
+        }
+        // Poisson(bits × ber) flip count by CDF inversion; counter-based
+        // draws keep the stream deterministic per (seed, access sequence).
+        let lambda = (bytes as f64 * 8.0) * f.ber;
+        let u = self.next_fault_unit(f.seed);
+        let mut k = 0u64;
+        let mut p = (-lambda).exp();
+        let mut cdf = p;
+        while u > cdf && k < 64 {
+            k += 1;
+            p *= lambda / k as f64;
+            cdf += p;
+        }
+        if k == 0 {
+            return extra;
+        }
+        self.ecc_stats.bit_flips_injected += k;
+        if !ecc.is_on() {
+            self.ecc_stats.silent_bit_flips += k;
+            return extra;
+        }
+        // Distribute the flips over the access's ECC words and apply
+        // SECDED semantics per word: 1 flip corrects, 2 (or any even
+        // count) detects, odd ≥3 aliases to a bogus single-bit fix.
+        let mut hit_words: Vec<(u64, u64)> = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            let w = hash64(self.next_fault_raw(f.seed)) % words;
+            match hit_words.iter_mut().find(|(idx, _)| *idx == w) {
+                Some((_, count)) => *count += 1,
+                None => hit_words.push((w, 1)),
+            }
+        }
+        for (_, count) in hit_words {
+            if count == 1 {
+                self.ecc_stats.corrected += 1;
+                self.ecc_stats.correct_cycles += ecc.correct_cycles;
+                extra += ecc.correct_cycles;
+                self.ecc_stats.energy_pj += ecc.correct_pj;
+                self.stats.energy_pj += ecc.correct_pj;
+            } else if count % 2 == 0 {
+                self.ecc_stats.detected_uncorrectable += 1;
+            } else {
+                self.ecc_stats.miscorrected += 1;
+            }
+        }
+        extra
+    }
+
+    /// Next raw word of the counter-based fault stream.
+    fn next_fault_raw(&mut self, seed: u64) -> u64 {
+        self.fault_draws += 1;
+        hash64(seed ^ self.fault_draws.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Next uniform `[0, 1)` draw of the fault stream.
+    fn next_fault_unit(&mut self, seed: u64) -> f64 {
+        let raw = self.next_fault_raw(seed);
+        hash_to_unit(raw)
     }
 
     /// Decodes an address into (bank, row): rows are interleaved across
@@ -221,6 +322,7 @@ impl DdrModel {
             cycles += t.t_rfc;
             self.stats.refreshes += 1;
         }
+        cycles += self.ecc_and_faults(bytes);
         self.stats.cycles += cycles;
         match dir {
             Dir::Read => self.stats.bytes_read += bytes as u64,
@@ -295,6 +397,7 @@ impl DdrModel {
             }
             let bursts = chunk.div_ceil(self.config.burst_bytes()).max(1) as u64;
             burst_cycles += bursts * t.t_burst;
+            burst_cycles += self.ecc_and_faults(chunk);
             match dir {
                 Dir::Read => self.stats.bytes_read += chunk as u64,
                 Dir::Write => self.stats.bytes_written += chunk as u64,

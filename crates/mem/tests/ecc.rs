@@ -1,0 +1,167 @@
+//! ECC/fault-path integration tests: the off path must be exactly free,
+//! the SECDED path must charge deterministic, seed-reproducible overheads.
+
+use cq_mem::{DdrConfig, DdrModel, Dir, EccConfig, EccMode, FaultModel};
+
+/// Drives a mixed read/write workload through both transfer APIs and the
+/// raw command API, returning the model for inspection.
+fn drive(mut m: DdrModel) -> DdrModel {
+    m.transfer(0, 1 << 16, Dir::Read);
+    m.transfer(1 << 20, 4096, Dir::Write);
+    m.transfer_pipelined(2 << 20, 1 << 18, Dir::Read);
+    let (bank, row) = m.decode(42 * 2048);
+    m.activate(bank, row);
+    m.column_access(bank, 256, Dir::Write);
+    m.precharge(bank);
+    m
+}
+
+#[test]
+fn disabled_path_is_bit_identical() {
+    // A rate-0 injector and an explicit Off ECC config must not perturb a
+    // single statistic relative to the plain default model.
+    let plain = drive(DdrModel::new(DdrConfig::cambricon_q()));
+    let rate0 = drive(DdrModel::new(
+        DdrConfig::cambricon_q()
+            .with_ecc(EccConfig::off())
+            .with_fault(FaultModel::new(0.0, 1234)),
+    ));
+    assert_eq!(plain.stats(), rate0.stats());
+    assert_eq!(plain.ecc_stats(), rate0.ecc_stats());
+    assert!(plain.ecc_stats().is_empty());
+}
+
+#[test]
+fn secded_charges_check_overhead_without_faults() {
+    let plain = drive(DdrModel::new(DdrConfig::cambricon_q()));
+    let ecc = drive(DdrModel::new(
+        DdrConfig::cambricon_q().with_ecc(EccConfig::secded()),
+    ));
+    let s = ecc.ecc_stats();
+    assert!(s.words_checked > 0);
+    assert!(s.check_cycles > 0);
+    assert_eq!(s.corrected, 0, "no fault process, nothing to correct");
+    assert_eq!(s.bit_flips_injected, 0);
+    assert!(s.energy_pj > 0.0);
+    // The overhead lands in the ordinary totals too.
+    assert!(ecc.stats().cycles > plain.stats().cycles);
+    assert!(ecc.stats().energy_pj > plain.stats().energy_pj);
+    // Same traffic either way.
+    assert_eq!(ecc.stats().total_bytes(), plain.stats().total_bytes());
+}
+
+#[test]
+fn fault_stream_is_deterministic_per_seed() {
+    let cfg = DdrConfig::cambricon_q()
+        .with_fault(FaultModel::new(1e-6, 7))
+        .with_ecc(EccConfig::secded());
+    let a = drive(DdrModel::new(cfg));
+    let b = drive(DdrModel::new(cfg));
+    assert_eq!(a.ecc_stats(), b.ecc_stats());
+    assert_eq!(a.stats(), b.stats());
+
+    let other_seed = drive(DdrModel::new(
+        DdrConfig::cambricon_q()
+            .with_fault(FaultModel::new(1e-6, 8))
+            .with_ecc(EccConfig::secded()),
+    ));
+    assert!(
+        a.ecc_stats().bit_flips_injected > 0,
+        "1e-6 over ~380 KB must flip bits"
+    );
+    assert_ne!(
+        a.ecc_stats(),
+        other_seed.ecc_stats(),
+        "different seeds should draw different fault streams"
+    );
+}
+
+#[test]
+fn single_bit_faults_are_corrected_with_cost() {
+    // BER low enough that flips land alone in their word: everything
+    // should be corrected, nothing uncorrectable, with cycles charged.
+    let m = drive(DdrModel::new(
+        DdrConfig::cambricon_q()
+            .with_ecc(EccConfig::secded())
+            .with_fault(FaultModel::new(2e-6, 3)),
+    ));
+    let s = m.ecc_stats();
+    assert!(s.bit_flips_injected > 0);
+    assert_eq!(
+        s.corrected, s.bit_flips_injected,
+        "isolated flips all correct"
+    );
+    assert_eq!(s.detected_uncorrectable, 0);
+    assert_eq!(s.miscorrected, 0);
+    assert_eq!(
+        s.correct_cycles,
+        s.corrected * EccConfig::secded().correct_cycles
+    );
+    assert_eq!(s.silent_corruptions(), 0);
+}
+
+#[test]
+fn unprotected_faults_are_silent() {
+    let m = drive(DdrModel::new(
+        DdrConfig::cambricon_q().with_fault(FaultModel::new(1e-6, 11)),
+    ));
+    let s = m.ecc_stats();
+    assert!(s.bit_flips_injected > 0);
+    assert_eq!(s.silent_bit_flips, s.bit_flips_injected);
+    assert_eq!(s.corrected, 0);
+    assert_eq!(s.total_cycles(), 0, "no ECC, no cycle overhead");
+    assert_eq!(s.words_checked, 0);
+}
+
+#[test]
+fn heavy_fault_rate_produces_uncorrectable_words_not_panics() {
+    // At a very high BER multiple flips share 8-byte words; SECDED must
+    // report them as detected/miscorrected events, never panic.
+    let m = drive(DdrModel::new(
+        DdrConfig::cambricon_q()
+            .with_ecc(EccConfig::secded())
+            .with_fault(FaultModel::new(1e-3, 5)),
+    ));
+    let s = m.ecc_stats();
+    assert!(
+        s.detected_uncorrectable > 0,
+        "expected double-bit words at BER 1e-3: {s:?}"
+    );
+    assert!(s.corrected > 0);
+}
+
+#[test]
+fn higher_ber_injects_more_flips() {
+    let lo = drive(DdrModel::new(
+        DdrConfig::cambricon_q().with_fault(FaultModel::new(1e-7, 9)),
+    ));
+    let hi = drive(DdrModel::new(
+        DdrConfig::cambricon_q().with_fault(FaultModel::new(1e-4, 9)),
+    ));
+    assert!(
+        hi.ecc_stats().bit_flips_injected > lo.ecc_stats().bit_flips_injected * 10,
+        "lo {} hi {}",
+        lo.ecc_stats().bit_flips_injected,
+        hi.ecc_stats().bit_flips_injected
+    );
+}
+
+#[test]
+fn reset_stats_clears_ecc_accounting() {
+    let mut m = drive(DdrModel::new(
+        DdrConfig::cambricon_q()
+            .with_ecc(EccConfig::secded())
+            .with_fault(FaultModel::new(1e-5, 2)),
+    ));
+    assert!(!m.ecc_stats().is_empty());
+    m.reset_stats();
+    assert!(m.ecc_stats().is_empty());
+    assert_eq!(m.stats().cycles, 0);
+}
+
+#[test]
+fn ecc_mode_default_is_off() {
+    assert_eq!(EccMode::default(), EccMode::Off);
+    assert_eq!(DdrConfig::cambricon_q().ecc, EccConfig::off());
+    assert!(DdrConfig::cambricon_q().fault.is_none());
+}

@@ -10,6 +10,7 @@
 //! the 3×(read+write) of w/m/v full-precision words never leaves the
 //! memory, which is where the paper's WU traffic reduction comes from.
 
+use crate::error::NdpError;
 use crate::ndpo::{NdpoRegs, OptimizerKind};
 use cq_mem::{DdrModel, Dir};
 use cq_sim::EnergyModel;
@@ -71,10 +72,43 @@ impl NdpEngine {
     /// `mem` supplies DDR timing; its statistics accumulate the command
     /// activity. Gradients are assumed to stream from the acceleration
     /// core as one contiguous FP32 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DDR geometry cannot hold an FP32 weight per row; use
+    /// [`NdpEngine::try_update_weights`] to handle that as a value.
     pub fn update_weights(&self, n_weights: u64, mem: &mut DdrModel) -> UpdateStats {
+        match self.try_update_weights(n_weights, mem) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`NdpEngine::update_weights`]: returns [`NdpError`] on a
+    /// degenerate DDR geometry instead of panicking. A zero-length update
+    /// is valid and costs nothing.
+    pub fn try_update_weights(
+        &self,
+        n_weights: u64,
+        mem: &mut DdrModel,
+    ) -> Result<UpdateStats, NdpError> {
         let row_bytes = mem.config().row_bytes as u64;
+        if row_bytes < 4 {
+            return Err(NdpError::RowTooSmall {
+                row_bytes: row_bytes as usize,
+            });
+        }
+        if n_weights == 0 {
+            return Ok(UpdateStats {
+                cycles: 0,
+                bus_bytes: 0,
+                internal_bytes: 0,
+                compute_energy_pj: 0.0,
+                dram_energy_pj: 0.0,
+            });
+        }
         let weights_per_row = row_bytes / 4;
-        let rows = n_weights.div_ceil(weights_per_row.max(1));
+        let rows = n_weights.div_ceil(weights_per_row);
         let mut cycles = 0u64;
         let banks = mem.config().banks;
         // Gradient stream over the bus (the only bus traffic).
@@ -99,13 +133,13 @@ impl NdpEngine {
             * self.optimizer.flops_per_weight() as f64
             * (self.energy.fp_mul(32) + self.energy.fp_add(32))
             / 2.0;
-        UpdateStats {
+        Ok(UpdateStats {
             cycles,
             bus_bytes,
             internal_bytes,
             compute_energy_pj,
             dram_energy_pj,
-        }
+        })
     }
 
     /// The bus traffic a *non*-NDP platform pays for the same update:

@@ -1,0 +1,68 @@
+//! Typed errors of the NDP engine and datapath.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors the NDP engine and NDPO datapath can report instead of
+/// panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NdpError {
+    /// The DDR geometry cannot hold even one FP32 weight per row.
+    RowTooSmall {
+        /// Configured row size in bytes.
+        row_bytes: usize,
+    },
+    /// A `CROSET` register index beyond the architectural 0..=6 range.
+    RegisterOutOfRange {
+        /// The offending index.
+        creg: u8,
+    },
+    /// Parallel w/m/v/g slices disagree in length.
+    SliceLengthMismatch {
+        /// Weight-slice length.
+        weights: usize,
+        /// Gradient-slice length.
+        grads: usize,
+    },
+}
+
+impl fmt::Display for NdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdpError::RowTooSmall { row_bytes } => {
+                write!(f, "DDR row of {row_bytes} B cannot hold an FP32 weight")
+            }
+            NdpError::RegisterOutOfRange { creg } => {
+                write!(f, "CROSET register {creg} out of range (0..=6)")
+            }
+            NdpError::SliceLengthMismatch { weights, grads } => {
+                write!(
+                    f,
+                    "NDPO slices must agree in length: {weights} weights vs {grads} gradients"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        assert!(NdpError::RowTooSmall { row_bytes: 2 }
+            .to_string()
+            .contains("2 B"));
+        assert!(NdpError::RegisterOutOfRange { creg: 9 }
+            .to_string()
+            .contains("out of range"));
+        let e = NdpError::SliceLengthMismatch {
+            weights: 4,
+            grads: 5,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+    }
+}

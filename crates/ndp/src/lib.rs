@@ -29,7 +29,9 @@
 #![allow(clippy::needless_range_loop)] // index-based numeric kernels read clearer here
 
 mod engine;
+mod error;
 pub mod ndpo;
 
 pub use engine::{NdpEngine, UpdateStats};
+pub use error::NdpError;
 pub use ndpo::{NdpoRegs, OptimizerKind, NDPO_EPS};

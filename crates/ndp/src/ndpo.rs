@@ -12,6 +12,7 @@
 //! every step (which is how Adam's time-varying bias correction is
 //! realized: `c5_t = η·√(1−β2ᵗ)/(1−β1ᵗ)`).
 
+use crate::error::NdpError;
 use std::fmt;
 
 /// Which optimizer the NDPO is configured as.
@@ -157,8 +158,19 @@ impl NdpoRegs {
     ///
     /// # Panics
     ///
-    /// Panics on an index greater than 6.
+    /// Panics on an index greater than 6; use [`NdpoRegs::try_set`] to
+    /// handle that as a value.
     pub fn set(&mut self, creg: u8, raw: u32) {
+        if let Err(e) = self.try_set(creg, raw) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`NdpoRegs::set`]: rejects out-of-range indices with
+    /// [`NdpError::RegisterOutOfRange`] instead of panicking (the ISA
+    /// decoder path uses this so a corrupted instruction cannot crash the
+    /// engine).
+    pub fn try_set(&mut self, creg: u8, raw: u32) -> Result<(), NdpError> {
         let val = f32::from_bits(raw);
         match creg {
             0 => self.c1 = val,
@@ -168,8 +180,9 @@ impl NdpoRegs {
             4 => self.c5 = val,
             5 => self.s1 = raw != 0,
             6 => self.s2 = raw != 0,
-            other => panic!("CROSET register {other} out of range"),
+            other => return Err(NdpError::RegisterOutOfRange { creg: other }),
         }
+        Ok(())
     }
 
     /// Executes the Eq. 1 datapath for one weight: returns the updated
@@ -190,18 +203,36 @@ impl NdpoRegs {
     ///
     /// # Panics
     ///
-    /// Panics if slice lengths differ.
+    /// Panics if slice lengths differ; use [`NdpoRegs::try_update_slice`]
+    /// to handle that as a value.
     pub fn update_slice(&self, w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32]) {
-        assert!(
-            w.len() == m.len() && w.len() == v.len() && w.len() == g.len(),
-            "NDPO slices must agree in length"
-        );
+        if let Err(e) = self.try_update_slice(w, m, v, g) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`NdpoRegs::update_slice`]: rejects mismatched slice
+    /// lengths with [`NdpError::SliceLengthMismatch`].
+    pub fn try_update_slice(
+        &self,
+        w: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        g: &[f32],
+    ) -> Result<(), NdpError> {
+        if w.len() != m.len() || w.len() != v.len() || w.len() != g.len() {
+            return Err(NdpError::SliceLengthMismatch {
+                weights: w.len(),
+                grads: g.len().min(m.len()).min(v.len()),
+            });
+        }
         for i in 0..w.len() {
             let (nw, nm, nv) = self.update(w[i], m[i], v[i], g[i]);
             w[i] = nw;
             m[i] = nm;
             v[i] = nv;
         }
+        Ok(())
     }
 }
 

@@ -234,7 +234,20 @@ impl E2bqmQuantizer {
     /// Runs the full four-step E²BQM procedure on one block of data.
     pub fn quantize(&self, x: &Tensor) -> E2bqmSelection {
         // Step 1: statistic.
-        let theta = x.max_abs();
+        self.quantize_with_theta(x, x.max_abs())
+    }
+
+    /// Runs steps 2–4 with an externally supplied statistic θ.
+    ///
+    /// The hardware separates the Stat Unit (which produces θ) from the
+    /// Quant Unit; this entry point models that seam, letting callers
+    /// replay a stale θ, substitute a corrupted register value (fault
+    /// injection), or reuse a θ computed on different data.
+    ///
+    /// Arbitration is total: a candidate whose estimated error is NaN
+    /// (e.g. after a fault upstream) loses to every finite candidate
+    /// instead of panicking.
+    pub fn quantize_with_theta(&self, x: &Tensor, theta: f32) -> E2bqmSelection {
         // Step 2: candidates.
         let candidates: Vec<QuantizedTensor> = self
             .candidate_params(theta)
@@ -246,11 +259,11 @@ impl E2bqmQuantizer {
             .iter()
             .map(|c| self.estimator.estimate(x, &c.dequantize()))
             .collect();
-        // Step 4: arbitration.
+        // Step 4: arbitration (total order so NaN errors rank last).
         let way = errors
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("errors are finite"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
             .unwrap_or(0);
         E2bqmSelection {

@@ -2,7 +2,7 @@
 //!
 //! The algorithmic core of the Cambricon-Q reproduction (paper §III):
 //!
-//! * [`format`](format): fixed-point widths (INT4/8/12/16) and affine quantization
+//! * [`format`](mod@format): fixed-point widths (INT4/8/12/16) and affine quantization
 //!   parameters `X_q = round((X − α)/β)`;
 //! * [`qtensor`]: the [`QuantizedTensor`] container and error metrics;
 //! * [`ldq`]: **Local Dynamic Quantization** — block-local statistic +
@@ -35,6 +35,7 @@ pub mod algorithms;
 pub mod e2bqm;
 pub mod format;
 pub mod groupwise;
+pub mod guard;
 pub mod ldq;
 pub mod qtensor;
 pub mod rounding;
@@ -43,6 +44,7 @@ pub use algorithms::{QuantScheme, TrainingQuantizer, WeightUpdatePrecision};
 pub use e2bqm::{CandidateStrategy, E2bqmQuantizer, E2bqmSelection, ErrorEstimator};
 pub use format::{IntFormat, QuantParams};
 pub use groupwise::GroupQuantized;
+pub use guard::{DegradeEvent, GuardAction, GuardedQuantizer, QuantAnomaly};
 pub use ldq::{LdqConfig, LdqTensor};
 pub use qtensor::{quant_error, QuantError, QuantizedTensor};
 pub use rounding::{MiniFloat, RoundingMode};

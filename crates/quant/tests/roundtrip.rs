@@ -1,0 +1,153 @@
+//! Property-based round-trip tests for LDQ and E²BQM: random shapes and
+//! scales, subnormal and saturating inputs, and the guarded quantizer's
+//! transparency on clean data.
+
+use cq_quant::e2bqm::dequantize_blocks;
+use cq_quant::{E2bqmQuantizer, GuardedQuantizer, IntFormat, LdqConfig, LdqTensor, QuantParams};
+use cq_tensor::{init, Tensor};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-100.0f32..100.0),
+        (-0.01f32..0.01),
+        (-1e4f32..1e4),
+        Just(0.0f32),
+    ]
+}
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(finite_f32(), 1..max_len).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).expect("len matches")
+    })
+}
+
+fn any_format() -> impl Strategy<Value = IntFormat> {
+    prop_oneof![
+        Just(IntFormat::Int4),
+        Just(IntFormat::Int8),
+        Just(IntFormat::Int12),
+        Just(IntFormat::Int16),
+    ]
+}
+
+proptest! {
+    /// Quantization at a fixed scale is idempotent on its own codebook:
+    /// re-quantizing a dequantized value recovers the same integer.
+    #[test]
+    fn fixed_scale_requantize_is_identity(
+        q in -127i32..128,
+        scale in 1e-6f32..1e3,
+        fmt in any_format(),
+    ) {
+        let p = QuantParams::with_scale(scale, fmt);
+        let q = q.clamp(fmt.qmin(), fmt.qmax());
+        prop_assert_eq!(p.quantize(p.dequantize(q)), q);
+    }
+
+    /// LDQ round-trip over arbitrary shapes: a second quantize→dequantize
+    /// pass through the codebook moves nothing by more than one step.
+    #[test]
+    fn ldq_double_roundtrip_is_stable(
+        d0 in 1usize..6, d1 in 1usize..6, d2 in 1usize..48,
+        seed in 0u64..32,
+        block in 1usize..96,
+        fmt in any_format(),
+    ) {
+        let dims = [d0, d1, d2];
+        let t = init::long_tailed(&dims, 0.5, 0.05, 20.0, seed);
+        let cfg = LdqConfig::new(block, fmt);
+        let once = LdqTensor::quantize(&t, cfg).dequantize();
+        let twice = LdqTensor::quantize(&once, cfg).dequantize();
+        prop_assert_eq!(twice.dims(), t.dims());
+        for ((&a, &b), step) in once
+            .data()
+            .iter()
+            .zip(twice.data())
+            .zip(LdqTensor::quantize(&once, cfg).blocks().iter().flat_map(|blk| {
+                std::iter::repeat_n(blk.params().scale, blk.len())
+            }))
+        {
+            prop_assert!((a - b).abs() <= step + 1e-9, "a {a} b {b} step {step}");
+        }
+    }
+
+    /// Subnormal inputs round-trip without producing NaN/inf and with the
+    /// usual half-step error bound — the quantizer must not flush a whole
+    /// block to garbage just because its statistic is tiny.
+    #[test]
+    fn subnormal_inputs_roundtrip_finite(
+        mag in 1.0f32..8.0,
+        len in 1usize..200,
+        fmt in any_format(),
+    ) {
+        let sub = mag * 1e-41; // deep in f32's subnormal range
+        let data: Vec<f32> = (0..len).map(|i| if i % 2 == 0 { sub } else { -sub }).collect();
+        let t = Tensor::from_vec(data, &[len]).expect("len");
+        let back = LdqTensor::quantize(&t, LdqConfig::new(64, fmt)).dequantize();
+        for (&orig, &rec) in t.data().iter().zip(back.data()) {
+            prop_assert!(rec.is_finite());
+            prop_assert!((orig - rec).abs() <= sub, "orig {orig} rec {rec}");
+        }
+    }
+
+    /// Saturating inputs clip deterministically: anything at or beyond the
+    /// representable range lands exactly on ±qmax·scale.
+    #[test]
+    fn saturating_inputs_clip_to_range_edge(
+        overshoot in 1.0f32..1e3,
+        scale in 1e-3f32..10.0,
+        fmt in any_format(),
+    ) {
+        let p = QuantParams::with_scale(scale, fmt);
+        let edge = scale * fmt.qmax() as f32;
+        for v in [edge * (1.0 + overshoot), -(edge * (1.0 + overshoot))] {
+            let q = p.quantize(v);
+            prop_assert_eq!(q.abs(), fmt.qmax());
+            prop_assert_eq!(p.dequantize(q).abs(), edge);
+        }
+    }
+
+    /// E²BQM block quantization round-trips: reconstruction preserves the
+    /// shape, every arbiter tag is a valid way, and no value exceeds the
+    /// original magnitude envelope by more than one step.
+    #[test]
+    fn e2bqm_blocks_roundtrip(t in tensor_strategy(300), block in 1usize..96, ways in 1usize..5) {
+        let q = E2bqmQuantizer::new(
+            ways,
+            cq_quant::CandidateStrategy::ClipSweep,
+            cq_quant::ErrorEstimator::Rectilinear,
+            IntFormat::Int8,
+        );
+        let sels = q.quantize_blocks(&t, block);
+        prop_assert_eq!(sels.len(), t.len().div_ceil(block));
+        for sel in &sels {
+            prop_assert!(sel.way < ways);
+        }
+        let back = dequantize_blocks(&sels, t.dims());
+        prop_assert_eq!(back.dims(), t.dims());
+        let max_step = sels
+            .iter()
+            .map(|s| s.selected.params().scale)
+            .fold(0.0f32, f32::max);
+        prop_assert!(back.max_abs() <= t.max_abs() + max_step + 1e-6);
+    }
+
+    /// The guard is transparent on clean data: same selections as the raw
+    /// quantizer and an empty event log (the zero-cost property at the
+    /// quantizer level).
+    #[test]
+    fn guard_is_transparent_on_clean_data(t in tensor_strategy(300), block in 1usize..96) {
+        let raw = E2bqmQuantizer::hardware_default();
+        let guard = GuardedQuantizer::new(raw);
+        let plain = raw.quantize_blocks(&t, block);
+        let (guarded, events) = guard.quantize_blocks(&t, block);
+        prop_assert!(events.is_empty(), "clean data raised {events:?}");
+        prop_assert_eq!(guarded.len(), plain.len());
+        for (g, p) in guarded.iter().zip(&plain) {
+            prop_assert_eq!(g.way, p.way);
+            prop_assert_eq!(g.selected.values(), p.selected.values());
+        }
+    }
+}

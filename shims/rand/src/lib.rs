@@ -1,0 +1,271 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal, API-compatible subset of `rand 0.8`: `rngs::StdRng`, the
+//! [`SeedableRng`] and [`Rng`] traits, `gen`, `gen_bool` and `gen_range`
+//! over the primitive types the simulator uses. The generator is
+//! xoshiro256++ seeded via SplitMix64 — high-quality, deterministic and
+//! portable, which is exactly what the reproducibility-sensitive fault
+//! and data-generation code needs. It is **not** the upstream `StdRng`
+//! stream, so seeds produce different (but equally deterministic) data.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Values that [`Rng::gen`] can produce (subset of `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw(word: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard for u32 {
+    fn draw(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn draw(word: u64) -> Self {
+        (word >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn draw(word: u64) -> Self {
+        word >> 63 == 1
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn draw(word: u64) -> Self {
+        ((word >> 40) as u32) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(word: u64) -> Self {
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts (subset of
+/// `rand::distributions::uniform::SampleRange`). `T` is a type parameter
+/// (not an associated type) so that an annotation on the result — e.g.
+/// `let x: f32 = rng.gen_range(0.0..1.0)` — drives float-literal
+/// inference, matching upstream rand.
+pub trait SampleRange<T> {
+    /// Draws a value in the range from the generator.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded rejection-free mapping; bias is
+                // negligible for the span sizes the simulator uses.
+                let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "empty gen_range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return <u64 as Standard>::draw(rng.next_u64()) as $t;
+                }
+                if end == <$t>::MAX {
+                    // Shift down to avoid end+1 overflow; negligible bias.
+                    return (start..end).sample(rng);
+                }
+                (start..(end + 1)).sample(rng)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = <$t as Standard>::draw(rng.next_u64());
+                let v = self.start + (self.end - self.start) * u;
+                // Guard against round-up to the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Random generators (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::draw(self.as_std_rng().next_u64())
+    }
+
+    /// Draws a value uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample(self.as_std_rng())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        <f64 as Standard>::draw(self.as_std_rng().next_u64()) < p
+    }
+}
+
+/// Helper bound letting the `Rng` default methods reach the concrete
+/// generator (the workspace only ever uses [`StdRng`]).
+pub trait AsStdRng {
+    /// The underlying concrete generator.
+    fn as_std_rng(&mut self) -> &mut StdRng;
+}
+
+/// Named generators (mirrors `rand::rngs`).
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+
+    /// The next raw word (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is invalid for xoshiro; splitmix64 never produces
+        // four zero words from any seed, but be defensive anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        StdRng::next_u64(self)
+    }
+}
+
+impl AsStdRng for StdRng {
+    fn as_std_rng(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let u: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_ranges_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let i = rng.gen_range(0usize..5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(3u64..4), 3);
+        }
+    }
+
+    #[test]
+    fn bools_are_mixed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..1000).filter(|_| rng.gen::<bool>()).count();
+        assert!((300..700).contains(&trues), "trues {trues}");
+    }
+}

@@ -26,15 +26,11 @@ fn adam_wu_costs_more_than_sgd_everywhere() {
     let tpu = Tpu::paper();
     let t_sgd = tpu.simulate(&net, sgd());
     let t_adam = tpu.simulate(&net, adam());
-    assert!(
-        t_adam.phases.cycles(Phase::WeightUpdate) > t_sgd.phases.cycles(Phase::WeightUpdate)
-    );
+    assert!(t_adam.phases.cycles(Phase::WeightUpdate) > t_sgd.phases.cycles(Phase::WeightUpdate));
     let gpu = GpuModel::jetson_tx2();
     let g_sgd = gpu.simulate(&net, sgd(), false);
     let g_adam = gpu.simulate(&net, adam(), false);
-    assert!(
-        g_adam.phases.cycles(Phase::WeightUpdate) > g_sgd.phases.cycles(Phase::WeightUpdate)
-    );
+    assert!(g_adam.phases.cycles(Phase::WeightUpdate) > g_sgd.phases.cycles(Phase::WeightUpdate));
 }
 
 /// TPU iteration time decomposes consistently: every phase is charged and
@@ -44,7 +40,12 @@ fn tpu_phase_accounting_consistent() {
     let r = Tpu::paper().simulate(&models::resnet18(), adam());
     let sum: u64 = Phase::ALL.iter().map(|&p| r.phases.cycles(p)).sum();
     assert_eq!(sum, r.total_cycles());
-    for p in [Phase::Forward, Phase::NeuronGrad, Phase::WeightGrad, Phase::WeightUpdate] {
+    for p in [
+        Phase::Forward,
+        Phase::NeuronGrad,
+        Phase::WeightGrad,
+        Phase::WeightUpdate,
+    ] {
         assert!(r.phases.cycles(p) > 0, "{p} empty");
     }
 }
@@ -94,7 +95,12 @@ fn gpu_quantization_is_pure_overhead() {
     let net = models::googlenet();
     let fp = gpu.simulate(&net, sgd(), false);
     let q = gpu.simulate(&net, sgd(), true);
-    for p in [Phase::Forward, Phase::NeuronGrad, Phase::WeightGrad, Phase::WeightUpdate] {
+    for p in [
+        Phase::Forward,
+        Phase::NeuronGrad,
+        Phase::WeightGrad,
+        Phase::WeightUpdate,
+    ] {
         assert_eq!(fp.phases.cycles(p), q.phases.cycles(p), "{p} changed");
     }
     assert_eq!(fp.phases.cycles(Phase::Statistic), 0);
