@@ -1,0 +1,328 @@
+//! `bench_perf` — perf-regression harness for the compute backends.
+//!
+//! Times every dense kernel (and whole training steps) under both the
+//! `Naive` reference backend and the tiled/pooled `Fast` backend, then
+//! writes a machine-readable report. CI runs `--quick --check` and fails
+//! the build if `Fast` regresses below `Naive` on the reference GEMM
+//! shape (512×512×512).
+//!
+//! ```text
+//! bench_perf [--quick] [--check] [--out PATH]
+//!
+//!   --quick    reduced shape set and repetition count (CI smoke mode)
+//!   --check    exit non-zero if Fast is slower than Naive on the
+//!              reference 512x512x512 GEMM
+//!   --out PATH write the JSON report here (default: BENCH_PR2.json)
+//! ```
+//!
+//! Report schema (hand-written JSON, no serde):
+//!
+//! ```json
+//! {
+//!   "pr": 2,
+//!   "threads": 4,
+//!   "quick": false,
+//!   "entries": [
+//!     { "op": "gemm", "shape": "512x512x512",
+//!       "ns_naive": 1, "ns_fast": 1, "speedup": 1.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! Times are nanoseconds for the best (minimum) of `reps` timed runs
+//! after one warmup, so the numbers measure the kernels, not the
+//! allocator or the OS scheduler.
+
+use cq_experiments::accuracy::ProxyTask;
+use cq_nn::{Adam, Conv2d, Dense, Flatten, MaxPool2d, QuantCtx, Relu, Sequential};
+use cq_par::Pool;
+use cq_quant::TrainingQuantizer;
+use cq_tensor::ops::{self, Conv2dParams};
+use cq_tensor::{init, Backend, Tensor};
+use std::time::Instant;
+
+/// The shape whose Fast-vs-Naive ratio gates CI (`--check`).
+const REFERENCE_GEMM: (usize, usize, usize) = (512, 512, 512);
+
+struct Entry {
+    op: &'static str,
+    shape: String,
+    ns_naive: u64,
+    ns_fast: u64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.ns_naive as f64 / self.ns_fast.max(1) as f64
+    }
+}
+
+/// Best-of-`reps` wall time in nanoseconds, after one warmup call.
+fn best_ns<F: FnMut()>(mut f: F, reps: usize) -> u64 {
+    f();
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Times one closure under both backends.
+fn ab<F: FnMut(Backend)>(mut f: F, reps: usize) -> (u64, u64) {
+    let naive = best_ns(|| f(Backend::Naive), reps);
+    let fast = best_ns(|| f(Backend::Fast), reps);
+    (naive, fast)
+}
+
+fn gemm_entry(op: &'static str, m: usize, k: usize, n: usize, reps: usize) -> Entry {
+    let (a_dims, b_dims): (Vec<usize>, Vec<usize>) = match op {
+        "gemm" => (vec![m, k], vec![k, n]),
+        "gemm_at" => (vec![k, m], vec![k, n]),
+        "gemm_bt" => (vec![m, k], vec![n, k]),
+        _ => unreachable!("unknown gemm op"),
+    };
+    let a = init::uniform(&a_dims, -1.0, 1.0, 11);
+    let b = init::uniform(&b_dims, -1.0, 1.0, 13);
+    let (ns_naive, ns_fast) = ab(
+        |be| {
+            let _ = match op {
+                "gemm" => ops::matmul_with(be, &a, &b),
+                "gemm_at" => ops::matmul_at_with(be, &a, &b),
+                _ => ops::matmul_bt_with(be, &a, &b),
+            }
+            .expect("bench gemm");
+        },
+        reps,
+    );
+    Entry {
+        op,
+        shape: format!("{m}x{k}x{n}"),
+        ns_naive,
+        ns_fast,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_entries(
+    n: usize,
+    c: usize,
+    f: usize,
+    hw: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    reps: usize,
+) -> Vec<Entry> {
+    let p = Conv2dParams::new(stride, padding);
+    let input = init::uniform(&[n, c, hw, hw], -1.0, 1.0, 17);
+    let weight = init::uniform(&[f, c, k, k], -1.0, 1.0, 19);
+    let shape = format!("n{n}c{c}f{f}i{hw}k{k}s{stride}p{padding}");
+    let fwd = ops::conv2d_with(Backend::Naive, &input, &weight, p).expect("bench conv");
+    let gout = init::uniform(fwd.dims(), -1.0, 1.0, 23);
+
+    let (fwd_n, fwd_f) = ab(
+        |be| {
+            let _ = ops::conv2d_with(be, &input, &weight, p).expect("bench conv");
+        },
+        reps,
+    );
+    let (gi_n, gi_f) = ab(
+        |be| {
+            let _ = ops::conv2d_grad_input_with(be, &gout, &weight, input.dims(), p)
+                .expect("bench conv grad_input");
+        },
+        reps,
+    );
+    let (gw_n, gw_f) = ab(
+        |be| {
+            let _ = ops::conv2d_grad_weight_with(be, &input, &gout, weight.dims(), p)
+                .expect("bench conv grad_weight");
+        },
+        reps,
+    );
+    vec![
+        Entry {
+            op: "conv2d",
+            shape: shape.clone(),
+            ns_naive: fwd_n,
+            ns_fast: fwd_f,
+        },
+        Entry {
+            op: "conv2d_grad_input",
+            shape: shape.clone(),
+            ns_naive: gi_n,
+            ns_fast: gi_f,
+        },
+        Entry {
+            op: "conv2d_grad_weight",
+            shape,
+            ns_naive: gw_n,
+            ns_fast: gw_f,
+        },
+    ]
+}
+
+/// One full training step (fwd + loss + bwd + update) of a model on a
+/// batch, A/B'd across backends with identical seeds.
+fn train_step_entry(
+    op: &'static str,
+    shape: String,
+    build: impl Fn() -> (Sequential, Tensor, Vec<usize>),
+    reps: usize,
+) -> Entry {
+    let time_backend = |be: Backend| {
+        let (mut model, x, labels) = build();
+        let ctx = QuantCtx::new(TrainingQuantizer::fp32()).with_backend(be);
+        let mut opt = Adam::with_defaults(1e-3);
+        best_ns(
+            || {
+                model
+                    .train_step(&x, &labels, &mut opt, &ctx)
+                    .expect("bench train step");
+            },
+            reps,
+        )
+    };
+    Entry {
+        op,
+        shape,
+        ns_naive: time_backend(Backend::Naive),
+        ns_fast: time_backend(Backend::Fast),
+    }
+}
+
+/// A CNN sized so the convolutions dominate the step: batch 32 of
+/// 3×32×32 images through conv(3→32, k3, p1) → pool → dense.
+fn bench_cnn() -> (Sequential, Tensor, Vec<usize>) {
+    let mut model = Sequential::new();
+    model
+        .add(Conv2d::new("conv1", 3, 32, 3, 1, 1, 7))
+        .add(Relu::new())
+        .add(MaxPool2d::new(2))
+        .add(Flatten::new())
+        .add(Dense::new("fc", 32 * 16 * 16, 10, 8));
+    let data = cq_data::textures(32, 3, 32, 10, 0.25, 99);
+    (model, data.x, data.labels)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(entries: &[Entry], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 2,\n");
+    out.push_str(&format!("  \"threads\": {},\n", Pool::global().threads()));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"op\": \"{}\", \"shape\": \"{}\", \"ns_naive\": {}, \"ns_fast\": {}, \"speedup\": {:.2} }}{}\n",
+            json_escape(e.op),
+            json_escape(&e.shape),
+            e.ns_naive,
+            e.ns_fast,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut out_path = String::from("BENCH_PR2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let reps = if quick { 2 } else { 3 };
+    let (rm, rk, rn) = REFERENCE_GEMM;
+    let mut entries = Vec::new();
+
+    eprintln!(
+        "bench_perf: threads={} quick={quick}",
+        Pool::global().threads()
+    );
+
+    // Reference GEMM always runs: it gates --check.
+    entries.push(gemm_entry("gemm", rm, rk, rn, reps));
+    if !quick {
+        entries.push(gemm_entry("gemm", 256, 256, 256, reps + 2));
+        entries.push(gemm_entry("gemm", 384, 128, 512, reps + 2));
+        entries.push(gemm_entry("gemm_at", 256, 256, 256, reps + 2));
+        entries.push(gemm_entry("gemm_bt", 256, 256, 256, reps + 2));
+    }
+
+    if quick {
+        entries.extend(conv_entries(2, 8, 16, 16, 3, 1, 1, reps));
+    } else {
+        entries.extend(conv_entries(4, 8, 32, 32, 3, 1, 1, reps));
+        entries.extend(conv_entries(1, 16, 32, 28, 5, 2, 2, reps));
+    }
+
+    entries.push(train_step_entry(
+        "train_step",
+        "bench-cnn-b32-3x32x32".into(),
+        bench_cnn,
+        reps,
+    ));
+    if !quick {
+        for task in ProxyTask::ALL {
+            entries.push(train_step_entry(
+                "train_step",
+                format!("proxy-{}", task.name()),
+                move || {
+                    let (model, train, _) = task.build(42);
+                    (model, train.x, train.labels)
+                },
+                reps,
+            ));
+        }
+    }
+
+    for e in &entries {
+        eprintln!(
+            "  {:<22} {:<24} naive {:>12} ns  fast {:>12} ns  {:>6.2}x",
+            e.op,
+            e.shape,
+            e.ns_naive,
+            e.ns_fast,
+            e.speedup()
+        );
+    }
+
+    std::fs::write(&out_path, render_json(&entries, quick)).expect("write report");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        let reference = entries
+            .iter()
+            .find(|e| e.op == "gemm" && e.shape == format!("{rm}x{rk}x{rn}"))
+            .expect("reference GEMM entry");
+        if reference.speedup() < 1.0 {
+            eprintln!(
+                "FAIL: Fast backend slower than Naive on reference GEMM ({:.2}x)",
+                reference.speedup()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: Fast {:.2}x Naive on reference GEMM",
+            reference.speedup()
+        );
+    }
+}

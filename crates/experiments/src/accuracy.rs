@@ -11,6 +11,7 @@ use cq_data::Dataset;
 use cq_nn::{
     Adam, Conv2d, Dense, Flatten, Lstm, MaxPool2d, QuantCtx, Relu, SelfAttention, Sequential,
 };
+use cq_par::Pool;
 use cq_quant::TrainingQuantizer;
 use cq_sim::report::TextTable;
 
@@ -184,16 +185,34 @@ pub struct AccuracyRow {
 }
 
 /// Runs the full Table VIII sweep.
+///
+/// Every (task, quantizer) training run is independent, so the 6×5 grid
+/// is flattened into 30 jobs and fanned out over the worker pool. Each
+/// run is seeded identically to the serial version, so the table is
+/// unchanged by the parallelism.
 pub fn table8_accuracy(seed: u64) -> Vec<AccuracyRow> {
+    let quantizers = [
+        TrainingQuantizer::fp32(),
+        TrainingQuantizer::zhu2019(),
+        TrainingQuantizer::zhu2019_hqt(),
+        TrainingQuantizer::zhang2020(),
+        TrainingQuantizer::zhang2020_hqt(),
+    ];
+    let cols = quantizers.len();
+    let accs = Pool::global().parallel_map(ProxyTask::ALL.len() * cols, |job| {
+        let task = ProxyTask::ALL[job / cols];
+        train_proxy(task, &quantizers[job % cols], seed)
+    });
     ProxyTask::ALL
         .iter()
-        .map(|&task| AccuracyRow {
+        .enumerate()
+        .map(|(ti, &task)| AccuracyRow {
             model: task.name(),
-            fp32: train_proxy(task, &TrainingQuantizer::fp32(), seed),
-            zhu: train_proxy(task, &TrainingQuantizer::zhu2019(), seed),
-            zhu_hqt: train_proxy(task, &TrainingQuantizer::zhu2019_hqt(), seed),
-            zhang: train_proxy(task, &TrainingQuantizer::zhang2020(), seed),
-            zhang_hqt: train_proxy(task, &TrainingQuantizer::zhang2020_hqt(), seed),
+            fp32: accs[ti * cols],
+            zhu: accs[ti * cols + 1],
+            zhu_hqt: accs[ti * cols + 2],
+            zhang: accs[ti * cols + 3],
+            zhang_hqt: accs[ti * cols + 4],
         })
         .collect()
 }
@@ -236,10 +255,14 @@ pub fn table8_extended(seed: u64) -> TextTable {
     let mut headers = vec!["Model".to_string()];
     headers.extend(algos.iter().map(|q| q.name().to_string()));
     let mut t = TextTable::new(headers);
-    for task in [ProxyTask::AlexNet, ProxyTask::Lstm] {
+    let tasks = [ProxyTask::AlexNet, ProxyTask::Lstm];
+    let accs = Pool::global().parallel_map(tasks.len() * algos.len(), |job| {
+        train_proxy(tasks[job / algos.len()], &algos[job % algos.len()], seed)
+    });
+    for (ti, task) in tasks.iter().enumerate() {
         let mut cells = vec![task.name().to_string()];
-        for q in &algos {
-            cells.push(format!("{:.1}", train_proxy(task, q, seed) * 100.0));
+        for ai in 0..algos.len() {
+            cells.push(format!("{:.1}", accs[ti * algos.len() + ai] * 100.0));
         }
         t.row(cells);
     }

@@ -3,6 +3,7 @@
 use cq_accel::{CambriconQ, CqConfig, ScaleVariant};
 use cq_baselines::{GpuModel, Tpu};
 use cq_ndp::OptimizerKind;
+use cq_par::Pool;
 use cq_quant::IntFormat;
 use cq_sim::report::{ratio, TextTable};
 use cq_sim::{geomean, Component, Phase, SimResult};
@@ -56,22 +57,27 @@ impl Comparison {
 }
 
 /// Runs all six benchmarks on all platforms (the data behind Fig. 12).
+///
+/// Each benchmark's four platform simulations are independent of the
+/// others', so the outer loop fans out over the worker pool; the result
+/// order (and every value) is identical to the serial loop.
 pub fn run_comparison() -> Vec<Comparison> {
     let opt = default_optimizer();
     let cq = CambriconQ::edge();
     let cq_no_ndp = CambriconQ::new(CqConfig::edge().without_ndp());
     let tpu = Tpu::paper();
     let gpu = GpuModel::jetson_tx2();
-    models::all_benchmarks()
-        .into_iter()
-        .map(|net| Comparison {
+    let nets = models::all_benchmarks();
+    Pool::global().parallel_map(nets.len(), |i| {
+        let net = &nets[i];
+        Comparison {
             network: net.name.clone(),
-            cq: cq.simulate(&net, opt),
-            cq_no_ndp: cq_no_ndp.simulate(&net, opt),
-            tpu: tpu.simulate(&net, opt),
-            gpu: gpu.simulate(&net, opt, true),
-        })
-        .collect()
+            cq: cq.simulate(net, opt),
+            cq_no_ndp: cq_no_ndp.simulate(net, opt),
+            tpu: tpu.simulate(net, opt),
+            gpu: gpu.simulate(net, opt, true),
+        }
+    })
 }
 
 /// Fig. 12(a): speedup table plus geomeans.

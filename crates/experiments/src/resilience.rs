@@ -24,6 +24,7 @@
 use cq_accel::{CambriconQ, CqConfig, Squ};
 use cq_faults::{EventCounts, FaultDomain, FaultEvent, FaultPlan, ResilienceReport};
 use cq_ndp::OptimizerKind;
+use cq_par::Pool;
 use cq_quant::E2bqmQuantizer;
 use cq_sim::report::TextTable;
 use cq_tensor::Tensor;
@@ -134,16 +135,21 @@ pub fn run_cell(net: &Network, plan: &FaultPlan) -> ResilienceReport {
 }
 
 /// The full sweep: six benchmarks × [`SWEEP_BERS`] × three configurations.
+///
+/// Every cell is deterministic and independent (each plan carries its own
+/// seeded sampler), so the flattened grid fans out over the worker pool;
+/// row order matches the original nested loops exactly.
 pub fn run_sweep() -> Vec<ResilienceReport> {
-    let mut rows = Vec::new();
-    for net in models::all_benchmarks() {
-        for ber in SWEEP_BERS {
-            for plan in sweep_plans(ber) {
-                rows.push(run_cell(&net, &plan));
-            }
-        }
-    }
-    rows
+    let cells: Vec<(Network, FaultPlan)> = models::all_benchmarks()
+        .into_iter()
+        .flat_map(|net| {
+            SWEEP_BERS.into_iter().flat_map(move |ber| {
+                let net = net.clone();
+                sweep_plans(ber).into_iter().map(move |p| (net.clone(), p))
+            })
+        })
+        .collect();
+    Pool::global().parallel_map(cells.len(), |i| run_cell(&cells[i].0, &cells[i].1))
 }
 
 /// Renders the sweep as a text table.

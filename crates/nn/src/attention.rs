@@ -84,9 +84,10 @@ impl Layer for SelfAttention {
             ctx.q(&self.wv.value),
             ctx.q(&self.wo.value),
         ];
-        let q = ops::matmul(&xq, &w[0])?;
-        let k = ops::matmul(&xq, &w[1])?;
-        let v = ops::matmul(&xq, &w[2])?;
+        let be = ctx.backend;
+        let q = ops::matmul_with(be, &xq, &w[0])?;
+        let k = ops::matmul_with(be, &xq, &w[1])?;
+        let v = ops::matmul_with(be, &xq, &w[2])?;
         let scale = 1.0 / (d as f32).sqrt();
         let mut attn = Vec::with_capacity(b);
         let mut ctx_out = Tensor::zeros(&[b * t, d]);
@@ -94,13 +95,13 @@ impl Layer for SelfAttention {
             let qb = q.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
             let kb = k.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
             let vb = v.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
-            let mut s = ops::matmul_bt(&qb, &kb)?.scale(scale);
+            let mut s = ops::matmul_bt_with(be, &qb, &kb)?.scale(scale);
             softmax_rows(&mut s);
-            let ob = ops::matmul(&s, &vb)?;
+            let ob = ops::matmul_with(be, &s, &vb)?;
             ctx_out.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(ob.data());
             attn.push(s);
         }
-        let y = ops::matmul(&ctx_out, &w[3])?;
+        let y = ops::matmul_with(be, &ctx_out, &w[3])?;
         // Mean-pool over time.
         let mut pooled = Tensor::zeros(&[b, d]);
         for bi in 0..b {
@@ -141,10 +142,11 @@ impl Layer for SelfAttention {
             }
         }
         // Wo backward.
+        let be = ctx.backend;
         self.wo
             .grad
-            .add_scaled(&ops::matmul_at(&cache.ctx_out, &gy)?, 1.0)?;
-        let g_ctx = ops::matmul_bt(&gy, &w[3])?;
+            .add_scaled(&ops::matmul_at_with(be, &cache.ctx_out, &gy)?, 1.0)?;
+        let g_ctx = ops::matmul_bt_with(be, &gy, &w[3])?;
         // Attention backward per sample.
         let scale = 1.0 / (d as f32).sqrt();
         let mut gq = Tensor::zeros(&[b * t, d]);
@@ -157,8 +159,8 @@ impl Layer for SelfAttention {
             let vb = cache.v.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
             let gob = g_ctx.slice_flat(bi * t * d, t * d)?.reshape(&[t, d])?;
             // dV = Aᵀ·dO ; dA = dO·Vᵀ.
-            let gvb = ops::matmul_at(a, &gob)?;
-            let mut ga = ops::matmul_bt(&gob, &vb)?;
+            let gvb = ops::matmul_at_with(be, a, &gob)?;
+            let mut ga = ops::matmul_bt_with(be, &gob, &vb)?;
             // Softmax backward row-wise: dS = A ∘ (dA − rowsum(dA ∘ A)).
             for ti in 0..t {
                 let row_a = &a.data()[ti * t..(ti + 1) * t];
@@ -170,8 +172,8 @@ impl Layer for SelfAttention {
             }
             let ga = ga.scale(scale);
             // dQ = dS·K ; dK = dSᵀ·Q.
-            let gqb = ops::matmul(&ga, &kb)?;
-            let gkb = ops::matmul_at(&ga, &qb)?;
+            let gqb = ops::matmul_with(be, &ga, &kb)?;
+            let gkb = ops::matmul_at_with(be, &ga, &qb)?;
             gq.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gqb.data());
             gk.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gkb.data());
             gv.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gvb.data());
@@ -179,16 +181,16 @@ impl Layer for SelfAttention {
         // Projection weight grads and input grad.
         self.wq
             .grad
-            .add_scaled(&ops::matmul_at(&cache.xq, &gq)?, 1.0)?;
+            .add_scaled(&ops::matmul_at_with(be, &cache.xq, &gq)?, 1.0)?;
         self.wk
             .grad
-            .add_scaled(&ops::matmul_at(&cache.xq, &gk)?, 1.0)?;
+            .add_scaled(&ops::matmul_at_with(be, &cache.xq, &gk)?, 1.0)?;
         self.wv
             .grad
-            .add_scaled(&ops::matmul_at(&cache.xq, &gv)?, 1.0)?;
-        let mut gx = ops::matmul_bt(&gq, &w[0])?;
-        gx.add_scaled(&ops::matmul_bt(&gk, &w[1])?, 1.0)?;
-        gx.add_scaled(&ops::matmul_bt(&gv, &w[2])?, 1.0)?;
+            .add_scaled(&ops::matmul_at_with(be, &cache.xq, &gv)?, 1.0)?;
+        let mut gx = ops::matmul_bt_with(be, &gq, &w[0])?;
+        gx.add_scaled(&ops::matmul_bt_with(be, &gk, &w[1])?, 1.0)?;
+        gx.add_scaled(&ops::matmul_bt_with(be, &gv, &w[2])?, 1.0)?;
         Ok(gx.reshape(&[b, t, d])?)
     }
 

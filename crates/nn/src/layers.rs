@@ -10,7 +10,7 @@ use crate::error::NnError;
 use crate::param::Param;
 use cq_quant::TrainingQuantizer;
 use cq_tensor::ops::{self, Conv2dParams};
-use cq_tensor::{init, Tensor};
+use cq_tensor::{init, Backend, Tensor};
 use std::fmt;
 
 /// Quantization context threaded through forward and backward passes.
@@ -20,6 +20,9 @@ pub struct QuantCtx {
     /// gradients). [`TrainingQuantizer::fp32`] makes every transform the
     /// identity.
     pub quantizer: TrainingQuantizer,
+    /// The compute backend every dense kernel in the pass runs on.
+    /// Defaults to the process-wide [`cq_tensor::default_backend`].
+    pub backend: Backend,
 }
 
 impl QuantCtx {
@@ -27,12 +30,22 @@ impl QuantCtx {
     pub fn fp32() -> Self {
         QuantCtx {
             quantizer: TrainingQuantizer::fp32(),
+            backend: cq_tensor::default_backend(),
         }
     }
 
     /// Context with the given training quantizer.
     pub fn new(quantizer: TrainingQuantizer) -> Self {
-        QuantCtx { quantizer }
+        QuantCtx {
+            quantizer,
+            backend: cq_tensor::default_backend(),
+        }
+    }
+
+    /// Returns the context pinned to an explicit compute backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Quantize-dequantizes a tensor for compute.
@@ -113,7 +126,7 @@ impl Layer for Dense {
     fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
         let xq = ctx.q(x);
         let wq = ctx.q(&self.weight.value);
-        let mut y = ops::matmul(&xq, &wq)?;
+        let mut y = ops::matmul_with(ctx.backend, &xq, &wq)?;
         // Bias add in full precision (SFU path).
         let (b, out_f) = (y.dims()[0], y.dims()[1]);
         let bias = self.bias.value.data();
@@ -134,7 +147,7 @@ impl Layer for Dense {
         let wq = self.cached_wq.as_ref().expect("cached with xq");
         let gq = ctx.q(grad_out);
         // ΔW = xqᵀ·gq — full-precision result (paper: WG writes back FP32).
-        let gw = ops::matmul_at(xq, &gq)?;
+        let gw = ops::matmul_at_with(ctx.backend, xq, &gq)?;
         self.weight.grad.add_scaled(&gw, 1.0)?;
         // Δb = column sums of g.
         let (b, out_f) = (gq.dims()[0], gq.dims()[1]);
@@ -144,7 +157,7 @@ impl Layer for Dense {
             }
         }
         // δ_in = gq·Wᵀ.
-        Ok(ops::matmul_bt(&gq, wq)?)
+        Ok(ops::matmul_bt_with(ctx.backend, &gq, wq)?)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -192,7 +205,7 @@ impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
         let xq = ctx.q(x);
         let wq = ctx.q(&self.weight.value);
-        let y = ops::conv2d(&xq, &wq, self.params)?;
+        let y = ops::conv2d_with(ctx.backend, &xq, &wq, self.params)?;
         self.cached_xq = Some(xq);
         self.cached_wq = Some(wq);
         Ok(y)
@@ -204,9 +217,21 @@ impl Layer for Conv2d {
         })?;
         let wq = self.cached_wq.as_ref().expect("cached with xq");
         let gq = ctx.q(grad_out);
-        let gw = ops::conv2d_grad_weight(xq, &gq, self.weight.value.dims(), self.params)?;
+        let gw = ops::conv2d_grad_weight_with(
+            ctx.backend,
+            xq,
+            &gq,
+            self.weight.value.dims(),
+            self.params,
+        )?;
         self.weight.grad.add_scaled(&gw, 1.0)?;
-        Ok(ops::conv2d_grad_input(&gq, wq, xq.dims(), self.params)?)
+        Ok(ops::conv2d_grad_input_with(
+            ctx.backend,
+            &gq,
+            wq,
+            xq.dims(),
+            self.params,
+        )?)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -9,7 +9,7 @@ use crate::error::NnError;
 use crate::layers::{Layer, QuantCtx};
 use crate::param::Param;
 use cq_tensor::ops;
-use cq_tensor::{init, Tensor};
+use cq_tensor::{init, Backend, Tensor};
 
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
@@ -72,6 +72,7 @@ impl Lstm {
         self.hidden
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         xq: &Tensor,
@@ -79,11 +80,12 @@ impl Lstm {
         c_prev: &Tensor,
         wxq: &Tensor,
         whq: &Tensor,
+        backend: Backend,
     ) -> Result<StepCache, NnError> {
         let h = self.hidden;
         let b = xq.dims()[0];
-        let mut z = ops::matmul(xq, wxq)?;
-        let zh = ops::matmul(h_prev, whq)?;
+        let mut z = ops::matmul_with(backend, xq, wxq)?;
+        let zh = ops::matmul_with(backend, h_prev, whq)?;
         z.add_scaled(&zh, 1.0)?;
         let bias = self.bias.value.data();
         let mut gates = Tensor::zeros(&[b, 4 * h]);
@@ -141,7 +143,7 @@ impl Layer for Lstm {
         for ti in 0..t {
             let xt = x.slice_flat(ti * b * i, b * i)?.reshape(&[b, i])?;
             let xq = ctx.q(&xt);
-            let cache = self.step(&xq, &h, &c, &wxq, &whq)?;
+            let cache = self.step(&xq, &h, &c, &wxq, &whq, ctx.backend)?;
             h = Self::hidden_of(&cache, self.hidden);
             c = cache.c.clone();
             caches.push(cache);
@@ -193,19 +195,19 @@ impl Layer for Lstm {
             // Weight gradients (full precision, accumulated).
             self.wx
                 .grad
-                .add_scaled(&ops::matmul_at(&cache.xq, &dz)?, 1.0)?;
+                .add_scaled(&ops::matmul_at_with(ctx.backend, &cache.xq, &dz)?, 1.0)?;
             self.wh
                 .grad
-                .add_scaled(&ops::matmul_at(&cache.h_prev, &dz)?, 1.0)?;
+                .add_scaled(&ops::matmul_at_with(ctx.backend, &cache.h_prev, &dz)?, 1.0)?;
             for bi in 0..b {
                 for j in 0..4 * h {
                     self.bias.grad.data_mut()[j] += dz.data()[bi * 4 * h + j];
                 }
             }
             // Input and recurrent gradients.
-            let dx = ops::matmul_bt(&dz, wxq)?;
+            let dx = ops::matmul_bt_with(ctx.backend, &dz, wxq)?;
             dx_all.data_mut()[ti * b * i_dim..(ti + 1) * b * i_dim].copy_from_slice(dx.data());
-            dh = ops::matmul_bt(&dz, whq)?;
+            dh = ops::matmul_bt_with(ctx.backend, &dz, whq)?;
         }
         Ok(dx_all)
     }

@@ -1,0 +1,493 @@
+//! im2col lowering: 2-D convolution (forward and both gradients) as GEMM.
+//!
+//! For one image, `im2col` unrolls every receptive field into a column of
+//! a `[C·KH·KW, OH·OW]` patch matrix. The three convolution passes are
+//! then single GEMMs per image:
+//!
+//! * forward:      `out = W[F, C·KH·KW] × cols`
+//! * grad-input:   `cols_g = Wᵀ × g[F, OH·OW]`, then `col2im` scatter-add
+//! * grad-weight:  `ΔW += g × colsᵀ`
+//!
+//! Memory cost: one patch matrix of `C·KH·KW·OH·OW` floats per in-flight
+//! image (`KH·KW` × the image itself) — the classic im2col trade of memory
+//! for GEMM-shaped compute. Batches parallelize across the [`Pool`] with
+//! one patch buffer per worker; the batch-1 case falls back to the
+//! parallel GEMM itself.
+
+use crate::gemm::{gemm, gemm_at, gemm_bt};
+use crate::pool::Pool;
+
+/// Shape bundle for one convolution, with all derived sizes precomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels (filters).
+    pub f: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (both spatial dims).
+    pub stride: usize,
+    /// Zero padding (every border).
+    pub padding: usize,
+    /// Output height.
+    pub oh: usize,
+    /// Output width.
+    pub ow: usize,
+}
+
+impl ConvShape {
+    /// Rows of the patch matrix (`C·KH·KW`).
+    pub fn col_rows(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    /// Columns of the patch matrix (`OH·OW`).
+    pub fn col_cols(&self) -> usize {
+        self.oh * self.ow
+    }
+
+    /// Elements in one input image (`C·H·W`).
+    pub fn image_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Elements in one output image (`F·OH·OW`).
+    pub fn out_len(&self) -> usize {
+        self.f * self.oh * self.ow
+    }
+
+    /// Valid output-x range `[lo, hi)` for kernel column `kx` (positions
+    /// whose input x lands inside the unpadded image).
+    fn ox_range(&self, kx: usize) -> (usize, usize) {
+        let s = self.stride as isize;
+        let off = kx as isize - self.padding as isize; // ix = ox*s + off
+        let lo = if off < 0 {
+            ((-off + s - 1) / s) as usize
+        } else {
+            0
+        };
+        let hi = if off >= self.w as isize {
+            0
+        } else {
+            (((self.w as isize - off + s - 1) / s) as usize).min(self.ow)
+        };
+        (lo.min(self.ow), hi.max(lo.min(self.ow)))
+    }
+
+    /// Valid input y (if any) for output row `oy`, kernel row `ky`.
+    fn iy(&self, oy: usize, ky: usize) -> Option<usize> {
+        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+        (iy >= 0 && iy < self.h as isize).then_some(iy as usize)
+    }
+}
+
+/// Unrolls one image (`[C, H, W]`) into the patch matrix `cols`
+/// (`[C·KH·KW, OH·OW]`), zero-filling padded positions.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `shape`.
+pub fn im2col(shape: &ConvShape, image: &[f32], cols: &mut [f32]) {
+    assert_eq!(image.len(), shape.image_len(), "im2col: image length");
+    assert_eq!(
+        cols.len(),
+        shape.col_rows() * shape.col_cols(),
+        "im2col: cols length"
+    );
+    let (s, w, ow) = (shape.stride, shape.w, shape.ow);
+    let mut rows = cols.chunks_exact_mut(shape.col_cols());
+    for ci in 0..shape.c {
+        for ky in 0..shape.kh {
+            for kx in 0..shape.kw {
+                let row = rows.next().expect("col_rows chunks");
+                let (ox_lo, ox_hi) = shape.ox_range(kx);
+                let off = kx as isize - shape.padding as isize;
+                for oy in 0..shape.oh {
+                    let seg = &mut row[oy * ow..(oy + 1) * ow];
+                    match shape.iy(oy, ky) {
+                        None => seg.fill(0.0),
+                        Some(iy) => {
+                            seg[..ox_lo].fill(0.0);
+                            seg[ox_hi..].fill(0.0);
+                            let base = (ci * shape.h + iy) * w;
+                            if s == 1 && ox_hi > ox_lo {
+                                let ix_lo = (ox_lo as isize + off) as usize;
+                                seg[ox_lo..ox_hi].copy_from_slice(
+                                    &image[base + ix_lo..base + ix_lo + (ox_hi - ox_lo)],
+                                );
+                            } else {
+                                for (ox, dst) in seg[ox_lo..ox_hi].iter_mut().enumerate() {
+                                    let ix = ((ox + ox_lo) * s) as isize + off;
+                                    *dst = image[base + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds a patch matrix back into one image: the adjoint of
+/// [`im2col`], used by the input-gradient pass.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `shape`.
+pub fn col2im_add(shape: &ConvShape, cols: &[f32], image: &mut [f32]) {
+    assert_eq!(image.len(), shape.image_len(), "col2im: image length");
+    assert_eq!(
+        cols.len(),
+        shape.col_rows() * shape.col_cols(),
+        "col2im: cols length"
+    );
+    let (s, w, ow) = (shape.stride, shape.w, shape.ow);
+    let mut rows = cols.chunks_exact(shape.col_cols());
+    for ci in 0..shape.c {
+        for ky in 0..shape.kh {
+            for kx in 0..shape.kw {
+                let row = rows.next().expect("col_rows chunks");
+                let (ox_lo, ox_hi) = shape.ox_range(kx);
+                let off = kx as isize - shape.padding as isize;
+                for oy in 0..shape.oh {
+                    let Some(iy) = shape.iy(oy, ky) else { continue };
+                    let base = (ci * shape.h + iy) * w;
+                    let seg = &row[oy * ow..(oy + 1) * ow];
+                    for (ox, &g) in seg[ox_lo..ox_hi].iter().enumerate() {
+                        let ix = ((ox + ox_lo) * s) as isize + off;
+                        image[base + ix as usize] += g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution: `out[N, F, OH, OW] = input[N, C, H, W] ⊛ weight`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `shape`.
+pub fn conv2d(shape: &ConvShape, input: &[f32], weight: &[f32], out: &mut [f32], pool: &Pool) {
+    assert_eq!(input.len(), shape.n * shape.image_len(), "conv2d: input");
+    assert_eq!(weight.len(), shape.f * shape.col_rows(), "conv2d: weight");
+    assert_eq!(out.len(), shape.n * shape.out_len(), "conv2d: out");
+    if shape.out_len() == 0 {
+        return;
+    }
+    let serial = Pool::new(1);
+    let inner_pool = if shape.n > 1 { &serial } else { pool };
+    let run_image = |img: usize, out_img: &mut [f32], cols: &mut [f32]| {
+        let image = &input[img * shape.image_len()..(img + 1) * shape.image_len()];
+        im2col(shape, image, cols);
+        gemm(
+            shape.f,
+            shape.col_rows(),
+            shape.col_cols(),
+            weight,
+            cols,
+            out_img,
+            inner_pool,
+        );
+    };
+    if shape.n > 1 {
+        pool.parallel_row_chunks(out, shape.out_len(), 1, |first, band| {
+            let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+            for (i, out_img) in band.chunks_exact_mut(shape.out_len()).enumerate() {
+                run_image(first + i, out_img, &mut cols);
+            }
+        });
+    } else {
+        let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+        run_image(0, out, &mut cols);
+    }
+}
+
+/// Input gradient: `gin[N, C, H, W]` from `grad_out[N, F, OH, OW]` and the
+/// weights. `gin` is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `shape`.
+pub fn conv2d_grad_input(
+    shape: &ConvShape,
+    grad_out: &[f32],
+    weight: &[f32],
+    gin: &mut [f32],
+    pool: &Pool,
+) {
+    assert_eq!(grad_out.len(), shape.n * shape.out_len(), "grad_input: g");
+    assert_eq!(weight.len(), shape.f * shape.col_rows(), "grad_input: w");
+    assert_eq!(gin.len(), shape.n * shape.image_len(), "grad_input: gin");
+    gin.fill(0.0);
+    if shape.out_len() == 0 || shape.image_len() == 0 {
+        return;
+    }
+    let serial = Pool::new(1);
+    let inner_pool = if shape.n > 1 { &serial } else { pool };
+    let run_image = |img: usize, gin_img: &mut [f32], cols: &mut [f32]| {
+        let g = &grad_out[img * shape.out_len()..(img + 1) * shape.out_len()];
+        // cols = Wᵀ[C·KH·KW, F] × g[F, OH·OW]
+        gemm_at(
+            shape.col_rows(),
+            shape.f,
+            shape.col_cols(),
+            weight,
+            g,
+            cols,
+            inner_pool,
+        );
+        col2im_add(shape, cols, gin_img);
+    };
+    if shape.n > 1 {
+        pool.parallel_row_chunks(gin, shape.image_len(), 1, |first, band| {
+            let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+            for (i, gin_img) in band.chunks_exact_mut(shape.image_len()).enumerate() {
+                run_image(first + i, gin_img, &mut cols);
+            }
+        });
+    } else {
+        let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+        run_image(0, gin, &mut cols);
+    }
+}
+
+/// Weight gradient: `gw[F, C, KH, KW]` from the input and `grad_out`,
+/// summed over the batch. `gw` is fully overwritten.
+///
+/// Workers accumulate private partials over disjoint image ranges, then
+/// the caller reduces them — keeping the shared `gw` free of data races.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `shape`.
+pub fn conv2d_grad_weight(
+    shape: &ConvShape,
+    input: &[f32],
+    grad_out: &[f32],
+    gw: &mut [f32],
+    pool: &Pool,
+) {
+    assert_eq!(input.len(), shape.n * shape.image_len(), "grad_weight: x");
+    assert_eq!(grad_out.len(), shape.n * shape.out_len(), "grad_weight: g");
+    assert_eq!(gw.len(), shape.f * shape.col_rows(), "grad_weight: gw");
+    gw.fill(0.0);
+    if shape.out_len() == 0 || shape.col_rows() == 0 {
+        return;
+    }
+    let serial = Pool::new(1);
+    let band_partial = |range: std::ops::Range<usize>, inner_pool: &Pool| -> Vec<f32> {
+        let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+        let mut tmp = vec![0.0f32; shape.f * shape.col_rows()];
+        let mut partial = vec![0.0f32; shape.f * shape.col_rows()];
+        for img in range {
+            let image = &input[img * shape.image_len()..(img + 1) * shape.image_len()];
+            let g = &grad_out[img * shape.out_len()..(img + 1) * shape.out_len()];
+            im2col(shape, image, &mut cols);
+            // tmp = g[F, OH·OW] × colsᵀ[OH·OW, C·KH·KW]
+            gemm_bt(
+                shape.f,
+                shape.col_cols(),
+                shape.col_rows(),
+                g,
+                &cols,
+                &mut tmp,
+                inner_pool,
+            );
+            for (p, &t) in partial.iter_mut().zip(&tmp) {
+                *p += t;
+            }
+        }
+        partial
+    };
+    if shape.n > 1 && pool.threads() > 1 {
+        let ranges = Pool::partition(shape.n, pool.threads(), 1);
+        let partials =
+            pool.parallel_map(ranges.len(), |i| band_partial(ranges[i].clone(), &serial));
+        for partial in partials {
+            for (o, &p) in gw.iter_mut().zip(&partial) {
+                *o += p;
+            }
+        }
+    } else {
+        let partial = band_partial(0..shape.n, pool);
+        gw.copy_from_slice(&partial);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn shape(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        f: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> ConvShape {
+        let od = |input: usize| (input + 2 * padding).saturating_sub(k) / stride + 1;
+        ConvShape {
+            n,
+            c,
+            h,
+            w,
+            f,
+            kh: k,
+            kw: k,
+            stride,
+            padding,
+            oh: od(h),
+            ow: od(w),
+        }
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((s >> 24) as f32 - 128.0) / 16.0
+            })
+            .collect()
+    }
+
+    /// Direct (nested-loop) convolution as the test oracle.
+    fn conv_oracle(sh: &ConvShape, input: &[f32], weight: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; sh.n * sh.out_len()];
+        for ni in 0..sh.n {
+            for fi in 0..sh.f {
+                for oy in 0..sh.oh {
+                    for ox in 0..sh.ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..sh.c {
+                            for ky in 0..sh.kh {
+                                let iy = (oy * sh.stride + ky) as isize - sh.padding as isize;
+                                if iy < 0 || iy >= sh.h as isize {
+                                    continue;
+                                }
+                                for kx in 0..sh.kw {
+                                    let ix = (ox * sh.stride + kx) as isize - sh.padding as isize;
+                                    if ix < 0 || ix >= sh.w as isize {
+                                        continue;
+                                    }
+                                    acc += input[((ni * sh.c + ci) * sh.h + iy as usize) * sh.w
+                                        + ix as usize]
+                                        * weight[((fi * sh.c + ci) * sh.kh + ky) * sh.kw + kx];
+                                }
+                            }
+                        }
+                        out[((ni * sh.f + fi) * sh.oh + oy) * sh.ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        for &(n, c, h, w, f, k, s, p) in &[
+            (
+                1usize, 1usize, 4usize, 4usize, 1usize, 1usize, 1usize, 0usize,
+            ),
+            (2, 3, 8, 8, 4, 3, 1, 1),
+            (1, 2, 7, 5, 3, 3, 2, 1),
+            (3, 1, 6, 6, 2, 5, 1, 2),
+            (2, 2, 5, 5, 2, 2, 2, 0),
+        ] {
+            let sh = shape(n, c, h, w, f, k, s, p);
+            let input = fill(n * sh.image_len(), 3 + h as u32);
+            let weight = fill(f * sh.col_rows(), 17 + k as u32);
+            let mut out = vec![0.0f32; n * sh.out_len()];
+            for threads in [1, 4] {
+                conv2d(&sh, &input, &weight, &mut out, &Pool::new(threads));
+                let want = conv_oracle(&sh, &input, &weight);
+                for (got, want) in out.iter().zip(&want) {
+                    assert!(
+                        (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                        "n{n} c{c} h{h} w{w} f{f} k{k} s{s} p{p} t{threads}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let sh = shape(2, 2, 5, 5, 3, 3, 1, 1);
+        let pool = Pool::new(2);
+        let mut input = fill(sh.n * sh.image_len(), 5);
+        let mut weight = fill(sh.f * sh.col_rows(), 6);
+        // Loss = sum(out); dL/dout = 1.
+        let gout = vec![1.0f32; sh.n * sh.out_len()];
+        let mut gin = vec![0.0f32; input.len()];
+        let mut gw = vec![0.0f32; weight.len()];
+        conv2d_grad_input(&sh, &gout, &weight, &mut gin, &pool);
+        conv2d_grad_weight(&sh, &input, &gout, &mut gw, &pool);
+
+        let loss = |inp: &[f32], wt: &[f32]| -> f32 { conv_oracle(&sh, inp, wt).iter().sum() };
+        let eps = 1e-2;
+        for &idx in &[0usize, 13, 49, input.len() - 1] {
+            let orig = input[idx];
+            input[idx] = orig + eps;
+            let lp = loss(&input, &weight);
+            input[idx] = orig - eps;
+            let lm = loss(&input, &weight);
+            input[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gin[idx]).abs() < 1e-1,
+                "gin[{idx}]: fd={fd} got={}",
+                gin[idx]
+            );
+        }
+        for &idx in &[0usize, 7, weight.len() - 1] {
+            let orig = weight[idx];
+            weight[idx] = orig + eps;
+            let lp = loss(&input, &weight);
+            weight[idx] = orig - eps;
+            let lm = loss(&input, &weight);
+            weight[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gw[idx]).abs() < 1e-1,
+                "gw[{idx}]: fd={fd} got={}",
+                gw[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair.
+        let sh = shape(1, 2, 6, 5, 1, 3, 2, 1);
+        let x = fill(sh.image_len(), 21);
+        let y = fill(sh.col_rows() * sh.col_cols(), 22);
+        let mut cols = vec![0.0f32; y.len()];
+        im2col(&sh, &x, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0f32; x.len()];
+        col2im_add(&sh, &y, &mut back);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # cq-par — parallel tiled compute backend
+//!
+//! The hot path of the whole reproduction — HQT quantization sweeps, the
+//! six-network training workloads, the fault sweep — funnels through the
+//! dense kernels in `cq-tensor`. This crate provides the *fast* versions of
+//! those kernels plus the thread pool they (and the experiment sweeps) run
+//! on:
+//!
+//! * [`Pool`] — a scoped `std::thread` worker pool with row-range
+//!   partitioning, a dynamically scheduled [`Pool::parallel_map`], and
+//!   panic propagation. No external dependencies (the build environment is
+//!   offline, matching the `shims/` precedent).
+//! * [`gemm`], [`gemm_at`], [`gemm_bt`] — cache-blocked, register-tiled
+//!   (4×8 accumulator micro-kernel) matrix multiplies over raw `f32`
+//!   slices.
+//! * [`conv`] — an im2col lowering that turns 2-D convolution (forward,
+//!   input-gradient and weight-gradient passes) into GEMM calls.
+//!
+//! The crate deliberately operates on raw slices, not `cq-tensor`
+//! tensors, so `cq-tensor` can depend on it without a cycle; shape checks
+//! and the `Backend` dispatch live in `cq_tensor::ops`.
+//!
+//! # Determinism
+//!
+//! All kernels accumulate each output element over the reduction dimension
+//! in ascending index order — the same order as the naive reference
+//! kernels — so, absent FMA contraction (which rustc does not perform by
+//! default), results are bitwise identical to the naive backend. Tiling
+//! and threading change *which* elements are computed together, never the
+//! per-element summation order.
+//!
+//! # Examples
+//!
+//! ```
+//! use cq_par::{gemm, Pool};
+//!
+//! // [1,2;3,4] × identity
+//! let a = [1.0, 2.0, 3.0, 4.0];
+//! let b = [1.0, 0.0, 0.0, 1.0];
+//! let mut out = [0.0f32; 4];
+//! gemm(2, 2, 2, &a, &b, &mut out, Pool::global());
+//! assert_eq!(out, a);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conv;
+mod gemm;
+mod pool;
+
+pub use gemm::{gemm, gemm_at, gemm_bt, transpose};
+pub use pool::Pool;

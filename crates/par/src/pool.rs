@@ -1,0 +1,315 @@
+//! Scoped worker pool with row-range partitioning.
+//!
+//! The pool holds no long-lived threads: every parallel region spawns
+//! scoped `std::thread`s (`std::thread::scope`), which lets workers borrow
+//! the caller's data without `'static` bounds or reference counting. Spawn
+//! cost (~tens of microseconds per worker) is amortized by handing each
+//! worker a contiguous chunk of at least `min_chunk` work items; callers
+//! with tiny workloads should stay serial (see the thresholds in
+//! [`crate::gemm`]).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A fan-out helper over scoped `std::thread`s.
+///
+/// `threads` is the *maximum* concurrency of any parallel region; regions
+/// with fewer chunks than threads spawn fewer workers. A pool with one
+/// thread runs everything on the caller's thread (useful as a serial
+/// reference and on single-core machines).
+///
+/// # Examples
+///
+/// ```
+/// use cq_par::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.parallel_map(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool with the given maximum worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process-wide pool.
+    ///
+    /// Thread count comes from the `CQ_THREADS` environment variable if set
+    /// to a positive integer, else from `std::thread::available_parallelism`.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(threads_from_env()))
+    }
+
+    /// Maximum number of workers this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..len` into at most `parts` contiguous ranges of at least
+    /// `min_chunk` items each (the final range may be larger), balanced to
+    /// within one item. Returns no ranges for `len == 0`.
+    pub fn partition(len: usize, parts: usize, min_chunk: usize) -> Vec<Range<usize>> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let min_chunk = min_chunk.max(1);
+        let parts = parts.max(1).min((len / min_chunk).max(1));
+        let base = len / parts;
+        let rem = len % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0;
+        for i in 0..parts {
+            let size = base + usize::from(i < rem);
+            ranges.push(start..start + size);
+            start += size;
+        }
+        ranges
+    }
+
+    /// Runs `f` over contiguous sub-ranges of `0..len`, in parallel.
+    ///
+    /// The first range runs on the calling thread; a panic in any worker
+    /// propagates to the caller once all workers have finished.
+    pub fn parallel_for<F>(&self, len: usize, min_chunk: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let ranges = Self::partition(len, self.threads, min_chunk);
+        match ranges.len() {
+            0 => {}
+            1 => f(ranges[0].clone()),
+            _ => std::thread::scope(|s| {
+                let f = &f;
+                for r in &ranges[1..] {
+                    let r = r.clone();
+                    s.spawn(move || f(r));
+                }
+                f(ranges[0].clone());
+            }),
+        }
+    }
+
+    /// Maps `f` over `0..n` with dynamic (work-stealing counter) scheduling
+    /// and returns the results in index order.
+    ///
+    /// Suited to irregular work items (e.g. training runs of different
+    /// networks); each worker repeatedly claims the next unclaimed index.
+    /// A panic in any worker propagates after all workers have finished.
+    pub fn parallel_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let mut indexed: Vec<(usize, T)> = std::thread::scope(|s| {
+            let (next, f) = (&next, &f);
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Partitions `data` (a `rows × row_width` row-major matrix) into
+    /// contiguous row bands of at least `min_rows` rows and runs
+    /// `f(first_row, band)` on each band in parallel.
+    ///
+    /// This is the safe backbone of the GEMM row partitioning: each worker
+    /// gets exclusive `&mut` access to its band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `row_width` (for
+    /// non-empty data), or if a worker panics.
+    pub fn parallel_row_chunks<T, F>(&self, data: &mut [T], row_width: usize, min_rows: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(row_width > 0, "row_width must be positive");
+        assert_eq!(data.len() % row_width, 0, "data not a whole number of rows");
+        let rows = data.len() / row_width;
+        let ranges = Self::partition(rows, self.threads, min_rows);
+        if ranges.len() <= 1 {
+            f(0, data);
+            return;
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = data;
+            for r in &ranges {
+                let (band, tail) = rest.split_at_mut(r.len() * row_width);
+                rest = tail;
+                let first_row = r.start;
+                s.spawn(move || f(first_row, band));
+            }
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new(threads_from_env())
+    }
+}
+
+fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var("CQ_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn partition_balances_and_respects_min_chunk() {
+        let r = Pool::partition(10, 4, 1);
+        assert_eq!(r, vec![0..3, 3..6, 6..8, 8..10]);
+        // min_chunk caps the number of parts.
+        let r = Pool::partition(10, 8, 4);
+        assert_eq!(r, vec![0..5, 5..10]);
+        // One big part when min_chunk exceeds len.
+        assert_eq!(Pool::partition(3, 8, 100), vec![0..3]);
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        let hits = AtomicUsize::new(0);
+        Pool::new(4).parallel_for(0, 1, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        assert_eq!(Pool::new(4).parallel_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_exactly_once() {
+        let len = 1000;
+        let counts: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        Pool::new(3).parallel_for(len, 7, |range| {
+            for i in range {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        // 8 workers, 3 rows: must still produce each row exactly once.
+        let pool = Pool::new(8);
+        assert_eq!(pool.parallel_map(3, |i| i * 2), vec![0, 2, 4]);
+        let mut data = vec![0u32; 3 * 2];
+        pool.parallel_row_chunks(&mut data, 2, 1, |first_row, band| {
+            for (r, row) in band.chunks_mut(2).enumerate() {
+                row.fill((first_row + r) as u32);
+            }
+        });
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_under_dynamic_scheduling() {
+        let pool = Pool::new(5);
+        let out = pool.parallel_map(100, |i| {
+            // Uneven work to force out-of-order completion.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            i as u64 * 3
+        });
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_from_parallel_map() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).parallel_map(16, |i| {
+                if i == 11 {
+                    panic!("worker 11 exploded");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn worker_panic_propagates_from_parallel_for() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).parallel_for(16, 1, |range| {
+                if range.contains(&13) {
+                    panic!("range worker exploded");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn row_chunks_reject_ragged_data() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(2).parallel_row_chunks(&mut [0u8; 5], 2, 1, |_, _| {});
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.parallel_map(4, |i| i + 1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Compute-backend selection for the dense kernels in [`crate::ops`].
+//!
+//! Two backends exist:
+//!
+//! * [`Backend::Naive`] — the original single-threaded scalar triple
+//!   loops, kept as the bit-accurate reference.
+//! * [`Backend::Fast`] — `cq-par`'s cache-blocked, register-tiled GEMM
+//!   and im2col convolution, parallelized over the global worker pool.
+//!
+//! Both accumulate every output element over the reduction dimension in
+//! the same (ascending) order, so they agree bit-for-bit on finite
+//! inputs; see the `backend_parity` test suite for the enforced bound.
+//!
+//! The process-wide default is [`Backend::Fast`], overridable by the
+//! `CQ_BACKEND` environment variable (`naive` or `fast`) at startup and by
+//! [`set_default_backend`] at run time. Worker count comes from
+//! `CQ_THREADS` (see [`cq_par::Pool::global`]).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which implementation the dense kernels run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Reference scalar loops: single-threaded, unblocked.
+    Naive,
+    /// Tiled, pooled kernels from `cq-par` (the default).
+    #[default]
+    Fast,
+}
+
+impl Backend {
+    /// Parses `"naive"` / `"fast"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "naive" => Some(Backend::Naive),
+            "fast" => Some(Backend::Fast),
+            _ => None,
+        }
+    }
+
+    /// Short display name (`"naive"` / `"fast"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Naive => "naive",
+            Backend::Fast => "fast",
+        }
+    }
+}
+
+/// Run-time override set through [`set_default_backend`]: 0 = unset,
+/// 1 = naive, 2 = fast.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_default() -> Backend {
+    static ENV: OnceLock<Backend> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("CQ_BACKEND")
+            .ok()
+            .and_then(|v| Backend::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
+/// The backend used by the plain `ops::*` entry points.
+///
+/// Resolution order: [`set_default_backend`] override, then the
+/// `CQ_BACKEND` environment variable, then [`Backend::Fast`].
+pub fn default_backend() -> Backend {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => Backend::Naive,
+        2 => Backend::Fast,
+        _ => env_default(),
+    }
+}
+
+/// Overrides the process-wide default backend (e.g. for A/B timing runs).
+pub fn set_default_backend(backend: Backend) {
+    let v = match backend {
+        Backend::Naive => 1,
+        Backend::Fast => 2,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_both_names() {
+        assert_eq!(Backend::parse("naive"), Some(Backend::Naive));
+        assert_eq!(Backend::parse(" Fast "), Some(Backend::Fast));
+        assert_eq!(Backend::parse("gpu"), None);
+        assert_eq!(Backend::Naive.name(), "naive");
+        assert_eq!(Backend::Fast.name(), "fast");
+    }
+
+    #[test]
+    fn override_round_trips() {
+        let before = default_backend();
+        set_default_backend(Backend::Naive);
+        assert_eq!(default_backend(), Backend::Naive);
+        set_default_backend(Backend::Fast);
+        assert_eq!(default_backend(), Backend::Fast);
+        set_default_backend(before);
+    }
+}

@@ -8,9 +8,11 @@
 //! * `cq-nn` trains networks whose activations and gradients are `Tensor`s,
 //! * `cq-accel`'s functional model executes instructions over `Tensor`s.
 //!
-//! The crate is dependency-light by design (only `rand` for seeded
-//! initializers) and entirely deterministic: all random initialization goes
-//! through [`init`] with explicit seeds.
+//! The crate is dependency-light by design (`rand` for seeded initializers
+//! and `cq-par` for the tiled parallel kernels) and entirely deterministic:
+//! all random initialization goes through [`init`] with explicit seeds, and
+//! both compute [`Backend`]s accumulate in the same order (see
+//! [`backend`]).
 //!
 //! # Examples
 //!
@@ -28,12 +30,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 mod error;
 pub mod init;
 pub mod ops;
 mod shape;
 mod tensor;
 
+pub use backend::{default_backend, set_default_backend, Backend};
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -6,8 +6,10 @@
 //! for them; this module computes the actual values so training runs produce
 //! real numbers.
 
+use crate::backend::{default_backend, Backend};
 use crate::error::TensorError;
 use crate::tensor::Tensor;
+use cq_par::Pool;
 
 /// Hyper-parameters of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +66,15 @@ impl Conv2dParams {
 /// # Ok::<(), cq_tensor::TensorError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_with(default_backend(), a, b)
+}
+
+/// [`matmul`] on an explicit [`Backend`].
+///
+/// # Errors
+///
+/// Same as [`matmul`].
+pub fn matmul_with(backend: Backend, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     check_rank2(a, "matmul")?;
     check_rank2(b, "matmul")?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -78,16 +89,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
-    for i in 0..m {
-        for p in 0..k {
-            let av = ad[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    match backend {
+        Backend::Fast => cq_par::gemm(m, k, n, ad, bd, od, Pool::global()),
+        Backend::Naive => {
+            // No zero-skip: `0·NaN` must stay NaN so non-finite operands
+            // surface through TensorError::NonFinite checks downstream.
+            for i in 0..m {
+                for p in 0..k {
+                    let av = ad[i * k + p];
+                    let brow = &bd[p * n..(p + 1) * n];
+                    let orow = &mut od[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
             }
         }
     }
@@ -103,6 +118,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Same as [`matmul`].
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_at_with(default_backend(), a, b)
+}
+
+/// [`matmul_at`] on an explicit [`Backend`].
+///
+/// # Errors
+///
+/// Same as [`matmul`].
+pub fn matmul_at_with(backend: Backend, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     check_rank2(a, "matmul_at")?;
     check_rank2(b, "matmul_at")?;
     let (k, m) = (a.dims()[0], a.dims()[1]);
@@ -117,16 +141,19 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    match backend {
+        Backend::Fast => cq_par::gemm_at(m, k, n, ad, bd, od, Pool::global()),
+        Backend::Naive => {
+            // No zero-skip (see matmul_with): NaN operands must propagate.
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    let orow = &mut od[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
             }
         }
     }
@@ -141,6 +168,15 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Same as [`matmul`].
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_bt_with(default_backend(), a, b)
+}
+
+/// [`matmul_bt`] on an explicit [`Backend`].
+///
+/// # Errors
+///
+/// Same as [`matmul`].
+pub fn matmul_bt_with(backend: Backend, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     check_rank2(a, "matmul_bt")?;
     check_rank2(b, "matmul_bt")?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -155,11 +191,16 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            od[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+    match backend {
+        Backend::Fast => cq_par::gemm_bt(m, k, n, ad, bd, od, Pool::global()),
+        Backend::Naive => {
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    od[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+                }
+            }
         }
     }
     Ok(out)
@@ -187,6 +228,57 @@ fn check_rank4(t: &Tensor, op: &'static str) -> Result<(), TensorError> {
     Ok(())
 }
 
+/// Valid kernel-offset range `[lo, hi)` for output position `o`: the `k`
+/// whose input coordinate `o*s + k - p` lands inside `[0, input)`.
+/// Hoisting this out of the per-pixel loops removes the bounds branch
+/// from the naive kernels' innermost iterations.
+fn valid_k_range(o: usize, s: usize, p: usize, input: usize, kdim: usize) -> (usize, usize) {
+    let base = o * s; // input coord = base + k - p
+    let lo = p.saturating_sub(base).min(kdim);
+    let hi = (input + p).saturating_sub(base).min(kdim).max(lo);
+    (lo, hi)
+}
+
+/// Per-output-position valid kernel ranges along one spatial axis.
+fn valid_k_ranges(
+    out_dim: usize,
+    s: usize,
+    p: usize,
+    input: usize,
+    kdim: usize,
+) -> Vec<(usize, usize)> {
+    (0..out_dim)
+        .map(|o| valid_k_range(o, s, p, input, kdim))
+        .collect()
+}
+
+/// Bundles validated dimensions into the `cq-par` shape descriptor.
+#[allow(clippy::too_many_arguments)]
+fn par_shape(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+    kh: usize,
+    kw: usize,
+    params: Conv2dParams,
+) -> cq_par::conv::ConvShape {
+    cq_par::conv::ConvShape {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        stride: params.stride,
+        padding: params.padding,
+        oh: params.output_dim(h, kh),
+        ow: params.output_dim(w, kw),
+    }
+}
+
 /// 2-D convolution forward pass.
 ///
 /// `input` is `[N, C, H, W]`, `weight` is `[F, C, KH, KW]`; output is
@@ -197,6 +289,20 @@ fn check_rank4(t: &Tensor, op: &'static str) -> Result<(), TensorError> {
 /// Returns a rank or shape error if the operands do not describe a valid
 /// convolution.
 pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    conv2d_with(default_backend(), input, weight, params)
+}
+
+/// [`conv2d`] on an explicit [`Backend`].
+///
+/// # Errors
+///
+/// Same as [`conv2d`].
+pub fn conv2d_with(
+    backend: Backend,
     input: &Tensor,
     weight: &Tensor,
     params: Conv2dParams,
@@ -215,27 +321,34 @@ pub fn conv2d(
     let oh = params.output_dim(h, kh);
     let ow = params.output_dim(w, kw);
     let mut out = Tensor::zeros(&[n, f, oh, ow]);
+    if backend == Backend::Fast {
+        let shape = par_shape(n, c, h, w, f, kh, kw, params);
+        cq_par::conv::conv2d(
+            &shape,
+            input.data(),
+            weight.data(),
+            out.data_mut(),
+            Pool::global(),
+        );
+        return Ok(out);
+    }
     let id = input.data();
     let wd = weight.data();
     let od = out.data_mut();
-    let (s, p) = (params.stride, params.padding as isize);
+    let (s, p) = (params.stride, params.padding);
+    let kyr = valid_k_ranges(oh, s, p, h, kh);
+    let kxr = valid_k_ranges(ow, s, p, w, kw);
     for ni in 0..n {
         for fi in 0..f {
-            for oy in 0..oh {
-                for ox in 0..ow {
+            for (oy, &(ky_lo, ky_hi)) in kyr.iter().enumerate() {
+                for (ox, &(kx_lo, kx_hi)) in kxr.iter().enumerate() {
                     let mut acc = 0.0f32;
                     for ci in 0..c {
-                        for ky in 0..kh {
-                            let iy = (oy * s) as isize + ky as isize - p;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..kw {
-                                let ix = (ox * s) as isize + kx as isize - p;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let iv = id[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                        for ky in ky_lo..ky_hi {
+                            let iy = oy * s + ky - p;
+                            for kx in kx_lo..kx_hi {
+                                let ix = ox * s + kx - p;
+                                let iv = id[((ni * c + ci) * h + iy) * w + ix];
                                 let wv = wd[((fi * c + ci) * kh + ky) * kw + kx];
                                 acc += iv * wv;
                             }
@@ -261,6 +374,21 @@ pub fn conv2d_grad_input(
     input_dims: &[usize],
     params: Conv2dParams,
 ) -> Result<Tensor, TensorError> {
+    conv2d_grad_input_with(default_backend(), grad_output, weight, input_dims, params)
+}
+
+/// [`conv2d_grad_input`] on an explicit [`Backend`].
+///
+/// # Errors
+///
+/// Same as [`conv2d_grad_input`].
+pub fn conv2d_grad_input_with(
+    backend: Backend,
+    grad_output: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
     check_rank4(grad_output, "conv2d_grad_input")?;
     check_rank4(weight, "conv2d_grad_input")?;
     if input_dims.len() != 4 {
@@ -281,30 +409,36 @@ pub fn conv2d_grad_input(
         });
     }
     let mut gin = Tensor::zeros(input_dims);
+    if backend == Backend::Fast {
+        let shape = par_shape(n, c, h, w, f, kh, kw, params);
+        cq_par::conv::conv2d_grad_input(
+            &shape,
+            grad_output.data(),
+            weight.data(),
+            gin.data_mut(),
+            Pool::global(),
+        );
+        return Ok(gin);
+    }
     let god = grad_output.data();
     let wd = weight.data();
     let gid = gin.data_mut();
-    let (s, p) = (params.stride, params.padding as isize);
+    let (s, p) = (params.stride, params.padding);
+    let kyr = valid_k_ranges(oh, s, p, h, kh);
+    let kxr = valid_k_ranges(ow, s, p, w, kw);
     for ni in 0..n {
         for fi in 0..f {
-            for oy in 0..oh {
-                for ox in 0..ow {
+            for (oy, &(ky_lo, ky_hi)) in kyr.iter().enumerate() {
+                for (ox, &(kx_lo, kx_hi)) in kxr.iter().enumerate() {
+                    // No zero-skip on `g`: a zero gradient times a NaN
+                    // weight must still poison the result.
                     let g = god[((ni * f + fi) * oh + oy) * ow + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
                     for ci in 0..c {
-                        for ky in 0..kh {
-                            let iy = (oy * s) as isize + ky as isize - p;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..kw {
-                                let ix = (ox * s) as isize + kx as isize - p;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                gid[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
+                        for ky in ky_lo..ky_hi {
+                            let iy = oy * s + ky - p;
+                            for kx in kx_lo..kx_hi {
+                                let ix = ox * s + kx - p;
+                                gid[((ni * c + ci) * h + iy) * w + ix] +=
                                     g * wd[((fi * c + ci) * kh + ky) * kw + kx];
                             }
                         }
@@ -323,6 +457,21 @@ pub fn conv2d_grad_input(
 ///
 /// Returns a rank or shape error on malformed operands.
 pub fn conv2d_grad_weight(
+    input: &Tensor,
+    grad_output: &Tensor,
+    weight_dims: &[usize],
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    conv2d_grad_weight_with(default_backend(), input, grad_output, weight_dims, params)
+}
+
+/// [`conv2d_grad_weight`] on an explicit [`Backend`].
+///
+/// # Errors
+///
+/// Same as [`conv2d_grad_weight`].
+pub fn conv2d_grad_weight_with(
+    backend: Backend,
     input: &Tensor,
     grad_output: &Tensor,
     weight_dims: &[usize],
@@ -348,31 +497,36 @@ pub fn conv2d_grad_weight(
         });
     }
     let mut gw = Tensor::zeros(weight_dims);
+    if backend == Backend::Fast {
+        let shape = par_shape(n, c, h, w, f, kh, kw, params);
+        cq_par::conv::conv2d_grad_weight(
+            &shape,
+            input.data(),
+            grad_output.data(),
+            gw.data_mut(),
+            Pool::global(),
+        );
+        return Ok(gw);
+    }
     let id = input.data();
     let god = grad_output.data();
     let gwd = gw.data_mut();
-    let (s, p) = (params.stride, params.padding as isize);
+    let (s, p) = (params.stride, params.padding);
+    let kyr = valid_k_ranges(oh, s, p, h, kh);
+    let kxr = valid_k_ranges(ow, s, p, w, kw);
     for ni in 0..n {
         for fi in 0..f {
-            for oy in 0..oh {
-                for ox in 0..ow {
+            for (oy, &(ky_lo, ky_hi)) in kyr.iter().enumerate() {
+                for (ox, &(kx_lo, kx_hi)) in kxr.iter().enumerate() {
+                    // No zero-skip on `g` (see conv2d_grad_input_with).
                     let g = god[((ni * f + fi) * oh + oy) * ow + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
                     for ci in 0..c {
-                        for ky in 0..kh {
-                            let iy = (oy * s) as isize + ky as isize - p;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..kw {
-                                let ix = (ox * s) as isize + kx as isize - p;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
+                        for ky in ky_lo..ky_hi {
+                            let iy = oy * s + ky - p;
+                            for kx in kx_lo..kx_hi {
+                                let ix = ox * s + kx - p;
                                 gwd[((fi * c + ci) * kh + ky) * kw + kx] +=
-                                    g * id[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                                    g * id[((ni * c + ci) * h + iy) * w + ix];
                             }
                         }
                     }
@@ -534,6 +688,50 @@ mod tests {
         let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    /// Regression: the old kernels skipped `a == 0.0` operands, silently
+    /// yielding `0` where `0 · NaN` must yield NaN (contradicting the
+    /// `TensorError::NonFinite` machinery). Both backends must propagate.
+    #[test]
+    fn matmul_propagates_nan_through_zero_operand() {
+        let a = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, 1.0, 2.0, 3.0], &[2, 2]).unwrap();
+        for backend in [Backend::Naive, Backend::Fast] {
+            let out = matmul_with(backend, &a, &b).unwrap();
+            assert!(
+                out.data()[0].is_nan(),
+                "{backend:?}: 0·NaN swallowed in matmul"
+            );
+            let out = matmul_at_with(backend, &a, &b).unwrap();
+            assert!(
+                out.data()[0].is_nan(),
+                "{backend:?}: 0·NaN swallowed in matmul_at"
+            );
+            let out = matmul_bt_with(backend, &b, &a).unwrap();
+            assert!(
+                out.data()[0].is_nan(),
+                "{backend:?}: 0·NaN swallowed in matmul_bt"
+            );
+        }
+    }
+
+    /// Regression companion: a zero gradient must not mask a NaN weight in
+    /// the convolution backward passes either.
+    #[test]
+    fn conv_gradients_propagate_nan_through_zero_gradient() {
+        let p = Conv2dParams::default();
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let mut weight = Tensor::ones(&[1, 1, 3, 3]);
+        weight.data_mut()[4] = f32::NAN;
+        let gout = Tensor::zeros(&[1, 1, 1, 1]);
+        for backend in [Backend::Naive, Backend::Fast] {
+            let gin = conv2d_grad_input_with(backend, &gout, &weight, input.dims(), p).unwrap();
+            assert!(
+                gin.data()[4].is_nan(),
+                "{backend:?}: 0·NaN swallowed in conv2d_grad_input"
+            );
+        }
     }
 
     #[test]

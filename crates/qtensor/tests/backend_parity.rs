@@ -1,0 +1,148 @@
+//! Property tests: the `Fast` (tiled, pooled) backend must match the
+//! `Naive` reference within an explicit tolerance on every op, across
+//! random shapes, strides and paddings — including rectangular and size-1
+//! edge cases.
+//!
+//! # Tolerance
+//!
+//! Both backends accumulate each output element over the reduction
+//! dimension in ascending order, so today they agree bitwise. The bound
+//! below is nevertheless stated (and enforced) as the *contract*, so
+//! future Fast-path changes that legitimately reorder f32 sums (packing,
+//! FMA, split-k) stay acceptable: for a reduction of length `k` over
+//! operands bounded by `amax`/`bmax`,
+//!
+//! ```text
+//! |fast − naive| ≤ k · amax · bmax · 8·ε₃₂  +  1e-30
+//! ```
+//!
+//! i.e. a relative error budget of `8 ulp` per reduction step against the
+//! worst-case magnitude sum, plus an absolute floor for all-zero products.
+//! The same bound is documented in DESIGN.md ("Backend architecture").
+
+use cq_tensor::ops::{self, Conv2dParams};
+use cq_tensor::{Backend, Tensor};
+use proptest::prelude::*;
+
+/// Per-element tolerance for a reduction of length `k` with operand
+/// magnitude bounds `amax`, `bmax`.
+fn tol(k: usize, amax: f32, bmax: f32) -> f32 {
+    (k as f32) * amax * bmax * (8.0 * f32::EPSILON) + 1e-30
+}
+
+fn max_abs(t: &Tensor) -> f32 {
+    t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+fn assert_close(fast: &Tensor, naive: &Tensor, k: usize, amax: f32, bmax: f32) -> TestCaseResult {
+    prop_assert_eq!(fast.dims(), naive.dims());
+    let bound = tol(k, amax, bmax);
+    for (i, (f, n)) in fast.data().iter().zip(naive.data()).enumerate() {
+        prop_assert!(
+            (f - n).abs() <= bound,
+            "element {i}: fast={f} naive={n} bound={bound}"
+        );
+    }
+    Ok(())
+}
+
+/// Deterministic pseudo-random tensor from a seed drawn by proptest.
+fn tensor(dims: &[usize], seed: u64) -> Tensor {
+    cq_tensor::init::uniform(dims, -2.0, 2.0, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_fast_matches_naive(
+        (m, k, n) in (1usize..24, 1usize..24, 1usize..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 0x9e3779b9);
+        let fast = ops::matmul_with(Backend::Fast, &a, &b).unwrap();
+        let naive = ops::matmul_with(Backend::Naive, &a, &b).unwrap();
+        assert_close(&fast, &naive, k, max_abs(&a), max_abs(&b))?;
+    }
+
+    #[test]
+    fn matmul_at_fast_matches_naive(
+        (m, k, n) in (1usize..24, 1usize..24, 1usize..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = tensor(&[k, m], seed);
+        let b = tensor(&[k, n], seed ^ 0xdeadbeef);
+        let fast = ops::matmul_at_with(Backend::Fast, &a, &b).unwrap();
+        let naive = ops::matmul_at_with(Backend::Naive, &a, &b).unwrap();
+        assert_close(&fast, &naive, k, max_abs(&a), max_abs(&b))?;
+    }
+
+    #[test]
+    fn matmul_bt_fast_matches_naive(
+        (m, k, n) in (1usize..24, 1usize..24, 1usize..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[n, k], seed ^ 0xc0ffee);
+        let fast = ops::matmul_bt_with(Backend::Fast, &a, &b).unwrap();
+        let naive = ops::matmul_bt_with(Backend::Naive, &a, &b).unwrap();
+        assert_close(&fast, &naive, k, max_abs(&a), max_abs(&b))?;
+    }
+
+    #[test]
+    fn conv2d_family_fast_matches_naive(
+        (n, c, f) in (1usize..4, 1usize..4, 1usize..5),
+        (h, w) in (1usize..11, 1usize..11),
+        (kh, kw) in (1usize..5, 1usize..5),
+        (stride, padding) in (1usize..4, 0usize..3),
+        seed in 0u64..1_000_000,
+    ) {
+        // Keep the kernel applicable to the padded input.
+        let kh = kh.min(h + 2 * padding);
+        let kw = kw.min(w + 2 * padding);
+        let p = Conv2dParams::new(stride, padding);
+        let input = tensor(&[n, c, h, w], seed);
+        let weight = tensor(&[f, c, kh, kw], seed ^ 0xfeed);
+        let k_red = c * kh * kw;
+        let (amax, wmax) = (max_abs(&input), max_abs(&weight));
+
+        let fwd_fast = ops::conv2d_with(Backend::Fast, &input, &weight, p).unwrap();
+        let fwd_naive = ops::conv2d_with(Backend::Naive, &input, &weight, p).unwrap();
+        assert_close(&fwd_fast, &fwd_naive, k_red, amax, wmax)?;
+
+        let gout = tensor(fwd_naive.dims(), seed ^ 0xabcd);
+        let gmax = max_abs(&gout);
+        let gin_fast =
+            ops::conv2d_grad_input_with(Backend::Fast, &gout, &weight, input.dims(), p).unwrap();
+        let gin_naive =
+            ops::conv2d_grad_input_with(Backend::Naive, &gout, &weight, input.dims(), p).unwrap();
+        assert_close(&gin_fast, &gin_naive, f * kh * kw, gmax, wmax)?;
+
+        let gw_fast =
+            ops::conv2d_grad_weight_with(Backend::Fast, &input, &gout, weight.dims(), p).unwrap();
+        let gw_naive =
+            ops::conv2d_grad_weight_with(Backend::Naive, &input, &gout, weight.dims(), p).unwrap();
+        let ohw = fwd_naive.dims()[2] * fwd_naive.dims()[3];
+        assert_close(&gw_fast, &gw_naive, n * ohw, amax, gmax)?;
+    }
+
+    #[test]
+    fn matmul_size_one_edges(
+        which in 0usize..3,
+        dim in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        // Degenerate shapes: a 1 in each position of (m, k, n).
+        let (m, k, n) = match which {
+            0 => (1, dim, dim),
+            1 => (dim, 1, dim),
+            _ => (dim, dim, 1),
+        };
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 0x5eed);
+        let fast = ops::matmul_with(Backend::Fast, &a, &b).unwrap();
+        let naive = ops::matmul_with(Backend::Naive, &a, &b).unwrap();
+        assert_close(&fast, &naive, k, max_abs(&a), max_abs(&b))?;
+    }
+}
