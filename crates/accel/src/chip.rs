@@ -159,6 +159,7 @@ impl CambriconQ {
         optimizer: OptimizerKind,
         mem: &mut DdrModel,
     ) -> (SimResult, Vec<(String, PhaseBreakdown)>) {
+        let mut sp = cq_obs::span!("accel", "simulate {}", net.name);
         let mut phases = PhaseBreakdown::new();
         let mut energy = EnergyBreakdown::new();
         let batch = net.batch_size;
@@ -284,6 +285,22 @@ impl CambriconQ {
             * (acceleration_core_cost().total_power_mw() * self.config.pe_arrays as f64
                 + ndp_engine_cost().total_power_mw());
         energy.charge(Component::Acc, static_mw * 1e9 * seconds);
+
+        if sp.is_recording() {
+            sp.arg("platform", platform_name(&self.config))
+                .arg("layers", net.layers.len())
+                .arg("cycles", total_cycles);
+            cq_obs::counter!("accel.iterations").incr();
+            cq_obs::counter!("accel.layers_simulated").add(net.layers.len() as u64);
+            cq_obs::counter!("accel.cycles").add(total_cycles);
+            // The per-layer × per-phase profile doubles as a virtual
+            // timeline: simulated cycles laid out on a named track.
+            let trace: cq_sim::Trace = profile.iter().cloned().collect();
+            trace.emit_virtual(
+                &format!("{}: {}", platform_name(&self.config), net.name),
+                self.config.freq_ghz,
+            );
+        }
 
         (
             SimResult::new(

@@ -76,6 +76,12 @@ impl TimingExecutor {
     /// Executes (costs) a program. The machine state is not simulated —
     /// pair with [`crate::Machine`] for values.
     pub fn run(&mut self, program: &Program) -> ExecTiming {
+        let mut sp = cq_obs::span!("accel", "exec.run");
+        if sp.is_recording() {
+            sp.arg("instructions", program.len());
+            cq_obs::counter!("accel.exec.runs").incr();
+            cq_obs::counter!("accel.exec.instructions").add(program.len() as u64);
+        }
         let mut compute_cycles = 0u64;
         let mut memory_ctrl_cycles = 0u64;
         let mut squ_cycles = 0u64;
@@ -274,6 +280,12 @@ impl TimingExecutor {
     /// the schedule real double-buffered hardware achieves.
     pub fn run_pipelined(&mut self, program: &Program) -> ExecTiming {
         use cq_isa::Operand;
+        let mut sp = cq_obs::span!("accel", "exec.run_pipelined");
+        if sp.is_recording() {
+            sp.arg("instructions", program.len());
+            cq_obs::counter!("accel.exec.runs").incr();
+            cq_obs::counter!("accel.exec.instructions").add(program.len() as u64);
+        }
         let mut engine_free = [0u64; 4]; // Memory, Pe, Squ, Control
         let mut ready = [0u64; 4]; // per MemSpace: last write completion
         let mut energy = EnergyBreakdown::new();

@@ -77,6 +77,7 @@ fn ab<F: FnMut(Backend)>(mut f: F, reps: usize) -> (u64, u64) {
 }
 
 fn gemm_entry(op: &'static str, m: usize, k: usize, n: usize, reps: usize) -> Entry {
+    let _sp = cq_obs::span!("bench", "{op} {m}x{k}x{n}");
     let (a_dims, b_dims): (Vec<usize>, Vec<usize>) = match op {
         "gemm" => (vec![m, k], vec![k, n]),
         "gemm_at" => (vec![k, m], vec![k, n]),
@@ -115,6 +116,7 @@ fn conv_entries(
     padding: usize,
     reps: usize,
 ) -> Vec<Entry> {
+    let _sp = cq_obs::span!("bench", "conv2d n{n}c{c}f{f}i{hw}k{k}");
     let p = Conv2dParams::new(stride, padding);
     let input = init::uniform(&[n, c, hw, hw], -1.0, 1.0, 17);
     let weight = init::uniform(&[f, c, k, k], -1.0, 1.0, 19);
@@ -172,6 +174,7 @@ fn train_step_entry(
     build: impl Fn() -> (Sequential, Tensor, Vec<usize>),
     reps: usize,
 ) -> Entry {
+    let _sp = cq_obs::span!("bench", "{op} {shape}");
     let time_backend = |be: Backend| {
         let (mut model, x, labels) = build();
         let ctx = QuantCtx::new(TrainingQuantizer::fp32()).with_backend(be);
@@ -236,16 +239,27 @@ fn main() {
     let mut quick = false;
     let mut check = false;
     let mut out_path = String::from("BENCH_PR2.json");
+    let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
             "--out" => out_path = args.next().expect("--out requires a path"),
+            "--profile" => profile_path = Some(args.next().expect("--profile requires a path")),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
+        }
+    }
+    // Tracing: --profile wins, else CQ_TRACE, else off (and then the
+    // instrumented kernels cost one atomic load per probe — see the
+    // obs_overhead test).
+    match profile_path {
+        Some(p) => cq_obs::init_to_path(&p).expect("open --profile path"),
+        None => {
+            cq_obs::init_from_env().expect("open CQ_TRACE path");
         }
     }
 
@@ -307,6 +321,7 @@ fn main() {
 
     std::fs::write(&out_path, render_json(&entries, quick)).expect("write report");
     eprintln!("wrote {out_path}");
+    cq_obs::finish();
 
     if check {
         let reference = entries

@@ -1,0 +1,89 @@
+//! Asserts the zero-overhead-when-off guarantee of cq-obs on a real
+//! bench_perf kernel.
+//!
+//! With no sink (or the `NullSink`) installed, every probe is one
+//! relaxed atomic load, so an instrumented kernel must run at the same
+//! speed as an uninstrumented one. CI timing is noisy, so the bounds
+//! here are deliberately generous — they catch "the disabled path
+//! formats strings / reads clocks" regressions, not single-digit
+//! percentage drift.
+
+use cq_tensor::ops;
+use cq_tensor::{init, Backend};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Serializes tests that touch the process-wide sink.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Best-of-`reps` wall time of `f`, after one warmup call.
+fn best_ns<F: FnMut()>(mut f: F, reps: usize) -> u64 {
+    f();
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// The bench_perf --quick reference kernel, scaled down for a unit test.
+fn quick_gemm() {
+    let a = init::uniform(&[96, 96], -1.0, 1.0, 11);
+    let b = init::uniform(&[96, 96], -1.0, 1.0, 13);
+    let _ = ops::matmul_with(Backend::Fast, &a, &b).expect("gemm");
+}
+
+#[test]
+fn null_sink_keeps_probes_disabled() {
+    let _g = GLOBAL.lock().unwrap();
+    cq_obs::install(Arc::new(cq_obs::NullSink));
+    // The whole guarantee: installing the null sink does NOT enable the
+    // emit path, so instrumented kernels skip every probe body.
+    assert!(!cq_obs::enabled());
+    quick_gemm();
+    cq_obs::uninstall();
+}
+
+#[test]
+fn disabled_probe_is_nanoseconds_not_microseconds() {
+    let _g = GLOBAL.lock().unwrap();
+    assert!(!cq_obs::enabled());
+    const N: u64 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..N {
+        // Must not evaluate the name, read a clock, or allocate.
+        let sp = cq_obs::span!("bench", "probe {i}");
+        assert!(!sp.is_recording());
+    }
+    let per_probe_ns = t.elapsed().as_nanos() as f64 / N as f64;
+    // A relaxed load plus branch is ~1 ns; clock reads or formatting
+    // would push this to hundreds. 200 ns leaves huge CI headroom.
+    assert!(
+        per_probe_ns < 200.0,
+        "disabled span probe costs {per_probe_ns:.1} ns — the off path is doing real work"
+    );
+}
+
+#[test]
+fn null_sink_adds_no_measurable_kernel_cost() {
+    let _g = GLOBAL.lock().unwrap();
+    let reps = 5;
+
+    // Baseline: tracing fully off.
+    assert!(!cq_obs::enabled());
+    let off = best_ns(quick_gemm, reps);
+
+    // Null sink installed: probes still disabled, same code path.
+    cq_obs::install(Arc::new(cq_obs::NullSink));
+    let null = best_ns(quick_gemm, reps);
+    cq_obs::uninstall();
+
+    // Generous 3x bound: a real regression (per-call formatting, clock
+    // reads, lock contention) is orders of magnitude, not percent.
+    assert!(
+        null as f64 <= off as f64 * 3.0 + 1e6,
+        "null-sink kernel {null} ns vs tracing-off {off} ns — null sink is not free"
+    );
+}

@@ -2,6 +2,7 @@
 use cq_experiments::perf;
 
 fn main() {
+    let _profile = cq_experiments::profiling::init_for_bin();
     println!("Fig. 12(a) — Speedup over GPU (Jetson TX2) and TPU baselines\n");
     let rows = perf::run_comparison();
     print!("{}", perf::fig12a_table(&rows));

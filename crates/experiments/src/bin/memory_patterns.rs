@@ -1,5 +1,6 @@
 //! DDR access-pattern study: sequential vs strided achieved bandwidth.
 fn main() {
+    let _profile = cq_experiments::profiling::init_for_bin();
     println!("Memory patterns — achieved DDR utilization (1 MiB of reads)\n");
     print!("{}", cq_experiments::extensions::memory_patterns());
 }

@@ -171,6 +171,47 @@ pub fn memory_patterns() -> TextTable {
     t
 }
 
+/// Mixed-precision MAC energy sweep over *candidate* bit widths,
+/// including widths Table I does not model. Routed through the fallible
+/// `try_*` energy API: unmodeled points render as `--` instead of
+/// aborting the whole sweep mid-table (the panicking lookups are
+/// reserved for the fixed paper configurations).
+pub fn precision_energy_sweep() -> TextTable {
+    use cq_sim::EnergyModel;
+    let e = EnergyModel::tsmc45();
+    let fmt = |r: Result<f64, cq_sim::HwCostError>| match r {
+        Ok(pj) => format!("{pj:.3}"),
+        Err(_) => "--".to_string(),
+    };
+    let mut t = TextTable::new(vec![
+        "bits",
+        "INT MAC (pJ)",
+        "FP MAC (pJ)",
+        "INT rel. INT8",
+        "macs/nJ (INT)",
+    ]);
+    for bits in [1u32, 2, 4, 8, 12, 16, 24, 32, 64] {
+        let int_mac = e.try_fixed_mac(bits);
+        let fp_mac = e.try_fp_mac(bits);
+        let rel = int_mac.map(|pj| pj / e.fixed_mac(8));
+        let per_nj = int_mac.map(|pj| 1000.0 / pj);
+        t.row(vec![
+            bits.to_string(),
+            fmt(int_mac),
+            fmt(fp_mac),
+            match rel {
+                Ok(r) => format!("{r:.2}x"),
+                Err(_) => "--".into(),
+            },
+            match per_nj {
+                Ok(n) => format!("{n:.0}"),
+                Err(_) => "--".into(),
+            },
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +246,16 @@ mod tests {
         assert!(s.contains("AlexNet"));
         // Parse is overkill; just verify the table renders with shares.
         assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn precision_sweep_survives_unmodeled_widths() {
+        // The sweep includes widths with no Table I row (1/2/24/64-bit);
+        // it must render them as "--" rather than panic.
+        let s = precision_energy_sweep().to_string();
+        assert!(s.contains("--"), "{s}");
+        assert!(s.contains("0.230"), "INT8 MAC row missing: {s}");
+        assert!(s.lines().count() > 9, "{s}");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! | `traffic_analysis` | [`extensions`] | §II.B high-precision traffic shares |
 //! | `buffer_sweep` | [`extensions`] | SB-capacity design space |
 //! | `memory_patterns` | [`extensions`] | DDR utilization vs access pattern |
+//! | `precision_energy` | [`extensions`] | MAC energy across bit widths (fallible lookups) |
 //! | `ldq_ablation` | [`hqt`] | LDQ block-size and QBC line-width sweeps |
 //! | `timing_crosscheck` | [`crosscheck`] | two timing models agree |
 //! | `table8_extended` | [`accuracy`] | all five Table III algorithms |
@@ -47,5 +48,6 @@ pub mod extensions;
 pub mod hqt;
 pub mod motivation;
 pub mod perf;
+pub mod profiling;
 pub mod resilience;
 pub mod tables;

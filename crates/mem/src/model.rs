@@ -341,6 +341,7 @@ impl DdrModel {
         if bytes == 0 {
             return 0;
         }
+        let (stats_before, ecc_before) = (self.stats, self.ecc_stats);
         let mut cycles = 0;
         let mut cur = addr;
         let end = addr + bytes as u64;
@@ -358,6 +359,7 @@ impl DdrModel {
             cycles += self.column_access(bank, chunk, dir);
             cur += chunk as u64;
         }
+        self.record_obs(&stats_before, &ecc_before, cycles);
         cycles
     }
 
@@ -374,6 +376,7 @@ impl DdrModel {
         if bytes == 0 {
             return 0;
         }
+        let (stats_before, ecc_before) = (self.stats, self.ecc_stats);
         let t = self.config.timing;
         let mut burst_cycles = 0u64;
         let mut act_count = 0u64;
@@ -411,7 +414,38 @@ impl DdrModel {
         let act_chain = act_count * (t.t_rcd + t.t_rp) / (self.config.banks as u64).max(1);
         let cycles = t.t_rcd + t.t_cl + burst_cycles.max(act_chain);
         self.stats.cycles += cycles;
+        self.record_obs(&stats_before, &ecc_before, cycles);
         cycles
+    }
+
+    /// Publishes one transaction's stat deltas as `cq-obs` counters.
+    /// Costs a single atomic load when tracing is off.
+    fn record_obs(&self, before: &MemStats, ecc_before: &EccStats, cycles: u64) {
+        if !cq_obs::enabled() {
+            return;
+        }
+        let s = &self.stats;
+        cq_obs::counter!("mem.transactions").incr();
+        cq_obs::counter!("mem.cycles").add(cycles);
+        cq_obs::counter!("mem.bytes_read").add(s.bytes_read - before.bytes_read);
+        cq_obs::counter!("mem.bytes_written").add(s.bytes_written - before.bytes_written);
+        cq_obs::counter!("mem.row_hits").add(s.row_hits - before.row_hits);
+        cq_obs::counter!("mem.row_misses").add(s.row_misses - before.row_misses);
+        cq_obs::counter!("mem.activates").add(s.activates - before.activates);
+        cq_obs::counter!("mem.refreshes").add(s.refreshes - before.refreshes);
+        cq_obs::counter!("mem.turnarounds").add(s.turnarounds - before.turnarounds);
+        let e = &self.ecc_stats;
+        cq_obs::counter!("mem.ecc.words_checked").add(e.words_checked - ecc_before.words_checked);
+        cq_obs::counter!("mem.ecc.bit_flips_injected")
+            .add(e.bit_flips_injected - ecc_before.bit_flips_injected);
+        cq_obs::counter!("mem.ecc.corrected").add(e.corrected - ecc_before.corrected);
+        cq_obs::counter!("mem.ecc.detected_uncorrectable")
+            .add(e.detected_uncorrectable - ecc_before.detected_uncorrectable);
+        cq_obs::counter!("mem.ecc.miscorrected").add(e.miscorrected - ecc_before.miscorrected);
+        cq_obs::counter!("mem.ecc.silent_bit_flips")
+            .add(e.silent_bit_flips - ecc_before.silent_bit_flips);
+        cq_obs::gauge!("mem.utilization").set(self.utilization());
+        cq_obs::gauge!("mem.row_hit_rate").set(s.hit_rate());
     }
 
     /// Cycles a transfer of `bytes` would take at pure peak bandwidth

@@ -107,6 +107,7 @@ impl NdpEngine {
                 dram_energy_pj: 0.0,
             });
         }
+        let mut sp = cq_obs::span!("ndp", "update_weights");
         let weights_per_row = row_bytes / 4;
         let rows = n_weights.div_ceil(weights_per_row);
         let mut cycles = 0u64;
@@ -133,6 +134,16 @@ impl NdpEngine {
             * self.optimizer.flops_per_weight() as f64
             * (self.energy.fp_mul(32) + self.energy.fp_add(32))
             / 2.0;
+        if sp.is_recording() {
+            sp.arg("n_weights", n_weights)
+                .arg("rows", rows)
+                .arg("cycles", cycles);
+            cq_obs::counter!("ndp.update_bursts").incr();
+            cq_obs::counter!("ndp.weights_updated").add(n_weights);
+            cq_obs::counter!("ndp.bus_bytes").add(bus_bytes);
+            cq_obs::counter!("ndp.internal_bytes").add(internal_bytes);
+            cq_obs::counter!("ndp.cycles").add(cycles);
+        }
         Ok(UpdateStats {
             cycles,
             bus_bytes,

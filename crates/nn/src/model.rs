@@ -75,8 +75,10 @@ impl Sequential {
     ///
     /// Propagates the first layer error.
     pub fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let _sp = cq_obs::span!("nn", "forward");
         let mut cur = x.clone();
         for layer in &mut self.layers {
+            let _layer_sp = cq_obs::span!("nn.layer", "{}:FW", layer.name());
             cur = layer.forward(&cur, ctx)?;
         }
         Ok(cur)
@@ -88,8 +90,10 @@ impl Sequential {
     ///
     /// Propagates layer errors (e.g. backward before forward).
     pub fn backward(&mut self, grad: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        let _sp = cq_obs::span!("nn", "backward");
         let mut cur = grad.clone();
         for layer in self.layers.iter_mut().rev() {
+            let _layer_sp = cq_obs::span!("nn.layer", "{}:BW", layer.name());
             cur = layer.backward(&cur, ctx)?;
         }
         Ok(cur)
@@ -131,11 +135,27 @@ impl Sequential {
         opt: &mut dyn Optimizer,
         ctx: &QuantCtx,
     ) -> Result<StepReport, NnError> {
+        let mut sp = cq_obs::span!("nn", "train_step");
+        if sp.is_recording() {
+            sp.arg("batch", labels.len())
+                .arg("layers", self.layers.len());
+            cq_obs::counter!("nn.train_steps").incr();
+            cq_obs::counter!("nn.samples_trained").add(labels.len() as u64);
+        }
         self.zero_grads();
         let logits = self.forward(x, ctx)?;
-        let out = softmax_cross_entropy(&logits, labels)?;
+        let out = {
+            let _loss_sp = cq_obs::span!("nn", "loss");
+            softmax_cross_entropy(&logits, labels)?
+        };
         self.backward(&out.grad, ctx)?;
-        self.step_optimizer(opt);
+        {
+            let _opt_sp = cq_obs::span!("nn", "optimizer");
+            self.step_optimizer(opt);
+        }
+        if sp.is_recording() {
+            cq_obs::gauge!("nn.last_loss").set(out.loss as f64);
+        }
         Ok(StepReport {
             loss: out.loss,
             accuracy: accuracy(&logits, labels),

@@ -1,0 +1,182 @@
+//! `validate_trace` — checks a cq-obs trace against the checked-in schema.
+//!
+//! ```text
+//! validate_trace <trace.jsonl | trace.json> <schema.json>
+//! ```
+//!
+//! JSONL traces are validated line by line; Chrome-format traces (any
+//! other extension) are checked for being one well-formed JSON array
+//! whose elements carry the `trace_event` essentials (`ph`, `pid`,
+//! `tid`). Exits non-zero with the first violation, so CI can gate on
+//! the trace artifact actually matching what consumers expect.
+
+use cq_obs::json::{parse, Json};
+use std::process::ExitCode;
+
+fn field_matches(value: &Json, ty: &str) -> bool {
+    matches!(
+        (value, ty),
+        (Json::Str(_), "string")
+            | (Json::Num(_), "number")
+            | (Json::Obj(_), "object")
+            | (Json::Arr(_), "array")
+            | (Json::Bool(_), "bool")
+    )
+}
+
+/// Checks `event` against the required fields in `spec` (a schema object
+/// mapping field name → type name).
+fn check_fields(event: &Json, spec: &Json, line_no: usize) -> Result<(), String> {
+    for (field, ty) in spec.as_obj().expect("schema section is an object") {
+        let ty = ty.as_str().expect("schema type is a string");
+        match event.get(field) {
+            None => return Err(format!("line {line_no}: missing field \"{field}\"")),
+            Some(v) if !field_matches(v, ty) => {
+                return Err(format!(
+                    "line {line_no}: field \"{field}\" is {}, expected {ty}",
+                    v.type_name()
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn validate_jsonl(text: &str, schema: &Json) -> Result<usize, String> {
+    let common = schema
+        .get("common")
+        .ok_or("schema missing \"common\" section")?;
+    let kinds = schema
+        .get("kinds")
+        .ok_or("schema missing \"kinds\" section")?;
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        check_fields(&event, common, line_no)?;
+        let kind = event
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {line_no}: \"kind\" is not a string"))?;
+        let spec = kinds
+            .get(kind)
+            .ok_or(format!("line {line_no}: unknown kind \"{kind}\""))?;
+        check_fields(&event, spec, line_no)?;
+        count += 1;
+    }
+    if count == 0 {
+        return Err("trace contains no events".into());
+    }
+    Ok(count)
+}
+
+fn validate_chrome(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let events = doc.as_arr().ok_or("chrome trace is not a JSON array")?;
+    if events.is_empty() {
+        return Err("trace contains no events".into());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        for field in ["ph", "pid", "tid", "name"] {
+            if ev.get(field).is_none() {
+                return Err(format!("event {i}: missing field \"{field}\""));
+            }
+        }
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph == "X" && (ev.get("ts").is_none() || ev.get("dur").is_none()) {
+            return Err(format!("event {i}: complete span without ts/dur"));
+        }
+    }
+    Ok(events.len())
+}
+
+fn run(trace_path: &str, schema_path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    if trace_path.ends_with(".jsonl") {
+        let schema_text = std::fs::read_to_string(schema_path)
+            .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+        let schema = parse(&schema_text).map_err(|e| format!("bad schema: {e}"))?;
+        validate_jsonl(&text, &schema)
+    } else {
+        validate_chrome(&text)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_path, schema_path] = args.as_slice() else {
+        eprintln!("usage: validate_trace <trace.jsonl|trace.json> <schema.json>");
+        return ExitCode::from(2);
+    };
+    match run(trace_path, schema_path) {
+        Ok(n) => {
+            println!("{trace_path}: {n} events, schema ok");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{trace_path}: INVALID: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Json {
+        let text = include_str!("../../../../schemas/trace-schema.json");
+        parse(text).expect("schema parses")
+    }
+
+    #[test]
+    fn accepts_real_sink_output() {
+        let ev = cq_obs::Event {
+            kind: cq_obs::EventKind::Span { dur_us: 2.0 },
+            name: "conv1".into(),
+            cat: "layer",
+            pid: cq_obs::VIRTUAL_PID,
+            tid: 1,
+            ts_us: 0.0,
+            args: vec![("cycles", 10u64.into())],
+        };
+        let counter = cq_obs::Event {
+            kind: cq_obs::EventKind::Counter { value: 3.0 },
+            name: "mem.bytes_read".into(),
+            cat: "counter",
+            pid: cq_obs::WALL_PID,
+            tid: 0,
+            ts_us: 1.0,
+            args: vec![],
+        };
+        let text = format!("{}\n{}\n", ev.to_jsonl(), counter.to_jsonl());
+        assert_eq!(validate_jsonl(&text, &schema()), Ok(2));
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unknown_kinds() {
+        let s = schema();
+        assert!(validate_jsonl("{\"kind\":\"span\"}\n", &s).is_err());
+        let bogus =
+            "{\"kind\":\"bogus\",\"name\":\"x\",\"cat\":\"c\",\"pid\":1,\"tid\":1,\"ts_us\":0}\n";
+        assert!(validate_jsonl(bogus, &s)
+            .unwrap_err()
+            .contains("unknown kind"));
+        assert!(validate_jsonl("", &s).is_err());
+    }
+
+    #[test]
+    fn chrome_validation() {
+        let good = r#"[{"ph":"X","name":"a","cat":"c","pid":2,"tid":1,"ts":0,"dur":1,"args":{}}]"#;
+        assert_eq!(validate_chrome(good), Ok(1));
+        let bad = r#"[{"ph":"X","name":"a","cat":"c","pid":2,"tid":1}]"#;
+        assert!(validate_chrome(bad).is_err());
+        assert!(validate_chrome("[]").is_err());
+        assert!(validate_chrome("{}").is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Lock-free counters and gauges with a global registry.
+//!
+//! A [`Counter`] is a monotonically increasing `AtomicU64`; a [`Gauge`]
+//! holds the latest sample of an `f64`. Both are interned by name on
+//! first use and live for the process lifetime, so hot paths touch only
+//! one atomic. Use the [`crate::counter!`] / [`crate::gauge!`] macros to
+//! cache the interned handle at the call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` (relaxed; safe from any thread).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between benchmark repetitions / tests).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The latest sample of a floating-point quantity.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// The gauge's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stores a sample.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last stored sample (0.0 before the first [`Gauge::set`]).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+
+/// Interns (or finds) the counter named `name`. O(registry) — cache the
+/// returned handle (see [`crate::counter!`]).
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = COUNTERS.lock().expect("counter registry poisoned");
+    if let Some(c) = reg.iter().find(|c| c.name == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        name,
+        value: AtomicU64::new(0),
+    }));
+    reg.push(c);
+    c
+}
+
+/// Interns (or finds) the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = GAUGES.lock().expect("gauge registry poisoned");
+    if let Some(g) = reg.iter().find(|g| g.name == name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge {
+        name,
+        bits: AtomicU64::new(0),
+    }));
+    reg.push(g);
+    g
+}
+
+/// Snapshot of every registered counter, in registration order.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    COUNTERS
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|c| (c.name, c.get()))
+        .collect()
+}
+
+/// Snapshot of every registered gauge, in registration order.
+pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
+    GAUGES
+        .lock()
+        .expect("gauge registry poisoned")
+        .iter()
+        .map(|g| (g.name, g.get()))
+        .collect()
+}
+
+/// Resets every registered counter to zero (test/bench isolation).
+pub fn reset_counters() {
+    for c in COUNTERS.lock().expect("counter registry poisoned").iter() {
+        c.reset();
+    }
+}
+
+/// Caches the interned [`Counter`] handle at the call site:
+/// `cq_obs::counter!("mem.bytes_read").add(n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __CQ_OBS_COUNTER: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *__CQ_OBS_COUNTER.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Caches the interned [`Gauge`] handle at the call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __CQ_OBS_GAUGE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__CQ_OBS_GAUGE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_by_name() {
+        let a = counter("test.intern");
+        let b = counter("test.intern");
+        assert!(std::ptr::eq(a, b));
+        a.reset();
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn gauges_hold_latest() {
+        let g = gauge("test.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(-1.0);
+        assert_eq!(gauge("test.gauge").get(), -1.0);
+    }
+
+    #[test]
+    fn snapshot_contains_registered_names() {
+        counter("test.snapshot").reset();
+        counter("test.snapshot").add(7);
+        let snap = counters_snapshot();
+        assert!(snap.iter().any(|&(n, v)| n == "test.snapshot" && v == 7));
+    }
+
+    #[test]
+    fn macro_caches_handle() {
+        let c = counter!("test.macro");
+        c.reset();
+        counter!("test.macro").add(2);
+        assert_eq!(c.get(), 2);
+        gauge!("test.macro.gauge").set(1.0);
+        assert_eq!(gauge("test.macro.gauge").get(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact() {
+        let c = counter("test.concurrent");
+        c.reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

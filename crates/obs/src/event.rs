@@ -1,0 +1,300 @@
+//! The event vocabulary every sink consumes.
+//!
+//! An [`Event`] is one observation: a completed span (with wall-clock or
+//! simulated timestamps), an instantaneous marker, a counter sample, or a
+//! track-name declaration. Producers build events through the helpers in
+//! [`crate::span`] and [`crate::counter`]; sinks serialize them.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Process id used for wall-clock (host) events in exported traces.
+pub const WALL_PID: u64 = 1;
+/// Process id used for virtual-time (simulated) events in exported traces.
+pub const VIRTUAL_PID: u64 = 2;
+
+/// One typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl ArgValue {
+    /// Renders the value as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::I64(v) => v.to_string(),
+            ArgValue::F64(v) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    // JSON has no Inf/NaN; stringify rather than emit
+                    // invalid output.
+                    format!("\"{v}\"")
+                }
+            }
+            ArgValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// What an event records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed span: `ts_us .. ts_us + dur_us`.
+    Span {
+        /// Duration in microseconds.
+        dur_us: f64,
+    },
+    /// An instantaneous marker at `ts_us`.
+    Instant,
+    /// A counter sample at `ts_us`.
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+    /// Declares a human-readable name for `(pid, tid)`.
+    TrackName,
+}
+
+/// One observation delivered to the installed [`crate::sink::Sink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What kind of observation this is.
+    pub kind: EventKind,
+    /// Event name (span label, counter name, track name).
+    pub name: Cow<'static, str>,
+    /// Category, used for grouping/filtering in viewers.
+    pub cat: &'static str,
+    /// Process lane: [`WALL_PID`] or [`VIRTUAL_PID`].
+    pub pid: u64,
+    /// Thread (wall events) or track (virtual events) id.
+    pub tid: u64,
+    /// Microseconds since the trace epoch.
+    pub ts_us: f64,
+    /// Typed key/value payload.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// The event's JSONL representation (one self-describing object).
+    pub fn to_jsonl(&self) -> String {
+        let kind = match self.kind {
+            EventKind::Span { .. } => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter { .. } => "counter",
+            EventKind::TrackName => "track_name",
+        };
+        let mut out = format!(
+            "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts_us\":{:.3}",
+            json_escape(&self.name),
+            json_escape(self.cat),
+            self.pid,
+            self.tid,
+            self.ts_us
+        );
+        match self.kind {
+            EventKind::Span { dur_us } => out.push_str(&format!(",\"dur_us\":{dur_us:.3}")),
+            EventKind::Counter { value } => out.push_str(&format!(",\"value\":{value}")),
+            EventKind::Instant | EventKind::TrackName => {}
+        }
+        out.push_str(&format!(",\"args\":{}}}", args_json(&self.args)));
+        out
+    }
+
+    /// The event's Chrome `trace_event` representation.
+    pub fn to_chrome(&self) -> String {
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{}",
+            json_escape(&self.name),
+            json_escape(self.cat),
+            self.pid,
+            self.tid
+        );
+        match self.kind {
+            EventKind::Span { dur_us } => format!(
+                "{{\"ph\":\"X\",{common},\"ts\":{:.3},\"dur\":{dur_us:.3},\"args\":{}}}",
+                self.ts_us,
+                args_json(&self.args)
+            ),
+            EventKind::Instant => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",{common},\"ts\":{:.3},\"args\":{}}}",
+                self.ts_us,
+                args_json(&self.args)
+            ),
+            EventKind::Counter { value } => format!(
+                "{{\"ph\":\"C\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":0,\"ts\":{:.3},\"args\":{{\"value\":{value}}}}}",
+                json_escape(&self.name),
+                json_escape(self.cat),
+                self.pid,
+                self.ts_us
+            ),
+            EventKind::TrackName => format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                self.pid,
+                self.tid,
+                json_escape(&self.name)
+            ),
+        }
+    }
+}
+
+fn args_json(args: &[(&'static str, ArgValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(k), v.to_json()));
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_span_is_valid_json() {
+        let ev = Event {
+            kind: EventKind::Span { dur_us: 12.5 },
+            name: "fc6".into(),
+            cat: "layer",
+            pid: VIRTUAL_PID,
+            tid: 1,
+            ts_us: 3.25,
+            args: vec![("cycles", 100u64.into()), ("phase", "FW".into())],
+        };
+        let line = ev.to_jsonl();
+        let v = crate::json::parse(&line).expect("valid json");
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("span"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fc6"));
+        assert_eq!(v.get("dur_us").unwrap().as_f64(), Some(12.5));
+        let args = v.get("args").unwrap();
+        assert_eq!(args.get("cycles").unwrap().as_f64(), Some(100.0));
+    }
+
+    #[test]
+    fn chrome_counter_and_meta_shapes() {
+        let c = Event {
+            kind: EventKind::Counter { value: 7.0 },
+            name: "mem.bytes_read".into(),
+            cat: "mem",
+            pid: WALL_PID,
+            tid: 0,
+            ts_us: 1.0,
+            args: vec![],
+        };
+        let v = crate::json::parse(&c.to_chrome()).unwrap();
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("C"));
+        let m = Event {
+            kind: EventKind::TrackName,
+            name: "sim:Cambricon-Q".into(),
+            cat: "",
+            pid: VIRTUAL_PID,
+            tid: 3,
+            ts_us: 0.0,
+            args: vec![],
+        };
+        let v = crate::json::parse(&m.to_chrome()).unwrap();
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            v.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("sim:Cambricon-Q")
+        );
+    }
+
+    #[test]
+    fn escaping_control_and_quote_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn nonfinite_float_args_stay_valid_json() {
+        let ev = Event {
+            kind: EventKind::Instant,
+            name: "x".into(),
+            cat: "t",
+            pid: WALL_PID,
+            tid: 0,
+            ts_us: 0.0,
+            args: vec![("bad", f64::NAN.into())],
+        };
+        assert!(crate::json::parse(&ev.to_jsonl()).is_ok());
+    }
+}

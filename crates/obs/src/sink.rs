@@ -1,0 +1,240 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] consumes [`Event`]s. Three implementations ship with the
+//! crate:
+//!
+//! * [`NullSink`] — discards everything. Installing it keeps the global
+//!   fast path *disabled*, so instrumented code pays only one relaxed
+//!   atomic load per probe (the zero-overhead-when-off guarantee).
+//! * [`JsonlSink`] — one self-describing JSON object per line, for
+//!   machine consumption (schema in `schemas/trace-schema.json`).
+//! * [`ChromeTraceSink`] — a Chrome `trace_event` JSON array viewable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! Tests use [`MemorySink`], which buffers events in memory.
+
+use crate::event::Event;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Consumes observability events.
+pub trait Sink: Send + Sync {
+    /// Handles one event. Called from arbitrary threads.
+    fn event(&self, ev: &Event);
+
+    /// Persists buffered output (file sinks rewrite/flush here).
+    fn flush(&self) {}
+
+    /// True only for sinks that discard everything; installing such a
+    /// sink keeps the emit fast path disabled.
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// Discards every event; keeps instrumentation at zero overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(&self, _ev: &Event) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Buffers events in memory; inspect with [`MemorySink::take`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Drains and returns everything captured so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn event(&self, ev: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(ev.clone());
+    }
+}
+
+/// Streams events to a file as JSON Lines.
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, ev: &Event) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        // A failed trace write must never take down the traced program.
+        let _ = writeln!(w, "{}", ev.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Collects events and writes a complete Chrome `trace_event` JSON array
+/// on every [`Sink::flush`] (idempotent full rewrite, so the file is
+/// valid whenever the process last flushed).
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<String>>,
+    path: PathBuf,
+}
+
+impl ChromeTraceSink {
+    /// Creates a sink writing `path` on flush.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        // Fail early if the location is unwritable.
+        std::fs::File::create(&path)?;
+        Ok(ChromeTraceSink {
+            events: Mutex::new(Vec::new()),
+            path,
+        })
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn event(&self, ev: &Event) {
+        self.events
+            .lock()
+            .expect("chrome sink poisoned")
+            .push(ev.to_chrome());
+    }
+
+    fn flush(&self) {
+        let events = self.events.lock().expect("chrome sink poisoned");
+        let mut out = String::from("[\n");
+        for (i, ev) in events.iter().enumerate() {
+            out.push_str(ev);
+            if i + 1 < events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        let _ = std::fs::write(&self.path, out);
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, WALL_PID};
+
+    fn ev(name: &'static str) -> Event {
+        Event {
+            kind: EventKind::Instant,
+            name: name.into(),
+            cat: "test",
+            pid: WALL_PID,
+            tid: 0,
+            ts_us: 1.0,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn null_sink_reports_null() {
+        assert!(NullSink.is_null());
+        assert!(!MemorySink::new().is_null());
+        NullSink.event(&ev("dropped"));
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        s.event(&ev("a"));
+        s.event(&ev("b"));
+        assert_eq!(s.len(), 2);
+        let drained = s.take();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].name, "a");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn chrome_sink_writes_valid_array() {
+        let path = std::env::temp_dir().join(format!("cq_obs_chrome_{}.json", std::process::id()));
+        let s = ChromeTraceSink::create(&path).expect("create");
+        s.event(&ev("one"));
+        s.event(&ev("two"));
+        s.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let v = crate::json::parse(&text).expect("valid json array");
+        assert_eq!(v.as_arr().unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let path = std::env::temp_dir().join(format!("cq_obs_jsonl_{}.jsonl", std::process::id()));
+        let s = JsonlSink::create(&path).expect("create");
+        s.event(&ev("x"));
+        s.event(&ev("y"));
+        s.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).expect("each line valid");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,214 @@
+//! Hierarchical timed spans on wall-clock and virtual (simulated) time.
+//!
+//! Wall-clock spans are RAII guards created with [`crate::span!`]: the
+//! guard records `Instant::now()` at construction and emits one complete
+//! span event on drop. Nesting falls out of scoping — viewers stack
+//! spans that share a thread lane by containment.
+//!
+//! Virtual spans carry *simulated* timestamps (e.g. accelerator cycles
+//! converted to microseconds) and land on named tracks under a separate
+//! process lane, so a simulated timeline and the host timeline never
+//! interleave. See [`virtual_track`] / [`emit_virtual_span`].
+
+use crate::event::{ArgValue, Event, EventKind, VIRTUAL_PID, WALL_PID};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small stable id for the calling thread (1, 2, ... in first-use order).
+pub fn thread_tid() -> u64 {
+    THREAD_TID.with(|t| *t)
+}
+
+/// An in-flight wall-clock span; emits one event when dropped.
+///
+/// Create through [`crate::span!`], which skips all work (including name
+/// formatting) when no sink is installed.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Span {
+    /// Starts a span now. Prefer [`crate::span!`].
+    pub fn begin(cat: &'static str, name: Cow<'static, str>) -> Span {
+        Span {
+            start: Some(Instant::now()),
+            name,
+            cat,
+            args: Vec::new(),
+        }
+    }
+
+    /// A span that records nothing (the disabled fast path).
+    pub fn disabled() -> Span {
+        Span {
+            start: None,
+            name: Cow::Borrowed(""),
+            cat: "",
+            args: Vec::new(),
+        }
+    }
+
+    /// Whether this span is live (a sink was installed at creation).
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Attaches a key/value argument (no-op on disabled spans).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) -> &mut Self {
+        if self.start.is_some() {
+            self.args.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_us = start.elapsed().as_secs_f64() * 1e6;
+        let ts_us = crate::now_us() - dur_us;
+        crate::emit(&Event {
+            kind: EventKind::Span { dur_us },
+            name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+            cat: self.cat,
+            pid: WALL_PID,
+            tid: thread_tid(),
+            ts_us: ts_us.max(0.0),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Starts a wall-clock [`Span`](crate::Span) if a sink is installed,
+/// otherwise returns a free disabled guard. The name is `format!`-style
+/// and is only evaluated when recording:
+///
+/// ```
+/// let _sp = cq_obs::span!("nn", "train_step batch={}", 32);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $($name:tt)+) => {
+        if $crate::enabled() {
+            $crate::Span::begin($cat, ::std::borrow::Cow::Owned(::std::format!($($name)+)))
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+static TRACKS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Interns a named virtual track and returns its track id. The first
+/// registration emits a track-name event so viewers label the lane.
+pub fn virtual_track(name: &str) -> u64 {
+    let mut tracks = TRACKS.lock().expect("track registry poisoned");
+    if let Some(i) = tracks.iter().position(|t| t == name) {
+        return i as u64 + 1;
+    }
+    tracks.push(name.to_string());
+    let tid = tracks.len() as u64;
+    drop(tracks);
+    crate::emit(&Event {
+        kind: EventKind::TrackName,
+        name: Cow::Owned(name.to_string()),
+        cat: "",
+        pid: VIRTUAL_PID,
+        tid,
+        ts_us: 0.0,
+        args: Vec::new(),
+    });
+    tid
+}
+
+/// Emits a completed span on a virtual track with caller-supplied
+/// simulated timestamps (microseconds on the track's own timeline).
+pub fn emit_virtual_span(
+    track: u64,
+    cat: &'static str,
+    name: impl Into<Cow<'static, str>>,
+    ts_us: f64,
+    dur_us: f64,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    crate::emit(&Event {
+        kind: EventKind::Span { dur_us },
+        name: name.into(),
+        cat,
+        pid: VIRTUAL_PID,
+        tid: track,
+        ts_us,
+        args,
+    });
+}
+
+/// Emits an instantaneous wall-clock marker.
+pub fn emit_instant(
+    cat: &'static str,
+    name: impl Into<Cow<'static, str>>,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    crate::emit(&Event {
+        kind: EventKind::Instant,
+        name: name.into(),
+        cat,
+        pid: WALL_PID,
+        tid: thread_tid(),
+        ts_us: crate::now_us(),
+        args,
+    });
+}
+
+/// Emits one counter sample at the current wall time.
+pub fn emit_counter_sample(cat: &'static str, name: impl Into<Cow<'static, str>>, value: f64) {
+    crate::emit(&Event {
+        kind: EventKind::Counter { value },
+        name: name.into(),
+        cat,
+        pid: WALL_PID,
+        tid: 0,
+        ts_us: crate::now_us(),
+        args: Vec::new(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let mut sp = Span::disabled();
+        assert!(!sp.is_recording());
+        sp.arg("ignored", 1u64);
+        drop(sp); // must not emit or panic with no sink installed
+    }
+
+    #[test]
+    fn thread_tids_are_stable_and_distinct() {
+        let here = thread_tid();
+        assert_eq!(here, thread_tid());
+        let other = std::thread::spawn(thread_tid).join().unwrap();
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn tracks_intern_by_name() {
+        let a = virtual_track("test-track-a");
+        let b = virtual_track("test-track-b");
+        assert_ne!(a, b);
+        assert_eq!(a, virtual_track("test-track-a"));
+    }
+}

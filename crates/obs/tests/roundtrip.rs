@@ -1,0 +1,188 @@
+//! Round-trip tests: emit events through the real file sinks, parse the
+//! files back with the crate's own JSON parser, and compare against the
+//! originals. This is the contract the CI trace-validation job relies on.
+
+use cq_obs::json::{parse, Json};
+use cq_obs::{ArgValue, ChromeTraceSink, Event, EventKind, JsonlSink, Sink, VIRTUAL_PID, WALL_PID};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn temp_path(ext: &str) -> std::path::PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cq-obs-roundtrip-{}-{n}.{ext}", std::process::id()))
+}
+
+fn sample_events() -> Vec<Event> {
+    vec![
+        Event {
+            kind: EventKind::TrackName,
+            name: "Cambricon-Q: AlexNet".into(),
+            cat: "",
+            pid: VIRTUAL_PID,
+            tid: 1,
+            ts_us: 0.0,
+            args: vec![],
+        },
+        Event {
+            kind: EventKind::Span { dur_us: 12.5 },
+            name: "conv1:FW".into(),
+            cat: "phase",
+            pid: VIRTUAL_PID,
+            tid: 1,
+            ts_us: 3.25,
+            args: vec![("cycles", 12500u64.into()), ("energy_pj", 7.5f64.into())],
+        },
+        Event {
+            kind: EventKind::Counter { value: 4096.0 },
+            name: "mem.bytes_read".into(),
+            cat: "counter",
+            pid: WALL_PID,
+            tid: 0,
+            ts_us: 20.0,
+            args: vec![],
+        },
+        Event {
+            kind: EventKind::Instant,
+            name: "checkpoint \"epoch 1\"\n".into(), // exercises escaping
+            cat: "nn",
+            pid: WALL_PID,
+            tid: 7,
+            ts_us: 42.0,
+            args: vec![("note", ArgValue::from("tab\there"))],
+        },
+    ]
+}
+
+fn assert_event_matches(parsed: &Json, ev: &Event) {
+    let kind = match ev.kind {
+        EventKind::Span { .. } => "span",
+        EventKind::Instant => "instant",
+        EventKind::Counter { .. } => "counter",
+        EventKind::TrackName => "track_name",
+    };
+    assert_eq!(parsed.get("kind").and_then(Json::as_str), Some(kind));
+    assert_eq!(
+        parsed.get("name").and_then(Json::as_str),
+        Some(ev.name.as_ref())
+    );
+    assert_eq!(parsed.get("cat").and_then(Json::as_str), Some(ev.cat));
+    assert_eq!(
+        parsed.get("pid").and_then(Json::as_f64),
+        Some(ev.pid as f64)
+    );
+    assert_eq!(
+        parsed.get("tid").and_then(Json::as_f64),
+        Some(ev.tid as f64)
+    );
+    assert_eq!(parsed.get("ts_us").and_then(Json::as_f64), Some(ev.ts_us));
+    if let EventKind::Span { dur_us } = ev.kind {
+        assert_eq!(parsed.get("dur_us").and_then(Json::as_f64), Some(dur_us));
+    }
+    if let EventKind::Counter { value } = ev.kind {
+        assert_eq!(parsed.get("value").and_then(Json::as_f64), Some(value));
+    }
+    for (key, val) in &ev.args {
+        let got = parsed
+            .get("args")
+            .and_then(|a| a.get(key))
+            .unwrap_or_else(|| panic!("arg {key} missing"));
+        match val {
+            ArgValue::U64(u) => assert_eq!(got.as_f64(), Some(*u as f64)),
+            ArgValue::I64(i) => assert_eq!(got.as_f64(), Some(*i as f64)),
+            ArgValue::F64(x) => assert_eq!(got.as_f64(), Some(*x)),
+            ArgValue::Str(s) => assert_eq!(got.as_str(), Some(s.as_ref())),
+        }
+    }
+}
+
+#[test]
+fn jsonl_round_trip() {
+    let path = temp_path("jsonl");
+    let events = sample_events();
+    {
+        let sink = JsonlSink::create(&path).expect("create jsonl sink");
+        for ev in &events {
+            sink.event(ev);
+        }
+        sink.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), events.len());
+    for (line, ev) in lines.iter().zip(&events) {
+        let parsed = parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        assert_event_matches(&parsed, ev);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chrome_trace_round_trip() {
+    let path = temp_path("json");
+    let events = sample_events();
+    {
+        let sink = ChromeTraceSink::create(&path).expect("create chrome sink");
+        for ev in &events {
+            sink.event(ev);
+        }
+        sink.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let doc = parse(&text).expect("whole file is one JSON array");
+    let arr = doc.as_arr().expect("array");
+    assert_eq!(arr.len(), events.len());
+    for (parsed, ev) in arr.iter().zip(&events) {
+        let ph = parsed.get("ph").and_then(Json::as_str).unwrap();
+        match ev.kind {
+            EventKind::Span { dur_us } => {
+                assert_eq!(ph, "X");
+                assert_eq!(parsed.get("ts").and_then(Json::as_f64), Some(ev.ts_us));
+                assert_eq!(parsed.get("dur").and_then(Json::as_f64), Some(dur_us));
+            }
+            EventKind::Instant => assert_eq!(ph, "i"),
+            EventKind::Counter { value } => {
+                assert_eq!(ph, "C");
+                let args = parsed.get("args").expect("counter args");
+                assert_eq!(args.get("value").and_then(Json::as_f64), Some(value));
+            }
+            EventKind::TrackName => {
+                assert_eq!(ph, "M");
+                assert_eq!(
+                    parsed.get("name").and_then(Json::as_str),
+                    Some("thread_name")
+                );
+                let args = parsed.get("args").expect("metadata args");
+                assert_eq!(
+                    args.get("name").and_then(Json::as_str),
+                    Some(ev.name.as_ref())
+                );
+            }
+        }
+        assert_eq!(
+            parsed.get("pid").and_then(Json::as_f64),
+            Some(ev.pid as f64)
+        );
+        assert_eq!(
+            parsed.get("tid").and_then(Json::as_f64),
+            Some(ev.tid as f64)
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chrome_sink_is_valid_after_every_flush() {
+    // The Chrome sink rewrites the whole array on flush, so a trace is
+    // loadable even if the process dies between flushes.
+    let path = temp_path("json");
+    let sink = ChromeTraceSink::create(&path).expect("create");
+    let events = sample_events();
+    for (i, ev) in events.iter().enumerate() {
+        sink.event(ev);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read");
+        let doc = parse(&text).unwrap_or_else(|e| panic!("invalid after flush {i}: {e}"));
+        assert_eq!(doc.as_arr().unwrap().len(), i + 1);
+    }
+    std::fs::remove_file(&path).ok();
+}

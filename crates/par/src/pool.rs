@@ -85,16 +85,24 @@ impl Pool {
         F: Fn(Range<usize>) + Sync,
     {
         let ranges = Self::partition(len, self.threads, min_chunk);
+        let mut region = cq_obs::span!("par", "parallel_for");
+        if region.is_recording() {
+            region
+                .arg("items", len)
+                .arg("chunks", ranges.len())
+                .arg("max_workers", self.threads);
+            cq_obs::counter!("par.regions").incr();
+        }
         match ranges.len() {
             0 => {}
-            1 => f(ranges[0].clone()),
+            1 => run_chunk(&f, ranges[0].clone()),
             _ => std::thread::scope(|s| {
                 let f = &f;
                 for r in &ranges[1..] {
                     let r = r.clone();
-                    s.spawn(move || f(r));
+                    s.spawn(move || run_chunk(f, r));
                 }
-                f(ranges[0].clone());
+                run_chunk(&f, ranges[0].clone());
             }),
         }
     }
@@ -110,7 +118,16 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let mut region = cq_obs::span!("par", "parallel_map");
+        if region.is_recording() {
+            region.arg("tasks", n).arg("max_workers", self.threads);
+            cq_obs::counter!("par.regions").incr();
+            cq_obs::counter!("par.tasks_queued").add(n as u64);
+        }
         if self.threads == 1 || n <= 1 {
+            if region.is_recording() {
+                cq_obs::counter!("par.tasks_run").add(n as u64);
+            }
             return (0..n).map(f).collect();
         }
         let next = AtomicUsize::new(0);
@@ -118,8 +135,9 @@ impl Pool {
         let mut indexed: Vec<(usize, T)> = std::thread::scope(|s| {
             let (next, f) = (&next, &f);
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     s.spawn(move || {
+                        let mut sp = cq_obs::span!("par", "worker {w}");
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -127,6 +145,10 @@ impl Pool {
                                 break;
                             }
                             local.push((i, f(i)));
+                        }
+                        if sp.is_recording() {
+                            sp.arg("tasks", local.len());
+                            cq_obs::counter!("par.tasks_run").add(local.len() as u64);
                         }
                         local
                     })
@@ -167,6 +189,14 @@ impl Pool {
         assert_eq!(data.len() % row_width, 0, "data not a whole number of rows");
         let rows = data.len() / row_width;
         let ranges = Self::partition(rows, self.threads, min_rows);
+        let mut region = cq_obs::span!("par", "parallel_row_chunks");
+        if region.is_recording() {
+            region
+                .arg("rows", rows)
+                .arg("bands", ranges.len())
+                .arg("max_workers", self.threads);
+            cq_obs::counter!("par.regions").incr();
+        }
         if ranges.len() <= 1 {
             f(0, data);
             return;
@@ -190,17 +220,53 @@ impl Default for Pool {
     }
 }
 
-fn threads_from_env() -> usize {
-    if let Ok(v) = std::env::var("CQ_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// Runs one worker's chunk, accounting per-worker busy time and item
+/// throughput when tracing is enabled. With tracing off this is a plain
+/// call — no clock reads.
+fn run_chunk<F>(f: &F, r: Range<usize>)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if !cq_obs::enabled() {
+        f(r);
+        return;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let items = r.len();
+    let start = std::time::Instant::now();
+    f(r);
+    let busy_us = start.elapsed().as_secs_f64() * 1e6;
+    cq_obs::counter!("par.chunks_run").incr();
+    cq_obs::counter!("par.items_run").add(items as u64);
+    cq_obs::counter!("par.busy_us").add(busy_us as u64);
+}
+
+/// Resolves a raw `CQ_THREADS` value to a worker count. `None` or an
+/// empty string means "unset" (`Ok(None)`, caller picks the hardware
+/// default); anything else must be a positive integer or the run aborts.
+/// A typo like `CQ_THREADS=fuor` used to silently use all cores, which
+/// quietly invalidates scaling experiments.
+fn resolve_env_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(v) = raw else { return Ok(None) };
+    if v.trim().is_empty() {
+        return Ok(None);
+    }
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!(
+            "invalid CQ_THREADS value {v:?}: expected a positive integer"
+        )),
+    }
+}
+
+fn threads_from_env() -> usize {
+    let raw = std::env::var("CQ_THREADS").ok();
+    match resolve_env_threads(raw.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(msg) => panic!("{msg}"),
+    }
 }
 
 #[cfg(test)]
@@ -311,5 +377,19 @@ mod tests {
     #[test]
     fn zero_thread_request_clamps_to_one() {
         assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn env_thread_resolution_rejects_garbage() {
+        assert_eq!(resolve_env_threads(None), Ok(None));
+        assert_eq!(resolve_env_threads(Some("")), Ok(None));
+        assert_eq!(resolve_env_threads(Some("  ")), Ok(None));
+        assert_eq!(resolve_env_threads(Some("4")), Ok(Some(4)));
+        assert_eq!(resolve_env_threads(Some(" 16 ")), Ok(Some(16)));
+        for bad in ["fuor", "0", "-2", "3.5", "4 threads"] {
+            let err = resolve_env_threads(Some(bad)).unwrap_err();
+            assert!(err.contains("invalid CQ_THREADS"), "{err}");
+            assert!(err.contains("positive integer"), "{err}");
+        }
     }
 }

@@ -1,0 +1,142 @@
+//! Hammers cq-obs counters and spans from the cq-par worker pool.
+//!
+//! The observability layer claims its counters are exact under
+//! concurrency and that span emission is safe from arbitrary threads;
+//! these tests drive both through real `Pool` fan-out. Every test that
+//! installs a sink holds `GLOBAL`, because the sink is process-wide.
+
+use cq_par::Pool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Serializes tests that install the process-wide sink.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn counter_value(name: &str) -> u64 {
+    cq_obs::counters_snapshot()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn counters_are_exact_under_pool_fanout() {
+    let _g = GLOBAL.lock().unwrap();
+    let sink = Arc::new(cq_obs::MemorySink::new());
+    cq_obs::install(sink.clone());
+    cq_obs::reset_counters();
+
+    const TASKS: usize = 257; // not a multiple of the worker count
+    const INCRS_PER_TASK: u64 = 1_000;
+    let pool = Pool::new(8);
+    let check = AtomicU64::new(0);
+    let out = pool.parallel_map(TASKS, |i| {
+        for _ in 0..INCRS_PER_TASK {
+            cq_obs::counter!("obs_test.hammer").incr();
+        }
+        check.fetch_add(1, Ordering::Relaxed);
+        i
+    });
+    cq_obs::uninstall();
+
+    assert_eq!(out.len(), TASKS);
+    assert_eq!(check.load(Ordering::Relaxed), TASKS as u64);
+    assert_eq!(
+        counter_value("obs_test.hammer"),
+        TASKS as u64 * INCRS_PER_TASK,
+        "relaxed atomic counter lost increments"
+    );
+    // The pool's own accounting must agree exactly with the work done.
+    assert_eq!(counter_value("par.tasks_queued"), TASKS as u64);
+    assert_eq!(counter_value("par.tasks_run"), TASKS as u64);
+    assert_eq!(counter_value("par.regions"), 1);
+}
+
+#[test]
+fn parallel_for_item_accounting_is_exact() {
+    let _g = GLOBAL.lock().unwrap();
+    let sink = Arc::new(cq_obs::MemorySink::new());
+    cq_obs::install(sink);
+    cq_obs::reset_counters();
+
+    const LEN: usize = 10_000;
+    Pool::new(4).parallel_for(LEN, 16, |range| {
+        cq_obs::counter!("obs_test.for_items").add(range.len() as u64);
+    });
+    cq_obs::uninstall();
+
+    assert_eq!(counter_value("obs_test.for_items"), LEN as u64);
+    assert_eq!(counter_value("par.items_run"), LEN as u64);
+    // Chunks ran once each: their item counts partition the range.
+    let chunks = counter_value("par.chunks_run");
+    assert!(
+        (1..=4).contains(&chunks),
+        "expected 1..=4 chunks, got {chunks}"
+    );
+}
+
+#[test]
+fn spans_from_worker_threads_all_arrive() {
+    let _g = GLOBAL.lock().unwrap();
+    let sink = Arc::new(cq_obs::MemorySink::new());
+    cq_obs::install(sink.clone());
+    cq_obs::reset_counters();
+
+    const TASKS: usize = 64;
+    let pool = Pool::new(6);
+    pool.parallel_map(TASKS, |i| {
+        let mut sp = cq_obs::span!("obs_test", "task {i}");
+        sp.arg("index", i);
+    });
+    cq_obs::uninstall();
+
+    let events = sink.take();
+    let task_spans: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, cq_obs::EventKind::Span { .. }) && e.name.starts_with("task "))
+        .collect();
+    assert_eq!(task_spans.len(), TASKS, "a span was lost under concurrency");
+    // Every task span carries its index argument, and no two tasks share one.
+    let mut seen = [false; TASKS];
+    for sp in &task_spans {
+        let idx = sp
+            .args
+            .iter()
+            .find_map(|(k, v)| match (k, v) {
+                (&"index", cq_obs::ArgValue::U64(i)) => Some(*i as usize),
+                _ => None,
+            })
+            .expect("task span missing index arg");
+        assert!(!seen[idx], "duplicate span for task {idx}");
+        seen[idx] = true;
+    }
+    // Worker spans and the region span came through too.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, cq_obs::EventKind::Span { .. }) && e.name == "parallel_map"));
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, cq_obs::EventKind::Span { .. })
+                && e.name.starts_with("worker "))
+    );
+    // Spans from different workers carry different thread ids.
+    let tids: std::collections::HashSet<u64> = task_spans.iter().map(|e| e.tid).collect();
+    assert!(!tids.is_empty());
+}
+
+#[test]
+fn tracing_off_pool_results_are_unchanged() {
+    // No sink installed: instrumented pool paths must behave identically.
+    let _g = GLOBAL.lock().unwrap();
+    assert!(!cq_obs::enabled());
+    let pool = Pool::new(4);
+    let out = pool.parallel_map(100, |i| i * i);
+    assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<usize>>());
+    let sums: AtomicU64 = AtomicU64::new(0);
+    pool.parallel_for(1000, 8, |r| {
+        sums.fetch_add(r.len() as u64, Ordering::Relaxed);
+    });
+    assert_eq!(sums.load(Ordering::Relaxed), 1000);
+}

@@ -13,8 +13,9 @@
 //!
 //! The process-wide default is [`Backend::Fast`], overridable by the
 //! `CQ_BACKEND` environment variable (`naive` or `fast`) at startup and by
-//! [`set_default_backend`] at run time. Worker count comes from
-//! `CQ_THREADS` (see [`cq_par::Pool::global`]).
+//! [`set_default_backend`] at run time. Any other `CQ_BACKEND` value
+//! aborts with a diagnostic rather than silently falling back. Worker
+//! count comes from `CQ_THREADS` (see [`cq_par::Pool::global`]).
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -52,13 +53,28 @@ impl Backend {
 /// 1 = naive, 2 = fast.
 static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
+/// Resolves a raw `CQ_BACKEND` value: `None`/empty means "unset, use the
+/// default"; anything else must parse or the run aborts. A typo like
+/// `CQ_BACKEND=bogus` used to silently select [`Backend::Fast`], which
+/// makes A/B comparisons lie — fail loudly instead.
+fn resolve_env_backend(raw: Option<&str>) -> Result<Backend, String> {
+    match raw {
+        None => Ok(Backend::default()),
+        Some(v) if v.trim().is_empty() => Ok(Backend::default()),
+        Some(v) => Backend::parse(v).ok_or_else(|| {
+            format!("invalid CQ_BACKEND value {v:?}: expected \"naive\" or \"fast\"")
+        }),
+    }
+}
+
 fn env_default() -> Backend {
     static ENV: OnceLock<Backend> = OnceLock::new();
     *ENV.get_or_init(|| {
-        std::env::var("CQ_BACKEND")
-            .ok()
-            .and_then(|v| Backend::parse(&v))
-            .unwrap_or_default()
+        let raw = std::env::var("CQ_BACKEND").ok();
+        match resolve_env_backend(raw.as_deref()) {
+            Ok(b) => b,
+            Err(msg) => panic!("{msg}"),
+        }
     })
 }
 
@@ -94,6 +110,19 @@ mod tests {
         assert_eq!(Backend::parse("gpu"), None);
         assert_eq!(Backend::Naive.name(), "naive");
         assert_eq!(Backend::Fast.name(), "fast");
+    }
+
+    #[test]
+    fn env_resolution_rejects_unknown_values() {
+        assert_eq!(resolve_env_backend(None), Ok(Backend::Fast));
+        assert_eq!(resolve_env_backend(Some("")), Ok(Backend::Fast));
+        assert_eq!(resolve_env_backend(Some("  ")), Ok(Backend::Fast));
+        assert_eq!(resolve_env_backend(Some("naive")), Ok(Backend::Naive));
+        assert_eq!(resolve_env_backend(Some(" FAST ")), Ok(Backend::Fast));
+        let err = resolve_env_backend(Some("bogus")).unwrap_err();
+        assert!(err.contains("invalid CQ_BACKEND"), "{err}");
+        assert!(err.contains("bogus"), "{err}");
+        assert!(err.contains("naive"), "{err}");
     }
 
     #[test]

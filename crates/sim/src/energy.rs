@@ -5,6 +5,46 @@
 //! per byte from the table's per-access ranges (the midpoints of the 32/16/
 //! 8-bit rows all normalize to ≈244 pJ/B, which is the value used here).
 
+/// A hardware-cost lookup for which the model has no constant.
+///
+/// Returned by the `try_*` lookup methods on [`EnergyModel`]; the
+/// panicking wrappers exist for the fixed paper configurations where an
+/// unmodeled width is a programming error, while sweeps over candidate
+/// precisions route through the fallible API and skip or report
+/// unmodeled points instead of aborting mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwCostError {
+    /// No floating-point energy row at this bit width in Table I.
+    UnmodeledFpWidth {
+        /// Operation name (`"add"` / `"mul"`).
+        op: &'static str,
+        /// The requested bit width.
+        bits: u32,
+    },
+    /// No fixed-point energy row at this bit width.
+    UnmodeledFixedWidth {
+        /// Operation name (`"add"` / `"mul"`).
+        op: &'static str,
+        /// The requested bit width.
+        bits: u32,
+    },
+}
+
+impl std::fmt::Display for HwCostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwCostError::UnmodeledFpWidth { op, bits } => {
+                write!(f, "no FP{bits} {op} energy in Table I")
+            }
+            HwCostError::UnmodeledFixedWidth { op, bits } => {
+                write!(f, "no INT{bits} {op} energy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwCostError {}
+
 /// Energy cost table for arithmetic and memory operations.
 ///
 /// # Examples
@@ -37,68 +77,119 @@ impl EnergyModel {
     }
 
     /// Floating-point add energy (pJ) for a given bit width (Table I:
-    /// 0.9 pJ @ 32 b, 0.4 pJ @ 16 b).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bits` is not 16 or 32.
-    pub fn fp_add(&self, bits: u32) -> f64 {
+    /// 0.9 pJ @ 32 b, 0.4 pJ @ 16 b), or [`HwCostError`] for any other
+    /// width.
+    pub fn try_fp_add(&self, bits: u32) -> Result<f64, HwCostError> {
         match bits {
-            32 => 0.9,
-            16 => 0.4,
-            _ => panic!("no FP{bits} add energy in Table I"),
+            32 => Ok(0.9),
+            16 => Ok(0.4),
+            _ => Err(HwCostError::UnmodeledFpWidth { op: "add", bits }),
         }
     }
 
     /// Floating-point multiply energy (pJ) (Table I: 3.7 pJ @ 32 b,
-    /// 1.1 pJ @ 16 b).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bits` is not 16 or 32.
-    pub fn fp_mul(&self, bits: u32) -> f64 {
+    /// 1.1 pJ @ 16 b), or [`HwCostError`] for any other width.
+    pub fn try_fp_mul(&self, bits: u32) -> Result<f64, HwCostError> {
         match bits {
-            32 => 3.7,
-            16 => 1.1,
-            _ => panic!("no FP{bits} mul energy in Table I"),
+            32 => Ok(3.7),
+            16 => Ok(1.1),
+            _ => Err(HwCostError::UnmodeledFpWidth { op: "mul", bits }),
         }
     }
 
     /// Fixed-point add energy (pJ). Table I gives 0.1 @ 32 b, 0.05 @ 16 b,
     /// 0.03 @ 8 b; 4-bit extrapolates the ~linear trend to 0.015 pJ.
-    pub fn fixed_add(&self, bits: u32) -> f64 {
+    /// Other widths yield [`HwCostError`].
+    pub fn try_fixed_add(&self, bits: u32) -> Result<f64, HwCostError> {
         match bits {
-            32 => 0.1,
-            16 => 0.05,
-            12 => 0.04,
-            8 => 0.03,
-            4 => 0.015,
-            _ => panic!("no INT{bits} add energy"),
+            32 => Ok(0.1),
+            16 => Ok(0.05),
+            12 => Ok(0.04),
+            8 => Ok(0.03),
+            4 => Ok(0.015),
+            _ => Err(HwCostError::UnmodeledFixedWidth { op: "add", bits }),
         }
     }
 
     /// Fixed-point multiply energy (pJ). Table I gives 3.1 @ 32 b,
     /// 1.55 @ 16 b, 0.2 @ 8 b; multipliers scale ~quadratically so 4-bit
     /// extrapolates to 0.05 pJ and 12-bit interpolates to 0.45 pJ.
-    pub fn fixed_mul(&self, bits: u32) -> f64 {
+    /// Other widths yield [`HwCostError`].
+    pub fn try_fixed_mul(&self, bits: u32) -> Result<f64, HwCostError> {
         match bits {
-            32 => 3.1,
-            16 => 1.55,
-            12 => 0.45,
-            8 => 0.2,
-            4 => 0.05,
-            _ => panic!("no INT{bits} mul energy"),
+            32 => Ok(3.1),
+            16 => Ok(1.55),
+            12 => Ok(0.45),
+            8 => Ok(0.2),
+            4 => Ok(0.05),
+            _ => Err(HwCostError::UnmodeledFixedWidth { op: "mul", bits }),
         }
     }
 
+    /// Energy of one fixed-point multiply-accumulate at the given width,
+    /// or [`HwCostError`] when either constituent is unmodeled.
+    pub fn try_fixed_mac(&self, bits: u32) -> Result<f64, HwCostError> {
+        Ok(self.try_fixed_mul(bits)? + self.try_fixed_add(bits.max(8))?)
+    }
+
+    /// Energy of one floating-point multiply-accumulate at the given
+    /// width, or [`HwCostError`] when either constituent is unmodeled.
+    pub fn try_fp_mac(&self, bits: u32) -> Result<f64, HwCostError> {
+        Ok(self.try_fp_mul(bits)? + self.try_fp_add(bits)?)
+    }
+
+    /// Infallible [`Self::try_fp_add`] for the fixed paper configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 16 or 32.
+    pub fn fp_add(&self, bits: u32) -> f64 {
+        self.try_fp_add(bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`Self::try_fp_mul`] for the fixed paper configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 16 or 32.
+    pub fn fp_mul(&self, bits: u32) -> f64 {
+        self.try_fp_mul(bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`Self::try_fixed_add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on widths outside {4, 8, 12, 16, 32}.
+    pub fn fixed_add(&self, bits: u32) -> f64 {
+        self.try_fixed_add(bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`Self::try_fixed_mul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on widths outside {4, 8, 12, 16, 32}.
+    pub fn fixed_mul(&self, bits: u32) -> f64 {
+        self.try_fixed_mul(bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Energy of one fixed-point multiply-accumulate at the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmodeled widths (see [`Self::try_fixed_mac`]).
     pub fn fixed_mac(&self, bits: u32) -> f64 {
-        self.fixed_mul(bits) + self.fixed_add(bits.max(8))
+        self.try_fixed_mac(bits).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Energy of one floating-point multiply-accumulate at the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmodeled widths (see [`Self::try_fp_mac`]).
     pub fn fp_mac(&self, bits: u32) -> f64 {
-        self.fp_mul(bits) + self.fp_add(bits)
+        self.try_fp_mac(bits).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// DRAM traffic energy for `bytes` bytes.
@@ -224,6 +315,39 @@ mod tests {
     #[should_panic(expected = "no FP8 add")]
     fn fp8_unsupported() {
         EnergyModel::tsmc45().fp_add(8);
+    }
+
+    #[test]
+    fn try_variants_return_errors_not_panics() {
+        let e = EnergyModel::tsmc45();
+        assert_eq!(e.try_fp_add(32), Ok(0.9));
+        assert_eq!(e.try_fixed_mul(8), Ok(0.2));
+        assert_eq!(
+            e.try_fp_add(8),
+            Err(HwCostError::UnmodeledFpWidth { op: "add", bits: 8 })
+        );
+        assert_eq!(
+            e.try_fixed_mul(24),
+            Err(HwCostError::UnmodeledFixedWidth {
+                op: "mul",
+                bits: 24
+            })
+        );
+        // MACs propagate the first unmodeled constituent.
+        assert!(e.try_fixed_mac(24).is_err());
+        assert!(e.try_fp_mac(64).is_err());
+        assert_eq!(e.try_fixed_mac(8), Ok(e.fixed_mac(8)));
+    }
+
+    #[test]
+    fn hw_cost_error_display_matches_legacy_panics() {
+        let err = HwCostError::UnmodeledFpWidth { op: "add", bits: 8 };
+        assert_eq!(err.to_string(), "no FP8 add energy in Table I");
+        let err = HwCostError::UnmodeledFixedWidth {
+            op: "mul",
+            bits: 24,
+        };
+        assert_eq!(err.to_string(), "no INT24 mul energy");
     }
 
     #[test]

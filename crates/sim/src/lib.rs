@@ -39,7 +39,7 @@ mod result;
 pub mod trace;
 
 pub use breakdown::{Component, EnergyBreakdown};
-pub use energy::{table1_rows, EnergyModel, Table1Row};
+pub use energy::{table1_rows, EnergyModel, HwCostError, Table1Row};
 pub use phase::{Phase, PhaseBreakdown};
 pub use result::{geomean, SimResult};
 pub use trace::{Trace, TraceRecord};

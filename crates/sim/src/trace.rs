@@ -71,6 +71,11 @@ impl Trace {
     /// characters for the largest record. Each phase draws with its own
     /// glyph: `F` forward, `N` neuron-grad, `W` weight-grad, `U` update,
     /// `s`/`q` statistic/quantize.
+    ///
+    /// Cells are apportioned per row by largest remainder, so each row's
+    /// length is the rounded proportional share of `width` (independent
+    /// per-phase rounding could overshoot or undershoot by one cell per
+    /// phase) and every nonzero phase shows at least one glyph.
     pub fn render_bars(&self, width: usize) -> String {
         let max = self
             .records
@@ -88,16 +93,103 @@ impl Trace {
         let glyphs = ['F', 'N', 'W', 'U', 's', 'q'];
         let mut out = String::new();
         for r in &self.records {
+            let cycles: Vec<u64> = Phase::ALL.iter().map(|p| r.breakdown.cycles(*p)).collect();
+            let cells = apportion_row(&cycles, max, width);
             let mut bar = String::new();
-            for (p, g) in Phase::ALL.iter().zip(glyphs) {
-                let cells =
-                    (r.breakdown.cycles(*p) as f64 / max as f64 * width as f64).round() as usize;
-                bar.extend(std::iter::repeat_n(g, cells));
+            for (g, &n) in glyphs.iter().zip(&cells) {
+                bar.extend(std::iter::repeat_n(*g, n));
             }
             out.push_str(&format!("{:label_w$} |{bar}\n", r.label, label_w = label_w));
         }
         out
     }
+
+    /// Emits this trace onto a named `cq-obs` virtual track: a span per
+    /// record, containing one child span per nonzero phase, laid
+    /// end-to-end on the simulated timeline (`cycles` at `freq_ghz` →
+    /// microseconds). No-op when tracing is off — the ASCII renderer and
+    /// the trace file are two consumers of the same stream.
+    pub fn emit_virtual(&self, track_name: &str, freq_ghz: f64) {
+        if !cq_obs::enabled() || freq_ghz <= 0.0 {
+            return;
+        }
+        let track = cq_obs::virtual_track(track_name);
+        let us_per_cycle = 1e-3 / freq_ghz;
+        let mut t_us = 0.0;
+        for r in &self.records {
+            let rec_cycles = r.breakdown.total_cycles();
+            if rec_cycles == 0 {
+                continue;
+            }
+            cq_obs::emit_virtual_span(
+                track,
+                "layer",
+                r.label.clone(),
+                t_us,
+                rec_cycles as f64 * us_per_cycle,
+                vec![
+                    ("cycles", rec_cycles.into()),
+                    ("energy_pj", r.breakdown.total_energy_pj().into()),
+                ],
+            );
+            for p in Phase::ALL {
+                let cyc = r.breakdown.cycles(p);
+                if cyc == 0 {
+                    continue;
+                }
+                let dur = cyc as f64 * us_per_cycle;
+                cq_obs::emit_virtual_span(
+                    track,
+                    "phase",
+                    format!("{}:{}", r.label, p.abbrev()),
+                    t_us,
+                    dur,
+                    vec![
+                        ("cycles", cyc.into()),
+                        ("energy_pj", r.breakdown.energy_pj(p).into()),
+                    ],
+                );
+                t_us += dur;
+            }
+        }
+    }
+}
+
+/// Largest-remainder (Hamilton) apportionment of one bar row: splits the
+/// row's proportional share of `width` across phases so the cells sum
+/// exactly to that share and every nonzero phase gets at least one cell.
+fn apportion_row(cycles: &[u64], max: u64, width: usize) -> Vec<usize> {
+    let total: u64 = cycles.iter().sum();
+    if total == 0 || width == 0 {
+        return vec![0; cycles.len()];
+    }
+    let nonzero = cycles.iter().filter(|&&c| c > 0).count();
+    let target = ((total as f64 / max as f64 * width as f64).round() as usize).max(nonzero);
+    let mut cells = Vec::with_capacity(cycles.len());
+    let mut remainders = Vec::with_capacity(cycles.len());
+    for (i, &c) in cycles.iter().enumerate() {
+        let quota = c as f64 / total as f64 * target as f64;
+        let floor = quota.floor() as usize;
+        cells.push(floor);
+        remainders.push((i, quota - floor as f64));
+    }
+    let leftover = target.saturating_sub(cells.iter().sum());
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for &(i, _) in remainders.iter().take(leftover) {
+        cells[i] += 1;
+    }
+    // Guarantee visibility: a nonzero phase rounded to zero takes a cell
+    // from the widest phase (which has ≥ 2 because target ≥ nonzero).
+    for i in 0..cycles.len() {
+        if cycles[i] > 0 && cells[i] == 0 {
+            let donor = (0..cycles.len())
+                .max_by_key(|&j| cells[j])
+                .expect("nonempty");
+            cells[donor] -= 1;
+            cells[i] = 1;
+        }
+    }
+    cells
 }
 
 impl FromIterator<(String, PhaseBreakdown)> for Trace {
@@ -160,6 +252,128 @@ mod tests {
         assert_eq!(lines[0].matches('F').count(), 40);
         assert_eq!(lines[1].matches('F').count(), 20);
         assert_eq!(lines[1].matches('U').count(), 20);
+    }
+
+    #[test]
+    fn bars_sum_to_proportional_row_length() {
+        // Four equal phases of 5 cycles: independent rounding would give
+        // each phase ceil(2.5) = 3 cells → a 12-cell bar for a 10-cell
+        // budget. Largest remainder must hit exactly 10.
+        let mut b = PhaseBreakdown::new();
+        for p in [
+            Phase::Forward,
+            Phase::NeuronGrad,
+            Phase::WeightGrad,
+            Phase::WeightUpdate,
+        ] {
+            b.charge(p, 5, 0.0);
+        }
+        let mut t = Trace::new();
+        t.push("even", b);
+        let bar_len = t
+            .render_bars(10)
+            .lines()
+            .next()
+            .unwrap()
+            .split('|')
+            .nth(1)
+            .unwrap()
+            .len();
+        assert_eq!(bar_len, 10);
+
+        // Three phases of 7 cycles: independent rounding undershoots
+        // (3 × floor-ish 3 = 9); largest remainder fills the 10th cell.
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::Forward, 7, 0.0);
+        b.charge(Phase::NeuronGrad, 7, 0.0);
+        b.charge(Phase::WeightGrad, 7, 0.0);
+        let mut t = Trace::new();
+        t.push("tri", b);
+        let bar_len = t
+            .render_bars(10)
+            .lines()
+            .next()
+            .unwrap()
+            .split('|')
+            .nth(1)
+            .unwrap()
+            .len();
+        assert_eq!(bar_len, 10);
+    }
+
+    #[test]
+    fn tiny_nonzero_phase_keeps_a_glyph() {
+        // 1 cycle of quantize against 999 of forward: proportionally the
+        // quantize share rounds to zero, but it must stay visible.
+        let mut b = PhaseBreakdown::new();
+        b.charge(Phase::Forward, 999, 0.0);
+        b.charge(Phase::Quantize, 1, 0.0);
+        let mut t = Trace::new();
+        t.push("l", b);
+        let s = t.render_bars(10);
+        assert_eq!(s.matches('q').count(), 1, "{s}");
+        assert_eq!(s.matches('F').count(), 9, "{s}");
+    }
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        // Sum always equals the row target; zero phases never get cells.
+        let cases: [&[u64]; 5] = [
+            &[333, 333, 334],
+            &[5, 5, 5, 5],
+            &[1, 0, 0, 0, 0, 999],
+            &[7, 7, 7],
+            &[1, 1, 1, 1, 1, 1],
+        ];
+        for cycles in cases {
+            let total: u64 = cycles.iter().sum();
+            let cells = apportion_row(cycles, total, 10);
+            assert_eq!(cells.iter().sum::<usize>(), 10, "{cycles:?}");
+            for (i, &c) in cycles.iter().enumerate() {
+                if c == 0 {
+                    assert_eq!(cells[i], 0, "{cycles:?}");
+                } else {
+                    assert!(cells[i] >= 1, "{cycles:?}");
+                }
+            }
+            assert_eq!(cells, apportion_row(cycles, total, 10));
+        }
+        // More nonzero phases than cells: row stretches to fit them all.
+        let cells = apportion_row(&[1, 1, 1], 1000, 2);
+        assert_eq!(cells, vec![1, 1, 1]);
+        assert_eq!(apportion_row(&[0, 0], 1, 10), vec![0, 0]);
+    }
+
+    #[test]
+    fn emit_virtual_lays_phases_end_to_end() {
+        use std::sync::Arc;
+        let sink = Arc::new(cq_obs::MemorySink::new());
+        cq_obs::install(sink.clone());
+        let mut t = Trace::new();
+        t.push("conv1", breakdown(100, 50));
+        t.push("fc2", breakdown(30, 0));
+        t.emit_virtual("test:emit_virtual", 1.0); // 1 GHz → 1 cycle = 1e-3 µs
+        cq_obs::uninstall();
+        let events = sink.take();
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                cq_obs::EventKind::Span { dur_us } => Some((e.name.as_ref(), e.ts_us, dur_us)),
+                _ => None,
+            })
+            .collect();
+        // 2 layer spans + 3 nonzero phase spans.
+        assert_eq!(spans.len(), 5, "{spans:?}");
+        let find = |n: &str| spans.iter().find(|(name, ..)| *name == n).copied().unwrap();
+        let (_, fw_ts, fw_dur) = find("conv1:FW");
+        let (_, wu_ts, _) = find("conv1:WU");
+        let (_, fc_ts, _) = find("fc2:FW");
+        assert_eq!(fw_ts, 0.0);
+        assert!((wu_ts - fw_dur).abs() < 1e-12);
+        assert!((fc_ts - 0.15).abs() < 1e-12); // 150 cycles @ 1 GHz
+        let (_, layer_ts, layer_dur) = find("conv1");
+        assert_eq!(layer_ts, 0.0);
+        assert!((layer_dur - 0.15).abs() < 1e-12);
     }
 
     #[test]
