@@ -35,7 +35,7 @@ pub mod pe;
 mod qbc;
 mod squ;
 
-pub use chip::CambriconQ;
+pub use chip::{clear_sim_cache, sim_cache_stats, CambriconQ};
 pub use compiler::{
     compile_conv_forward, compile_dense_forward, compile_network_forward, compile_weight_update,
     ConvLayout, ConvShape, DenseLayout, UpdateLayout,

@@ -1,25 +1,29 @@
 //! `bench_perf` — perf-regression harness for the compute backends.
 //!
-//! Times every dense kernel (and whole training steps) under both the
-//! `Naive` reference backend and the tiled/pooled `Fast` backend, then
-//! writes a machine-readable report. CI runs `--quick --check` and fails
+//! Times every dense kernel, the fused quantization kernels, whole
+//! training steps, and a memoized simulation sweep under both the `Naive`
+//! reference path and the `Fast` path, then writes a machine-readable
+//! report. CI runs `--quick --check --baseline BENCH_PR5.json` and fails
 //! the build if `Fast` regresses below `Naive` on the reference GEMM
-//! shape (512×512×512).
+//! shape (512×512×512), or if any serial quant-kernel entry drops more
+//! than 15% below its recorded baseline speedup.
 //!
 //! ```text
-//! bench_perf [--quick] [--check] [--out PATH]
+//! bench_perf [--quick] [--check] [--out PATH] [--baseline PATH]
 //!
-//!   --quick    reduced shape set and repetition count (CI smoke mode)
-//!   --check    exit non-zero if Fast is slower than Naive on the
-//!              reference 512x512x512 GEMM
-//!   --out PATH write the JSON report here (default: BENCH_PR2.json)
+//!   --quick         reduced shape set and repetition count (CI smoke mode)
+//!   --check         exit non-zero if Fast is slower than Naive on the
+//!                   reference 512x512x512 GEMM, or a gated quant entry
+//!                   regresses >15% below the baseline report
+//!   --out PATH      write the JSON report here (default: BENCH_PR5.json)
+//!   --baseline PATH a previous report to gate quant speedups against
 //! ```
 //!
 //! Report schema (hand-written JSON, no serde):
 //!
 //! ```json
 //! {
-//!   "pr": 2,
+//!   "pr": 5,
 //!   "threads": 4,
 //!   "quick": false,
 //!   "entries": [
@@ -29,20 +33,37 @@
 //! }
 //! ```
 //!
+//! Quant entries without a `-pooled` suffix stay below the fast path's
+//! parallel threshold, so their speedups measure the fused single-pass
+//! kernels at one worker and are stable across machines — those are the
+//! baseline-gated ones. `-pooled` shapes cross the threshold and scale
+//! with the core count; `hwcost_sweep` times re-simulation with the
+//! `HwCostCache` disabled (`ns_naive`) vs enabled and warm (`ns_fast`).
+//!
 //! Times are nanoseconds for the best (minimum) of `reps` timed runs
 //! after one warmup, so the numbers measure the kernels, not the
 //! allocator or the OS scheduler.
 
+use cq_accel::{clear_sim_cache, CambriconQ};
 use cq_experiments::accuracy::ProxyTask;
+use cq_ndp::OptimizerKind;
 use cq_nn::{Adam, Conv2d, Dense, Flatten, MaxPool2d, QuantCtx, Relu, Sequential};
 use cq_par::Pool;
-use cq_quant::TrainingQuantizer;
+use cq_quant::{E2bqmQuantizer, IntFormat, LdqConfig, LdqTensor, TrainingQuantizer};
 use cq_tensor::ops::{self, Conv2dParams};
 use cq_tensor::{init, Backend, Tensor};
+use cq_workloads::models;
 use std::time::Instant;
 
 /// The shape whose Fast-vs-Naive ratio gates CI (`--check`).
 const REFERENCE_GEMM: (usize, usize, usize) = (512, 512, 512);
+
+/// Ops whose serial (non-`-pooled`) entries are gated against a
+/// `--baseline` report: a >15% speedup drop fails `--check`.
+const GATED_QUANT_OPS: [&str; 3] = ["ldq_quantize", "e2bqm_quantize_blocks", "fake_quantize"];
+
+/// Fraction of the baseline speedup a gated entry must retain.
+const BASELINE_RETAIN: f64 = 0.85;
 
 struct Entry {
     op: &'static str,
@@ -210,13 +231,244 @@ fn bench_cnn() -> (Sequential, Tensor, Vec<usize>) {
     (model, data.x, data.labels)
 }
 
+/// Quant-kernel entries. The serial shapes (16 Ki elements) sit below
+/// `cq_quant::fast::PAR_MIN_ELEMS`, so `Backend::Fast` takes the fused
+/// single-pass kernel on one worker — these appear in both quick and full
+/// modes under identical shape strings so `--baseline` gating works. The
+/// full mode adds `-pooled` shapes that cross the threshold and exercise
+/// the block fan-out.
+fn quant_entries(reps: usize, quick: bool) -> Vec<Entry> {
+    let _sp = cq_obs::span!("bench", "quant kernels");
+    let mut entries = Vec::new();
+    let t = init::long_tailed(&[16384], 0.1, 0.01, 30.0, 31);
+
+    let cfg = LdqConfig::new(256, IntFormat::Int8);
+    let (ns_naive, ns_fast) = ab(
+        |be| {
+            let _ = LdqTensor::quantize_with(&t, cfg, be);
+        },
+        reps,
+    );
+    entries.push(Entry {
+        op: "ldq_quantize",
+        shape: "16384xK256-int8".into(),
+        ns_naive,
+        ns_fast,
+    });
+
+    let q = E2bqmQuantizer::hardware_default();
+    let (ns_naive, ns_fast) = ab(
+        |be| {
+            let _ = q.quantize_blocks_with(&t, 256, be);
+        },
+        reps,
+    );
+    entries.push(Entry {
+        op: "e2bqm_quantize_blocks",
+        shape: "16384xK256-w4".into(),
+        ns_naive,
+        ns_fast,
+    });
+
+    // Cosine arbitration (the zhu2019-style multiplex): the naive path
+    // re-derives ‖x‖ per candidate; the fused path shares the statistic.
+    let qc = E2bqmQuantizer::new(
+        4,
+        cq_quant::CandidateStrategy::ClipSweep,
+        cq_quant::ErrorEstimator::Cosine,
+        IntFormat::Int8,
+    );
+    let (ns_naive, ns_fast) = ab(
+        |be| {
+            let _ = qc.quantize_blocks_with(&t, 256, be);
+        },
+        reps,
+    );
+    entries.push(Entry {
+        op: "e2bqm_quantize_blocks",
+        shape: "16384xK256-w4-cosine".into(),
+        ns_naive,
+        ns_fast,
+    });
+
+    let tq = TrainingQuantizer::zhang2020_hqt();
+    let ns_naive = best_ns(
+        || {
+            let _ = tq.fake_quantize_naive(&t);
+        },
+        reps,
+    );
+    let ns_fast = best_ns(
+        || {
+            let _ = tq.fake_quantize_fast(&t);
+        },
+        reps,
+    );
+    entries.push(Entry {
+        op: "fake_quantize",
+        shape: "hqt-zhang2020-16384".into(),
+        ns_naive,
+        ns_fast,
+    });
+
+    // Out-of-cache serial entries: 1 MiB of f32 exceeds L2, which is
+    // where the naive path's per-block tensor allocations and extra
+    // passes hurt most and the fused single-pass kernels shine. Pinned
+    // to a one-worker pool so the measurement is host-independent (and
+    // therefore gateable), whatever `CQ_THREADS` says.
+    let serial = Pool::new(1);
+    let big_serial = init::long_tailed(&[1 << 18], 0.1, 0.01, 30.0, 29);
+    let cfg = LdqConfig::new(256, IntFormat::Int8);
+    let ns_naive = best_ns(
+        || {
+            let _ = LdqTensor::quantize_naive(&big_serial, cfg);
+        },
+        reps,
+    );
+    let ns_fast = best_ns(
+        || {
+            let _ = LdqTensor::quantize_fast_on(&serial, &big_serial, cfg);
+        },
+        reps,
+    );
+    entries.push(Entry {
+        op: "ldq_quantize",
+        shape: "262144xK256-int8-serial".into(),
+        ns_naive,
+        ns_fast,
+    });
+
+    let ns_naive = best_ns(
+        || {
+            let _ = qc.quantize_blocks_naive(&big_serial, 256);
+        },
+        reps,
+    );
+    let ns_fast = best_ns(
+        || {
+            let _ = qc.quantize_blocks_fast_on(&serial, &big_serial, 256);
+        },
+        reps,
+    );
+    entries.push(Entry {
+        op: "e2bqm_quantize_blocks",
+        shape: "262144xK256-w4-cosine-serial".into(),
+        ns_naive,
+        ns_fast,
+    });
+
+    if !quick {
+        let big = init::long_tailed(&[1 << 21], 0.1, 0.01, 30.0, 37);
+        let cfg = LdqConfig::new(1024, IntFormat::Int8);
+        let (ns_naive, ns_fast) = ab(
+            |be| {
+                let _ = LdqTensor::quantize_with(&big, cfg, be);
+            },
+            reps,
+        );
+        entries.push(Entry {
+            op: "ldq_quantize",
+            shape: "2097152xK1024-int8-pooled".into(),
+            ns_naive,
+            ns_fast,
+        });
+
+        let mid = init::long_tailed(&[1 << 20], 0.1, 0.01, 30.0, 41);
+        let (ns_naive, ns_fast) = ab(
+            |be| {
+                let _ = q.quantize_blocks_with(&mid, 1024, be);
+            },
+            reps,
+        );
+        entries.push(Entry {
+            op: "e2bqm_quantize_blocks",
+            shape: "1048576xK1024-w4-pooled".into(),
+            ns_naive,
+            ns_fast,
+        });
+    }
+    entries
+}
+
+/// Sweep-level memoization: re-simulating the same (config, optimizer,
+/// network) combinations with the `HwCostCache` disabled (`ns_naive`) vs
+/// enabled (`ns_fast`). `best_ns`'s untimed warmup call fills the cache
+/// on the fast side, so the timed runs measure warm hits — exactly what
+/// an ablation sweep's repeated inner simulations see.
+fn hwcost_entry(reps: usize, quick: bool) -> Entry {
+    let _sp = cq_obs::span!("bench", "hwcost sweep");
+    let chip = CambriconQ::edge();
+    let opt = OptimizerKind::Sgd { lr: 0.01 };
+    let nets = if quick {
+        vec![models::squeezenet_v1()]
+    } else {
+        vec![
+            models::squeezenet_v1(),
+            models::resnet18(),
+            models::alexnet(),
+        ]
+    };
+    let run = || {
+        for net in &nets {
+            let _ = chip.simulate(net, opt);
+        }
+    };
+    cq_sim::set_hwcache_enabled(false);
+    let ns_naive = best_ns(run, reps);
+    cq_sim::set_hwcache_enabled(true);
+    clear_sim_cache();
+    let ns_fast = best_ns(run, reps);
+    Entry {
+        op: "hwcost_sweep",
+        shape: format!("{}nets-sgd-edge", nets.len()),
+        ns_naive,
+        ns_fast,
+    }
+}
+
+/// Whether an entry's speedup is gated against the `--baseline` report.
+fn is_gated(e: &Entry) -> bool {
+    GATED_QUANT_OPS.contains(&e.op) && !e.shape.ends_with("-pooled")
+}
+
+/// Extracts `(op, shape, speedup)` triples from a previous report. The
+/// report is the fixed line-oriented format [`render_json`] writes (one
+/// entry object per line), so a full JSON parser is unnecessary.
+fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(op), Some(shape), Some(speedup)) = (
+            field_str(line, "\"op\": \""),
+            field_str(line, "\"shape\": \""),
+            field_num(line, "\"speedup\": "),
+        ) else {
+            continue;
+        };
+        out.push((op, shape, speedup));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn render_json(entries: &[Entry], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"pr\": 5,\n");
     out.push_str(&format!("  \"threads\": {},\n", Pool::global().threads()));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
@@ -238,7 +490,8 @@ fn render_json(entries: &[Entry], quick: bool) -> String {
 fn main() {
     let mut quick = false;
     let mut check = false;
-    let mut out_path = String::from("BENCH_PR2.json");
+    let mut out_path = String::from("BENCH_PR5.json");
+    let mut baseline_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -246,6 +499,7 @@ fn main() {
             "--quick" => quick = true,
             "--check" => check = true,
             "--out" => out_path = args.next().expect("--out requires a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline requires a path")),
             "--profile" => profile_path = Some(args.next().expect("--profile requires a path")),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -253,6 +507,13 @@ fn main() {
             }
         }
     }
+    let baseline = baseline_path.map(|p| {
+        let text = std::fs::read_to_string(&p)
+            .unwrap_or_else(|e| panic!("cannot read --baseline {p:?}: {e}"));
+        let rows = parse_baseline(&text);
+        assert!(!rows.is_empty(), "no entries parsed from --baseline {p:?}");
+        rows
+    });
     // Tracing: --profile wins, else CQ_TRACE, else off (and then the
     // instrumented kernels cost one atomic load per probe — see the
     // obs_overhead test).
@@ -287,6 +548,9 @@ fn main() {
         entries.extend(conv_entries(4, 8, 32, 32, 3, 1, 1, reps));
         entries.extend(conv_entries(1, 16, 32, 28, 5, 2, 2, reps));
     }
+
+    entries.extend(quant_entries(reps + 2, quick));
+    entries.push(hwcost_entry(reps, quick));
 
     entries.push(train_step_entry(
         "train_step",
@@ -339,5 +603,42 @@ fn main() {
             "check passed: Fast {:.2}x Naive on reference GEMM",
             reference.speedup()
         );
+
+        if let Some(baseline) = &baseline {
+            let mut failed = false;
+            for e in entries.iter().filter(|e| is_gated(e)) {
+                let Some((_, _, base)) = baseline
+                    .iter()
+                    .find(|(op, shape, _)| op == e.op && *shape == e.shape)
+                else {
+                    eprintln!("  note: no baseline for {} {}", e.op, e.shape);
+                    continue;
+                };
+                let floor = base * BASELINE_RETAIN;
+                if e.speedup() < floor {
+                    eprintln!(
+                        "FAIL: {} {} speedup {:.2}x below baseline floor {:.2}x (recorded {:.2}x)",
+                        e.op,
+                        e.shape,
+                        e.speedup(),
+                        floor,
+                        base
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "  gate ok: {} {} {:.2}x >= {:.2}x",
+                        e.op,
+                        e.shape,
+                        e.speedup(),
+                        floor
+                    );
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            eprintln!("check passed: quant kernels within 15% of baseline speedups");
+        }
     }
 }

@@ -8,13 +8,14 @@
 
 use crate::error::NnError;
 use crate::param::Param;
-use cq_quant::TrainingQuantizer;
+use cq_quant::{QuantScratch, TrainingQuantizer};
 use cq_tensor::ops::{self, Conv2dParams};
 use cq_tensor::{init, Backend, Tensor};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Quantization context threaded through forward and backward passes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct QuantCtx {
     /// The quantizer applied to compute operands (activations, weights,
     /// gradients). [`TrainingQuantizer::fp32`] makes every transform the
@@ -23,15 +24,16 @@ pub struct QuantCtx {
     /// The compute backend every dense kernel in the pass runs on.
     /// Defaults to the process-wide [`cq_tensor::default_backend`].
     pub backend: Backend,
+    /// Scratch arena threaded through every fast-path quantization this
+    /// context performs, so steady-state training steps reuse candidate
+    /// buffers instead of reallocating them per layer per step.
+    scratch: Arc<Mutex<QuantScratch>>,
 }
 
 impl QuantCtx {
     /// Full-precision context (no quantization anywhere).
     pub fn fp32() -> Self {
-        QuantCtx {
-            quantizer: TrainingQuantizer::fp32(),
-            backend: cq_tensor::default_backend(),
-        }
+        QuantCtx::new(TrainingQuantizer::fp32())
     }
 
     /// Context with the given training quantizer.
@@ -39,6 +41,7 @@ impl QuantCtx {
         QuantCtx {
             quantizer,
             backend: cq_tensor::default_backend(),
+            scratch: Arc::new(Mutex::new(QuantScratch::new())),
         }
     }
 
@@ -50,7 +53,58 @@ impl QuantCtx {
 
     /// Quantize-dequantizes a tensor for compute.
     pub fn q(&self, x: &Tensor) -> Tensor {
-        self.quantizer.fake_quantize(x)
+        match self.backend {
+            Backend::Naive => self.quantizer.fake_quantize_naive(x),
+            Backend::Fast => {
+                let mut out = Vec::with_capacity(x.len());
+                self.fill_quantized(x, &mut out);
+                Tensor::from_vec(out, x.dims()).expect("shape preserved by construction")
+            }
+        }
+    }
+
+    /// Quantize-dequantizes `x` into a reusable slot, recycling the slot's
+    /// previous allocation. Layers with cached quantized operands (e.g.
+    /// [`Dense`]'s `cached_xq`/`cached_wq`) call this every step; after the
+    /// first step the buffers are warm and the fast path allocates nothing.
+    pub fn q_into(&self, x: &Tensor, slot: &mut Option<Tensor>) {
+        match self.backend {
+            Backend::Naive => *slot = Some(self.quantizer.fake_quantize_naive(x)),
+            Backend::Fast => {
+                let mut buf = slot.take().map(Tensor::into_vec).unwrap_or_default();
+                self.fill_quantized(x, &mut buf);
+                *slot = Some(Tensor::from_vec(buf, x.dims()).expect("shape preserved"));
+            }
+        }
+    }
+
+    /// Fast-path worker: runs `fake_quantize_into` under the shared
+    /// scratch arena.
+    fn fill_quantized(&self, x: &Tensor, out: &mut Vec<f32>) {
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.quantizer.fake_quantize_into(x, out, &mut scratch);
+    }
+}
+
+impl Clone for QuantCtx {
+    /// Clones get a fresh scratch arena (not a handle to the same one), so
+    /// contexts cloned into worker threads never contend on a lock.
+    fn clone(&self) -> Self {
+        QuantCtx {
+            quantizer: self.quantizer.clone(),
+            backend: self.backend,
+            scratch: Arc::new(Mutex::new(QuantScratch::new())),
+        }
+    }
+}
+
+impl PartialEq for QuantCtx {
+    /// Scratch contents are a cache, not part of the context's identity.
+    fn eq(&self, other: &Self) -> bool {
+        self.quantizer == other.quantizer && self.backend == other.backend
     }
 }
 
@@ -124,9 +178,13 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
-        let xq = ctx.q(x);
-        let wq = ctx.q(&self.weight.value);
-        let mut y = ops::matmul_with(ctx.backend, &xq, &wq)?;
+        // Quantize straight into the cached slots: steady-state steps reuse
+        // the previous step's buffers instead of allocating fresh tensors.
+        ctx.q_into(x, &mut self.cached_xq);
+        ctx.q_into(&self.weight.value, &mut self.cached_wq);
+        let xq = self.cached_xq.as_ref().expect("just filled");
+        let wq = self.cached_wq.as_ref().expect("just filled");
+        let mut y = ops::matmul_with(ctx.backend, xq, wq)?;
         // Bias add in full precision (SFU path).
         let (b, out_f) = (y.dims()[0], y.dims()[1]);
         let bias = self.bias.value.data();
@@ -135,8 +193,6 @@ impl Layer for Dense {
                 y.data_mut()[i * out_f + j] += bias[j];
             }
         }
-        self.cached_xq = Some(xq);
-        self.cached_wq = Some(wq);
         Ok(y)
     }
 
@@ -203,12 +259,11 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
-        let xq = ctx.q(x);
-        let wq = ctx.q(&self.weight.value);
-        let y = ops::conv2d_with(ctx.backend, &xq, &wq, self.params)?;
-        self.cached_xq = Some(xq);
-        self.cached_wq = Some(wq);
-        Ok(y)
+        ctx.q_into(x, &mut self.cached_xq);
+        ctx.q_into(&self.weight.value, &mut self.cached_wq);
+        let xq = self.cached_xq.as_ref().expect("just filled");
+        let wq = self.cached_wq.as_ref().expect("just filled");
+        Ok(ops::conv2d_with(ctx.backend, xq, wq, self.params)?)
     }
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
@@ -492,6 +547,37 @@ mod tests {
         let y_q = d2.forward(&x, &q8).unwrap();
         let cos = y_fp.cosine_similarity(&y_q).unwrap();
         assert!(cos > 0.999, "cosine {cos}");
+    }
+
+    #[test]
+    fn q_into_recycles_slot_and_matches_q() {
+        let ctx = QuantCtx::new(TrainingQuantizer::zhang2020_hqt()).with_backend(Backend::Fast);
+        let x = init::normal(&[8, 32], 0.0, 1.0, 3);
+        let mut slot = None;
+        ctx.q_into(&x, &mut slot);
+        assert_eq!(slot.as_ref().unwrap().data(), ctx.q(&x).data());
+        // Steady state: the slot's buffer is recycled, not reallocated.
+        let p = slot.as_ref().unwrap().data().as_ptr();
+        ctx.q_into(&x, &mut slot);
+        assert_eq!(
+            slot.as_ref().unwrap().data().as_ptr(),
+            p,
+            "slot buffer reallocated"
+        );
+    }
+
+    #[test]
+    fn ctx_q_backends_agree() {
+        let x = init::long_tailed(&[2048], 0.1, 0.01, 20.0, 6);
+        for q in [
+            TrainingQuantizer::zhang2020_hqt(),
+            TrainingQuantizer::zhong2020(),
+            TrainingQuantizer::zhu2019(),
+        ] {
+            let naive = QuantCtx::new(q.clone()).with_backend(Backend::Naive).q(&x);
+            let fast = QuantCtx::new(q).with_backend(Backend::Fast).q(&x);
+            assert_eq!(naive.data(), fast.data());
+        }
     }
 
     #[test]

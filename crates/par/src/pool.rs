@@ -212,6 +212,66 @@ impl Pool {
             }
         });
     }
+
+    /// Partitions `data` into contiguous bands of whole `block_len`-element
+    /// blocks and runs `f(first_block, band)` on each band in parallel.
+    ///
+    /// Unlike [`Pool::parallel_row_chunks`], the data need not be a whole
+    /// number of blocks: the final block may be ragged (shorter than
+    /// `block_len`), and it always lands in the last band. This is the
+    /// backbone of block-local quantization fan-out, where LDQ block
+    /// boundaries — not row boundaries — are the unit of independence.
+    ///
+    /// Band boundaries depend only on `(data.len(), block_len, min_blocks,
+    /// threads)` and every block is processed by exactly one worker, so
+    /// callers whose per-block work is a pure function of the block get
+    /// results independent of the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_len` is zero (for non-empty data), or if a worker
+    /// panics.
+    pub fn parallel_block_chunks<T, F>(
+        &self,
+        data: &mut [T],
+        block_len: usize,
+        min_blocks: usize,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(block_len > 0, "block_len must be positive");
+        let blocks = data.len().div_ceil(block_len);
+        let ranges = Self::partition(blocks, self.threads, min_blocks);
+        let mut region = cq_obs::span!("par", "parallel_block_chunks");
+        if region.is_recording() {
+            region
+                .arg("blocks", blocks)
+                .arg("bands", ranges.len())
+                .arg("max_workers", self.threads);
+            cq_obs::counter!("par.regions").incr();
+        }
+        if ranges.len() <= 1 {
+            f(0, data);
+            return;
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = data;
+            for r in &ranges {
+                // Only the final band can be ragged; `min` absorbs it.
+                let band_elems = (r.len() * block_len).min(rest.len());
+                let (band, tail) = rest.split_at_mut(band_elems);
+                rest = tail;
+                let first_block = r.start;
+                s.spawn(move || f(first_block, band));
+            }
+        });
+    }
 }
 
 impl Default for Pool {
@@ -355,6 +415,67 @@ mod tests {
                     panic!("range worker exploded");
                 }
             });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn block_chunks_cover_ragged_tail_exactly_once() {
+        // 10 elements in blocks of 4: blocks are [0..4), [4..8), [8..10).
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![0u32; 10];
+            Pool::new(threads).parallel_block_chunks(&mut data, 4, 1, |first_block, band| {
+                // Stamp each element with its block index: chunks(4) inside
+                // a band re-derives the global block boundaries.
+                for (j, chunk) in band.chunks_mut(4).enumerate() {
+                    chunk.fill((first_block + j) as u32 + 1);
+                }
+            });
+            assert_eq!(
+                data,
+                vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3],
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_chunks_band_boundaries_align_to_blocks() {
+        // Record each band's (first_block, len) and check alignment.
+        let mut data = vec![0u8; 103];
+        let bands = std::sync::Mutex::new(Vec::new());
+        Pool::new(4).parallel_block_chunks(&mut data, 10, 1, |first_block, band| {
+            bands.lock().unwrap().push((first_block, band.len()));
+        });
+        let mut bands = bands.into_inner().unwrap();
+        bands.sort_unstable();
+        let mut expected_start = 0usize;
+        for (i, &(first_block, len)) in bands.iter().enumerate() {
+            assert_eq!(first_block * 10, expected_start);
+            if i + 1 < bands.len() {
+                assert_eq!(len % 10, 0, "only the last band may be ragged");
+            }
+            expected_start += len;
+        }
+        assert_eq!(expected_start, 103);
+    }
+
+    #[test]
+    fn block_chunks_empty_and_single() {
+        Pool::new(4).parallel_block_chunks(&mut [] as &mut [u8], 4, 1, |_, _| {
+            panic!("must not run on empty data")
+        });
+        let mut one = [7u8; 3];
+        Pool::new(4).parallel_block_chunks(&mut one, 64, 1, |first, band| {
+            assert_eq!(first, 0);
+            assert_eq!(band.len(), 3);
+        });
+    }
+
+    #[test]
+    fn block_chunks_reject_zero_block_len() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(2).parallel_block_chunks(&mut [0u8; 5], 0, 1, |_, _| {});
         });
         assert!(result.is_err());
     }

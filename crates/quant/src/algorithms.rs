@@ -3,11 +3,13 @@
 //! evaluation (Zhu 2019 and Zhang 2020, each with and without HQT).
 
 use crate::e2bqm::{CandidateStrategy, E2bqmQuantizer, ErrorEstimator};
+use crate::fast::{self, QuantScratch};
 use crate::format::{IntFormat, QuantParams};
 use crate::ldq::{LdqConfig, LdqTensor};
 use crate::qtensor::QuantizedTensor;
 use crate::rounding::{MiniFloat, RoundingMode};
-use cq_tensor::Tensor;
+use cq_par::Pool;
+use cq_tensor::{Backend, Tensor};
 use std::fmt;
 
 /// Precision of the *updating weights* stage (paper Table III: every
@@ -363,7 +365,27 @@ impl TrainingQuantizer {
 
     /// Quantizes then dequantizes `x`, producing the FP32 tensor the
     /// integer datapath would effectively compute with.
+    ///
+    /// Dispatches on [`cq_tensor::default_backend`]; both backends produce
+    /// bit-identical tensors (see [`crate::fast`]).
     pub fn fake_quantize(&self, x: &Tensor) -> Tensor {
+        match cq_tensor::default_backend() {
+            Backend::Naive => self.fake_quantize_naive(x),
+            Backend::Fast => self.fake_quantize_fast(x),
+        }
+    }
+
+    /// The reference implementation: separate statistic/quantize/dequantize
+    /// tensor ops with fresh allocations (the bit-exactness oracle for the
+    /// fused path).
+    pub fn fake_quantize_naive(&self, x: &Tensor) -> Tensor {
+        let mut sp = cq_obs::span!("quant", "fake_quantize");
+        if sp.is_recording() {
+            sp.arg("quantizer", self.name.as_str())
+                .arg("elems", x.len())
+                .arg("backend", "naive");
+            cq_obs::counter!("quant.calls").incr();
+        }
         match &self.scheme {
             QuantScheme::Fp32 => x.clone(),
             QuantScheme::StaticRange { theta, format } => {
@@ -384,12 +406,131 @@ impl TrainingQuantizer {
                 format,
                 multiplex,
             } => match multiplex {
-                None => LdqTensor::quantize(x, LdqConfig::new(*block_size, *format)).dequantize(),
+                None => {
+                    LdqTensor::quantize_naive(x, LdqConfig::new(*block_size, *format)).dequantize()
+                }
                 Some(m) => {
-                    let sels = m.quantize_blocks(x, *block_size);
+                    let sels = m.quantize_blocks_naive(x, *block_size);
                     crate::e2bqm::dequantize_blocks(&sels, x.dims())
                 }
             },
+        }
+    }
+
+    /// Allocating wrapper over [`Self::fake_quantize_into`].
+    pub fn fake_quantize_fast(&self, x: &Tensor) -> Tensor {
+        let mut out = Vec::with_capacity(x.len());
+        let mut scratch = QuantScratch::new();
+        self.fake_quantize_into(x, &mut out, &mut scratch);
+        Tensor::from_vec(out, x.dims()).expect("shape preserved by construction")
+    }
+
+    /// The fused fast path: clears `out` and fills it with the
+    /// fake-quantized values, reusing `out`'s and `scratch`'s allocations.
+    /// Threading the same buffers through repeated calls (one per training
+    /// step) makes steady-state quantization allocation-free for the
+    /// integer schemes; `MiniFp` still allocates internally to preserve its
+    /// seeded stochastic-rounding semantics.
+    ///
+    /// Large HQT tensors fan their independent blocks out over the global
+    /// pool (workers use their own scratch); results are identical for any
+    /// worker count.
+    pub fn fake_quantize_into(&self, x: &Tensor, out: &mut Vec<f32>, scratch: &mut QuantScratch) {
+        let mut sp = cq_obs::span!("quant", "fake_quantize");
+        if sp.is_recording() {
+            sp.arg("quantizer", self.name.as_str())
+                .arg("elems", x.len())
+                .arg("backend", "fast");
+            cq_obs::counter!("quant.calls").incr();
+        }
+        out.clear();
+        let data = x.data();
+        match &self.scheme {
+            QuantScheme::Fp32 => out.extend_from_slice(data),
+            QuantScheme::StaticRange { theta, format } => {
+                let p = QuantParams::symmetric(*theta, *format);
+                out.extend(data.iter().map(|&v| p.dequantize(p.quantize(v))));
+            }
+            QuantScheme::MiniFp {
+                format,
+                rounding,
+                seed,
+            } => out.extend_from_slice(format.quantize_tensor(x, *rounding, *seed).data()),
+            QuantScheme::LayerWise { format, multiplex } => {
+                // Layer-wise accumulation order cannot be split without
+                // changing bits, so this stays sequential regardless of
+                // tensor size.
+                out.resize(data.len(), 0.0);
+                let theta = fast::block_theta(data);
+                match multiplex {
+                    None => {
+                        fast::fake_quantize_block(data, QuantParams::symmetric(theta, *format), out)
+                    }
+                    Some(m) => {
+                        m.candidate_params_into(theta, &mut scratch.params);
+                        let way = fast::eval_candidates_shared(data, m.estimator(), scratch);
+                        fast::emit_winner(scratch, way, data.len(), out);
+                    }
+                }
+            }
+            QuantScheme::Hqt {
+                block_size,
+                format,
+                multiplex,
+            } => {
+                let k = *block_size;
+                assert!(k > 0, "block size must be positive");
+                out.resize(data.len(), 0.0);
+                let pool = Pool::global();
+                if data.len() < fast::PAR_MIN_ELEMS || pool.threads() == 1 {
+                    fake_quantize_hqt_band(data, out, k, *format, multiplex, scratch);
+                } else {
+                    pool.parallel_block_chunks(
+                        out.as_mut_slice(),
+                        k,
+                        fast::PAR_MIN_BLOCKS,
+                        |first_block, band| {
+                            let start = first_block * k;
+                            let mut local = QuantScratch::new();
+                            fake_quantize_hqt_band(
+                                &data[start..start + band.len()],
+                                band,
+                                k,
+                                *format,
+                                multiplex,
+                                &mut local,
+                            );
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fake-quantizes a contiguous band of whole HQT blocks (the final block
+/// may be ragged) from `src` into `dst` with the fused per-block kernels.
+fn fake_quantize_hqt_band(
+    src: &[f32],
+    dst: &mut [f32],
+    block_size: usize,
+    format: IntFormat,
+    multiplex: &Option<E2bqmQuantizer>,
+    scratch: &mut QuantScratch,
+) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (xb, ob) in src.chunks(block_size).zip(dst.chunks_mut(block_size)) {
+        match multiplex {
+            None => {
+                let theta = fast::block_theta(xb);
+                fast::fake_quantize_block(xb, QuantParams::symmetric(theta, format), ob);
+            }
+            Some(m) => {
+                let theta = fast::block_theta(xb);
+                m.candidate_params_into(theta, &mut scratch.params);
+                let way = fast::eval_candidates_shared(xb, m.estimator(), scratch);
+                fast::emit_winner(scratch, way, xb.len(), ob);
+            }
         }
     }
 }

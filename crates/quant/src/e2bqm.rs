@@ -17,9 +17,11 @@
 //! The hardware SQU realizes this as a time-multiplexed 4-way quantization
 //! with an Arbiter comparing candidate quality (paper §IV.B.1).
 
+use crate::fast::{self, QuantScratch};
 use crate::format::{IntFormat, QuantParams};
 use crate::qtensor::QuantizedTensor;
-use cq_tensor::Tensor;
+use cq_par::Pool;
+use cq_tensor::{Backend, Tensor};
 use std::fmt;
 
 /// Distance metric used to estimate quantization error (step 3).
@@ -205,30 +207,39 @@ impl E2bqmQuantizer {
 
     /// Generates the candidate parameter set for a block with statistic θ.
     pub fn candidate_params(&self, theta: f32) -> Vec<QuantParams> {
-        let theta = if theta.is_finite() && theta > 0.0 {
-            theta
-        } else {
+        let mut out = Vec::with_capacity(self.ways);
+        self.candidate_params_into(theta, &mut out);
+        out
+    }
+
+    /// Fills `out` with the candidate parameter set for statistic θ,
+    /// reusing `out`'s allocation. The candidate set depends only on
+    /// `(self, θ)`, so repeated callers (block loops) regenerate it into
+    /// the same buffer instead of allocating a fresh `Vec` per block.
+    pub fn candidate_params_into(&self, theta: f32, out: &mut Vec<QuantParams>) {
+        out.clear();
+        let theta = fast::effective_theta(theta);
+        if theta == 0.0 {
             // Degenerate blocks quantize to zero under every candidate.
-            return vec![QuantParams::symmetric(0.0, self.format); self.ways];
-        };
-        (0..self.ways)
-            .map(|i| match self.strategy {
-                CandidateStrategy::ClipSweep => {
-                    QuantParams::symmetric(theta / (1 << i) as f32, self.format)
-                }
-                CandidateStrategy::ShiftableFxp => {
-                    // Geometric interpolation between wide (θ) and fine
-                    // (θ / 2^(bits/2)) scales.
-                    let span = self.format.bits() as f32 / 2.0;
-                    let exp = span * i as f32 / (self.ways.max(2) - 1) as f32;
-                    QuantParams::symmetric(theta / 2f32.powf(exp), self.format)
-                }
-                CandidateStrategy::FormatSweep => {
-                    let fmt = IntFormat::ALL[i.min(IntFormat::ALL.len() - 1)];
-                    QuantParams::symmetric(theta, fmt)
-                }
-            })
-            .collect()
+            out.resize(self.ways, QuantParams::symmetric(0.0, self.format));
+            return;
+        }
+        out.extend((0..self.ways).map(|i| match self.strategy {
+            CandidateStrategy::ClipSweep => {
+                QuantParams::symmetric(theta / (1 << i) as f32, self.format)
+            }
+            CandidateStrategy::ShiftableFxp => {
+                // Geometric interpolation between wide (θ) and fine
+                // (θ / 2^(bits/2)) scales.
+                let span = self.format.bits() as f32 / 2.0;
+                let exp = span * i as f32 / (self.ways.max(2) - 1) as f32;
+                QuantParams::symmetric(theta / 2f32.powf(exp), self.format)
+            }
+            CandidateStrategy::FormatSweep => {
+                let fmt = IntFormat::ALL[i.min(IntFormat::ALL.len() - 1)];
+                QuantParams::symmetric(theta, fmt)
+            }
+        }));
     }
 
     /// Runs the full four-step E²BQM procedure on one block of data.
@@ -275,7 +286,48 @@ impl E2bqmQuantizer {
 
     /// Quantizes a tensor block-by-block (LDQ slicing) with E²BQM applied to
     /// every block; returns per-block selections.
+    ///
+    /// Dispatches on [`cq_tensor::default_backend`]: the fast backend uses
+    /// the fused shared-statistics kernel (bit-identical to naive — see
+    /// [`crate::fast`]), fanning out over the global pool for large tensors.
     pub fn quantize_blocks(&self, x: &Tensor, block_size: usize) -> Vec<E2bqmSelection> {
+        self.quantize_blocks_with(x, block_size, cq_tensor::default_backend())
+    }
+
+    /// [`Self::quantize_blocks`] with an explicit backend (A/B testing and
+    /// the parity suite).
+    pub fn quantize_blocks_with(
+        &self,
+        x: &Tensor,
+        block_size: usize,
+        backend: Backend,
+    ) -> Vec<E2bqmSelection> {
+        assert!(block_size > 0, "block size must be positive");
+        let mut sp = cq_obs::span!("quant", "e2bqm_blocks");
+        if sp.is_recording() {
+            sp.arg("elems", x.len())
+                .arg("blocks", x.len().div_ceil(block_size))
+                .arg("ways", self.ways)
+                .arg("format", self.format.to_string().as_str());
+            cq_obs::counter!("quant.calls").incr();
+            cq_obs::counter!("quant.blocks").add(x.len().div_ceil(block_size) as u64);
+        }
+        match backend {
+            Backend::Naive => self.quantize_blocks_naive(x, block_size),
+            Backend::Fast => {
+                if x.len() < fast::PAR_MIN_ELEMS || Pool::global().threads() == 1 {
+                    self.quantize_blocks_fused_serial(x, block_size)
+                } else {
+                    self.quantize_blocks_fast_on(Pool::global(), x, block_size)
+                }
+            }
+        }
+    }
+
+    /// The reference implementation: per block, N separate
+    /// quantize→dequantize→estimate round trips (the bit-exactness oracle
+    /// for the fused path).
+    pub fn quantize_blocks_naive(&self, x: &Tensor, block_size: usize) -> Vec<E2bqmSelection> {
         assert!(block_size > 0, "block size must be positive");
         let n = x.len();
         let mut out = Vec::with_capacity(n.div_ceil(block_size));
@@ -287,6 +339,72 @@ impl E2bqmQuantizer {
             start += len;
         }
         out
+    }
+
+    /// Fused E²BQM on one raw block slice: θ, all candidate codes and all
+    /// error accumulators in a single pass, reusing `scratch`.
+    fn quantize_block_fused(&self, x: &[f32], scratch: &mut QuantScratch) -> E2bqmSelection {
+        let theta = fast::block_theta(x);
+        self.candidate_params_into(theta, &mut scratch.params);
+        let way = fast::eval_candidates_shared(x, self.estimator, scratch);
+        let n = x.len();
+        let selected = QuantizedTensor::from_codes(
+            scratch.qvals[way * n..(way + 1) * n].to_vec(),
+            scratch.params[way],
+            &[n],
+        );
+        E2bqmSelection {
+            selected,
+            way,
+            errors: scratch.errors.clone(),
+        }
+    }
+
+    /// Serial fused path: one scratch arena reused across all blocks.
+    fn quantize_blocks_fused_serial(&self, x: &Tensor, block_size: usize) -> Vec<E2bqmSelection> {
+        let data = x.data();
+        let n = data.len();
+        let mut scratch = QuantScratch::new();
+        let mut out = Vec::with_capacity(n.div_ceil(block_size));
+        let mut start = 0;
+        while start < n {
+            let len = block_size.min(n - start);
+            out.push(self.quantize_block_fused(&data[start..start + len], &mut scratch));
+            start += len;
+        }
+        out
+    }
+
+    /// Pool-explicit fused path: blocks are partitioned into contiguous
+    /// chunks (each worker reuses one scratch arena) and results are
+    /// flattened in block order, so the output is identical for any worker
+    /// count.
+    pub fn quantize_blocks_fast_on(
+        &self,
+        pool: &Pool,
+        x: &Tensor,
+        block_size: usize,
+    ) -> Vec<E2bqmSelection> {
+        assert!(block_size > 0, "block size must be positive");
+        let data = x.data();
+        let n = data.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let nblocks = n.div_ceil(block_size);
+        let chunks = Pool::partition(nblocks, pool.threads(), fast::PAR_MIN_BLOCKS);
+        let per_chunk: Vec<Vec<E2bqmSelection>> = pool.parallel_map(chunks.len(), |ci| {
+            let mut scratch = QuantScratch::new();
+            let r = chunks[ci].clone();
+            let mut out = Vec::with_capacity(r.len());
+            for b in r {
+                let start = b * block_size;
+                let len = block_size.min(n - start);
+                out.push(self.quantize_block_fused(&data[start..start + len], &mut scratch));
+            }
+            out
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 

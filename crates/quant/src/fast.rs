@@ -1,0 +1,529 @@
+//! Fused single-pass quantization kernels — the quantization fast path.
+//!
+//! The reference (naive) implementations in [`crate::ldq`] and
+//! [`crate::e2bqm`] mirror the paper's four-step procedure literally:
+//! slice a block into a fresh tensor, scan it for θ, quantize it into a
+//! fresh candidate, dequantize into another fresh tensor, estimate.
+//! That costs N quantize→dequantize→estimate round trips per block for an
+//! N-way multiplex and roughly 3N heap allocations — on the training hot
+//! path, quantization dominates the step the way the paper's Fig. 3 says
+//! it does on GPUs.
+//!
+//! This module provides the fused equivalents:
+//!
+//! * **LDQ**: θ and the quantized codes are produced while the block is
+//!   cache-resident — one read of the source slice, codes written straight
+//!   to the destination, no intermediate block tensors. The round/clamp
+//!   inner loop compiles branch-free (`round` + integer `clamp` lower to
+//!   conditional moves).
+//! * **E²BQM shared statistics**: all N candidates are evaluated in a
+//!   single pass over the block. Each candidate owns an error accumulator
+//!   updated per element; candidate codes land in a reused scratch matrix
+//!   so the winner is emitted without requantizing.
+//! * **[`QuantScratch`]**: an arena holding the candidate parameter set,
+//!   the code matrix and the accumulators, so steady-state calls allocate
+//!   nothing.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel here reproduces the naive path's arithmetic *and
+//! accumulation order* exactly: per-accumulator contributions arrive in
+//! ascending element order, θ uses the same `f32::max` fold, candidate
+//! generation the same [`QuantParams`] construction, and arbitration the
+//! same first-minimum [`f64::total_cmp`] rule. Block-level parallelism is
+//! safe because blocks are independent; *within* a block (or a layer-wise
+//! tensor) evaluation stays sequential, which is why results are identical
+//! for every thread count. The `fast_parity` proptest suite enforces this.
+
+use crate::e2bqm::ErrorEstimator;
+use crate::format::QuantParams;
+
+/// How large a tensor must be before block quantization fans out over the
+/// worker pool. Below this the pool's spawn cost (~tens of µs per region)
+/// exceeds the quantization work itself.
+pub const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// Minimum number of blocks handed to one pool worker.
+pub const PAR_MIN_BLOCKS: usize = 4;
+
+/// Reusable scratch arena for the fused quantization kernels.
+///
+/// Thread one instance through repeated quantization calls (e.g. per
+/// training step) and the steady state performs zero heap allocations:
+/// the candidate parameter set, the per-candidate code matrix, the error
+/// accumulators and the error vector are all reused across calls.
+///
+/// # Examples
+///
+/// ```
+/// use cq_quant::{QuantScratch, TrainingQuantizer};
+/// use cq_tensor::init;
+///
+/// let q = TrainingQuantizer::zhong2020();
+/// let x = init::long_tailed(&[2048], 0.1, 0.01, 20.0, 3);
+/// let mut scratch = QuantScratch::default();
+/// let mut out = Vec::new();
+/// q.fake_quantize_into(&x, &mut out, &mut scratch);
+/// assert_eq!(out.len(), 2048);
+/// ```
+#[derive(Debug, Default)]
+pub struct QuantScratch {
+    /// Candidate parameter set (ways entries), regenerated per block but
+    /// never reallocated.
+    pub(crate) params: Vec<QuantParams>,
+    /// Candidate code matrix, way-major: `qvals[w * n + i]` is candidate
+    /// `w`'s code for element `i`.
+    pub(crate) qvals: Vec<i32>,
+    /// Shared quotients `x[i] / scale₀` when the candidate set admits the
+    /// one-division path (see [`pow2_multiplier`]).
+    pub(crate) ybuf: Vec<f32>,
+    /// Per-way power-of-two multipliers for the one-division path.
+    pub(crate) mults: Vec<f32>,
+    /// Per-candidate error accumulators.
+    pub(crate) acc: Vec<EstAcc>,
+    /// Per-candidate estimated errors (the `E2bqmSelection::errors` data).
+    pub(crate) errors: Vec<f64>,
+}
+
+impl QuantScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        QuantScratch::default()
+    }
+}
+
+/// One candidate's error accumulator. Which fields are live depends on the
+/// estimator; all updates happen in ascending element order so the f32/f64
+/// sums are bitwise equal to the naive path's iterator folds.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EstAcc {
+    /// Rectilinear: Σ|x−x'|. Cosine: Σ x·x'. MeanBias: Σ x'.
+    a32: f32,
+    /// Cosine: Σ x'².
+    b32: f32,
+    /// Mse: Σ (x−x')² in f64.
+    a64: f64,
+}
+
+/// θ = max|x|, bit-identical to [`cq_tensor::Tensor::max_abs`]'s
+/// sequential fold (`f32::max` ignores NaN, empty slices give 0.0).
+///
+/// Computed with eight lane accumulators so the reduction vectorizes —
+/// the sequential fold is a 4-cycle-latency dependency chain that caps
+/// the naive path. Reassociating is sound here (unlike the error-sum
+/// folds, which must stay sequential): after `abs` every operand is
+/// non-negative or NaN, `f32::max` drops NaN in favor of the other
+/// operand, and the accumulators start at the fold's own 0.0 identity —
+/// so any association yields the same value, the largest non-NaN operand
+/// (or 0.0).
+#[inline]
+pub fn block_theta(x: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = x.chunks_exact(8);
+    for c in chunks.by_ref() {
+        for (m, &v) in lanes.iter_mut().zip(c) {
+            *m = m.max(v.abs());
+        }
+    }
+    let tail = chunks
+        .remainder()
+        .iter()
+        .fold(0.0f32, |m, &v| m.max(v.abs()));
+    lanes.iter().fold(tail, |m, &v| m.max(v))
+}
+
+/// The θ the quantizer actually uses: degenerate statistics (zero,
+/// negative, or non-finite) clamp to 0.0, matching
+/// [`QuantParams::symmetric`]'s sentinel handling.
+#[inline]
+pub fn effective_theta(theta: f32) -> f32 {
+    if theta.is_finite() && theta > 0.0 {
+        theta
+    } else {
+        0.0
+    }
+}
+
+/// 2²³ — above this every f32 magnitude is already integral.
+const ROUND_MAGIC: f32 = 8_388_608.0;
+
+/// Branch-free round-half-away-from-zero, bit-identical to [`f32::round`]
+/// over the entire f32 bit space (verified exhaustively — all 2³²
+/// patterns — when this kernel was written; `round_matches_std_round`
+/// keeps a stratified sample of that check in the suite).
+///
+/// `f32::round` lowers to `llvm.round.f32`, which the x86-64 baseline
+/// expands to a scalar sequence the auto-vectorizer refuses to touch —
+/// it is the single most expensive step of the naive quantize loop. This
+/// formulation (magic-number round-to-nearest-even, then pushing exact
+/// .5 ties away from zero with a select) is all adds/compares/selects,
+/// which LLVM vectorizes freely inside the block kernels below.
+#[inline]
+fn fast_round(y: f32) -> f32 {
+    let a = y.abs();
+    let t = (a + ROUND_MAGIC) - ROUND_MAGIC;
+    let u = if a - t == 0.5 { t + 1.0 } else { t };
+    let r = if a < ROUND_MAGIC { u } else { a };
+    r.copysign(y)
+}
+
+/// Returns the multiplier `m` such that `v / scale_w == (v / scale0) * m`
+/// **bitwise for every input `v`**, or `None` when no such multiplier is
+/// provable.
+///
+/// The proof obligation is `scale_w * 2^k == scale0` exactly, checked at
+/// runtime: `m = scale0 / scale_w` must be a finite power of two ≥ 1
+/// (zero mantissa bits) that multiplies back bitwise. When it holds,
+/// `fl(v / scale_w) = fl(v·2^k / scale0) = fl(v / scale0)·2^k` because
+/// scaling by 2^k maps representable values to representable values and
+/// scales every rounding boundary exactly (k ≥ 0 moves *away* from the
+/// subnormal range, so gradual underflow cannot break the commutation).
+/// The one place the shortcut can produce different bits — a subnormal
+/// quotient `v/scale0` losing low bits before the scale-up — only yields
+/// values below 2⁻¹⁰⁰, which [`fast_round`] sends to ±0 either way, so
+/// the *codes* (the only consumer) are still identical. Degenerate or
+/// subnormal scales simply fail the check and take the per-way division
+/// path.
+#[inline]
+fn pow2_multiplier(scale0: f32, scale_w: f32) -> Option<f32> {
+    let m = scale0 / scale_w;
+    let pow2 = m.to_bits() & 0x007f_ffff == 0;
+    if m.is_finite() && m >= 1.0 && pow2 && scale_w * m == scale0 {
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// Bit-identical, vectorizable equivalent of [`QuantParams::quantize`]:
+/// same subtraction/division, [`fast_round`] instead of the scalar
+/// `round` expansion, and a saturating f32→i32 cast + i32 clamp in place
+/// of the reference's i64 round trip (identical for every input because
+/// `[qmin, qmax] ⊂ i32` — values past either i32 bound saturate and then
+/// clamp to the same endpoint, and NaN casts to 0 in both widths).
+#[inline]
+fn quantize_one(p: QuantParams, qmin: i32, qmax: i32, v: f32) -> i32 {
+    (fast_round((v - p.offset) / p.scale) as i32).clamp(qmin, qmax)
+}
+
+/// Fused LDQ block kernel: quantizes `x` with `params`, appending the
+/// codes to `codes`. The division/round/clamp sequence is branch-free.
+#[inline]
+pub(crate) fn quantize_codes_into(x: &[f32], params: QuantParams, codes: &mut Vec<i32>) {
+    let (qmin, qmax) = (params.format.qmin(), params.format.qmax());
+    // Resize + slice write (not `extend`): the per-push capacity check
+    // inside `extend` keeps LLVM from vectorizing the quantize loop.
+    let start = codes.len();
+    codes.resize(start + x.len(), 0);
+    for (c, &v) in codes[start..].iter_mut().zip(x) {
+        *c = quantize_one(params, qmin, qmax, v);
+    }
+}
+
+/// Fused LDQ fake-quantize kernel: writes `dequantize(quantize(x))` for
+/// one block straight into `out` (no intermediate codes).
+#[inline]
+pub(crate) fn fake_quantize_block(x: &[f32], params: QuantParams, out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    let (qmin, qmax) = (params.format.qmin(), params.format.qmax());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = params.dequantize(quantize_one(params, qmin, qmax, v));
+    }
+}
+
+/// Shared-statistics E²BQM evaluation: one pass over `x` computes every
+/// candidate's codes (into `scratch.qvals`, way-major) and estimated error
+/// (into `scratch.errors`), then returns the winning way.
+///
+/// `scratch.params` must already hold the candidate set (see
+/// [`crate::E2bqmQuantizer::candidate_params_into`]).
+///
+/// The per-candidate accumulators receive contributions in ascending
+/// element order — the same order as the naive path's per-candidate
+/// passes — so the estimated errors are bitwise identical to N separate
+/// quantize→dequantize→estimate round trips. Arbitration uses the same
+/// first-minimum `total_cmp` rule (NaN errors rank last).
+pub(crate) fn eval_candidates_shared(
+    x: &[f32],
+    estimator: ErrorEstimator,
+    scratch: &mut QuantScratch,
+) -> usize {
+    let ways = scratch.params.len();
+    let n = x.len();
+    // Same-size resize is a no-op, so steady-state calls (equal-sized
+    // blocks) never touch the allocator or re-zero the matrix — every
+    // in-range slot is overwritten below.
+    scratch.qvals.resize(ways * n, 0);
+    scratch.acc.clear();
+    scratch.acc.resize(ways, EstAcc::default());
+
+    // Statistic over the original data, shared by all candidates. The
+    // naive path recomputes it per candidate (`x.norm()`, `x.mean()`);
+    // one fold over the same elements in the same order gives the same
+    // bits, so computing it once is free of divergence.
+    let xstat = match estimator {
+        ErrorEstimator::Cosine => x.iter().fold(0.0f32, |s, &v| s + v * v),
+        ErrorEstimator::MeanBias => x.iter().fold(0.0f32, |s, &v| s + v),
+        _ => 0.0,
+    };
+
+    // One-division detection: a symmetric candidate ladder (all offsets
+    // zero, every scale an exact power-of-two divisor of candidate 0's —
+    // which is what `ClipSweep` produces by construction) lets a single
+    // `x[i] / scale₀` quotient serve all N ways via an exact multiply.
+    // Division is the longest-latency op in the store pass, so this turns
+    // the N-way evaluation's N divisions per element into one. The check
+    // is bitwise at runtime (see [`pow2_multiplier`]); ladders that don't
+    // qualify (ShiftableFxp's fractional exponents, FormatSweep, manual
+    // parameter sets) keep the per-way division below, so the shortcut is
+    // provably code-identical wherever it is taken.
+    let shared = {
+        let params = &scratch.params;
+        let mults = &mut scratch.mults;
+        mults.clear();
+        match params.first() {
+            Some(p0) if params.iter().all(|p| p.offset == 0.0) => {
+                params
+                    .iter()
+                    .all(|p| match pow2_multiplier(p0.scale, p.scale) {
+                        Some(m) => {
+                            mults.push(m);
+                            true
+                        }
+                        None => false,
+                    })
+            }
+            _ => false,
+        }
+    };
+    if shared {
+        let s0 = scratch.params[0].scale;
+        scratch.ybuf.resize(n, 0.0);
+        for (y, &v) in scratch.ybuf.iter_mut().zip(x) {
+            *y = v / s0;
+        }
+    }
+
+    // Way-major evaluation over the cache-resident block. Per candidate,
+    // a store pass writes the codes (no loop-carried dependency, so the
+    // round/divide work vectorizes), then a fold pass runs the
+    // estimator's serial accumulation, dequantizing each code inline —
+    // the cast/multiply/add sits off the accumulator's latency chain, so
+    // it pipelines for free and the intermediate dequantized buffer (and
+    // its store/load traffic) disappears. Per accumulator, contributions
+    // arrive in ascending element order, so the sums are bitwise equal to
+    // the naive per-candidate quantize → dequantize → estimate round
+    // trips.
+    for (w, &p) in scratch.params.iter().enumerate() {
+        let codes = &mut scratch.qvals[w * n..(w + 1) * n];
+        let (qmin, qmax) = (p.format.qmin(), p.format.qmax());
+        if shared {
+            let m = scratch.mults[w];
+            for (c, &y) in codes.iter_mut().zip(&scratch.ybuf) {
+                *c = (fast_round(y * m) as i32).clamp(qmin, qmax);
+            }
+        } else {
+            for (c, &v) in codes.iter_mut().zip(x) {
+                *c = quantize_one(p, qmin, qmax, v);
+            }
+        }
+        let codes = &scratch.qvals[w * n..(w + 1) * n];
+        match estimator {
+            ErrorEstimator::Rectilinear => {
+                let mut s = 0.0f32;
+                for (&v, &c) in x.iter().zip(codes) {
+                    s += (v - p.dequantize(c)).abs();
+                }
+                scratch.acc[w].a32 = s;
+            }
+            ErrorEstimator::Cosine => {
+                let (mut dot, mut nsq) = (0.0f32, 0.0f32);
+                for (&v, &c) in x.iter().zip(codes) {
+                    let d = p.dequantize(c);
+                    dot += v * d;
+                    nsq += d * d;
+                }
+                scratch.acc[w].a32 = dot;
+                scratch.acc[w].b32 = nsq;
+            }
+            ErrorEstimator::MeanBias => {
+                let mut s = 0.0f32;
+                for &c in codes {
+                    s += p.dequantize(c);
+                }
+                scratch.acc[w].a32 = s;
+            }
+            ErrorEstimator::Mse => {
+                let mut s = 0.0f64;
+                for (&v, &c) in x.iter().zip(codes) {
+                    let e = (v - p.dequantize(c)) as f64;
+                    s += e * e;
+                }
+                scratch.acc[w].a64 = s;
+            }
+        }
+    }
+
+    scratch.errors.clear();
+    for a in &scratch.acc {
+        let err = match estimator {
+            ErrorEstimator::Rectilinear => a.a32 as f64,
+            ErrorEstimator::Cosine => {
+                // Replicates Tensor::cosine_similarity including its
+                // zero-norm special cases.
+                let na = xstat.sqrt();
+                let nb = a.b32.sqrt();
+                let cos = if na == 0.0 && nb == 0.0 {
+                    1.0
+                } else if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    a.a32 / (na * nb)
+                };
+                1.0 - cos as f64
+            }
+            ErrorEstimator::MeanBias => {
+                // Replicates Tensor::mean (0.0 for empty tensors).
+                let mx = if n == 0 { 0.0 } else { xstat / n as f32 };
+                let md = if n == 0 { 0.0 } else { a.a32 / n as f32 };
+                (mx as f64 - md as f64).abs()
+            }
+            ErrorEstimator::Mse => a.a64 / n.max(1) as f64,
+        };
+        scratch.errors.push(err);
+    }
+
+    scratch
+        .errors
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Dequantizes candidate `way`'s codes (from the scratch code matrix)
+/// into `out` — the zero-allocation winner emission used by the fused
+/// fake-quantize path.
+#[inline]
+pub(crate) fn emit_winner(scratch: &QuantScratch, way: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), n);
+    let p = scratch.params[way];
+    let codes = &scratch.qvals[way * n..(way + 1) * n];
+    for (o, &q) in out.iter_mut().zip(codes) {
+        *o = p.dequantize(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::e2bqm::E2bqmQuantizer;
+    use crate::format::IntFormat;
+    use cq_tensor::Tensor;
+
+    #[test]
+    fn block_theta_matches_tensor_max_abs() {
+        let data = vec![0.5f32, -3.0, 2.9, 0.0, f32::NAN];
+        let t = Tensor::from_vec(data.clone(), &[5]).unwrap();
+        assert_eq!(block_theta(&data), t.max_abs());
+        assert_eq!(block_theta(&[]), 0.0);
+    }
+
+    #[test]
+    fn round_matches_std_round() {
+        // Stratified sample of the exhaustive (all 2³²) verification run
+        // when the kernel was written: every 2¹⁰th bit pattern plus the
+        // known-treacherous neighborhoods of .5 ties and the 2²³ integral
+        // boundary.
+        let check = |y: f32| {
+            let (a, b) = (y.round(), fast_round(y));
+            assert!(
+                a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                "fast_round({y:e}) = {b:e}, f32::round = {a:e}"
+            );
+        };
+        for step in 0..(1u64 << 22) {
+            check(f32::from_bits((step << 10) as u32));
+        }
+        for base in [0.5f32, 1.5, 2.5, 0.499_999_97, 8_388_607.5, ROUND_MAGIC] {
+            for delta in [-1, 0, 1i32] {
+                let v = f32::from_bits(base.to_bits().wrapping_add_signed(delta));
+                check(v);
+                check(-v);
+            }
+        }
+        for special in [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            check(special);
+        }
+    }
+
+    #[test]
+    fn quantize_one_matches_quant_params() {
+        for p in [
+            QuantParams::symmetric(1.0, IntFormat::Int8),
+            QuantParams::symmetric(37.5, IntFormat::Int4),
+            QuantParams::symmetric(1e-30, IntFormat::Int16),
+            QuantParams::symmetric(3e30, IntFormat::Int12),
+        ] {
+            let (qmin, qmax) = (p.format.qmin(), p.format.qmax());
+            for step in 0..(1u64 << 16) {
+                let v = f32::from_bits((step << 16) as u32);
+                assert_eq!(
+                    quantize_one(p, qmin, qmax, v),
+                    p.quantize(v),
+                    "v={v:e} p={p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_theta_clamps_degenerates() {
+        assert_eq!(effective_theta(2.5), 2.5);
+        assert_eq!(effective_theta(0.0), 0.0);
+        assert_eq!(effective_theta(-1.0), 0.0);
+        assert_eq!(effective_theta(f32::NAN), 0.0);
+        assert_eq!(effective_theta(f32::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn shared_eval_matches_naive_selection() {
+        // Spot-check on one block; the proptest parity suite covers the
+        // full cross product of estimators/strategies/shapes.
+        let q = E2bqmQuantizer::hardware_default();
+        let data: Vec<f32> = (0..257)
+            .map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5)
+            .collect();
+        let t = Tensor::from_vec(data.clone(), &[257]).unwrap();
+        let naive = q.quantize(&t);
+
+        let mut scratch = QuantScratch::new();
+        let theta = block_theta(&data);
+        q.candidate_params_into(theta, &mut scratch.params);
+        let way = eval_candidates_shared(&data, q.estimator(), &mut scratch);
+        assert_eq!(way, naive.way);
+        assert_eq!(scratch.errors, naive.errors);
+        let n = data.len();
+        assert_eq!(
+            &scratch.qvals[way * n..(way + 1) * n],
+            naive.selected.values()
+        );
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_not_reallocated() {
+        let q = E2bqmQuantizer::hardware_default();
+        let data = vec![0.25f32; 512];
+        let mut scratch = QuantScratch::new();
+        q.candidate_params_into(1.0, &mut scratch.params);
+        let _ = eval_candidates_shared(&data, q.estimator(), &mut scratch);
+        let (p0, q0) = (scratch.params.as_ptr(), scratch.qvals.as_ptr());
+        for _ in 0..4 {
+            q.candidate_params_into(0.7, &mut scratch.params);
+            let _ = eval_candidates_shared(&data, q.estimator(), &mut scratch);
+        }
+        assert_eq!(scratch.params.as_ptr(), p0, "params buffer reallocated");
+        assert_eq!(scratch.qvals.as_ptr(), q0, "code matrix reallocated");
+    }
+}

@@ -19,9 +19,11 @@
 //!    (1-byte payload + 2-byte statistic per block); the efficiency loss is
 //!    <1% for K ≥ 200 and <0.05% for K ≥ 4000.
 
-use crate::format::IntFormat;
+use crate::fast;
+use crate::format::{IntFormat, QuantParams};
 use crate::qtensor::QuantizedTensor;
-use cq_tensor::Tensor;
+use cq_par::Pool;
+use cq_tensor::{Backend, Tensor};
 
 /// Configuration for Local Dynamic Quantization.
 ///
@@ -64,6 +66,7 @@ impl LdqConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct LdqTensor {
     blocks: Vec<QuantizedTensor>,
+    thetas: Vec<f32>,
     dims: Vec<usize>,
     config: LdqConfig,
 }
@@ -72,20 +75,134 @@ impl LdqTensor {
     /// Quantizes `x` block-by-block. This is the functional model of the
     /// SQU's fused statistic+quantize (S·Q in Fig. 7): every block is read
     /// once, its θᵢ computed, and immediately quantized.
+    ///
+    /// Dispatches on [`cq_tensor::default_backend`]: the fast backend fuses
+    /// the θ scan and the quantize loop into one cache-resident pass per
+    /// block (bit-identical to naive — see [`crate::fast`]), fanning out
+    /// over the global pool for large tensors.
     pub fn quantize(x: &Tensor, config: LdqConfig) -> Self {
+        Self::quantize_with(x, config, cq_tensor::default_backend())
+    }
+
+    /// [`Self::quantize`] with an explicit backend (A/B testing and the
+    /// parity suite).
+    pub fn quantize_with(x: &Tensor, config: LdqConfig, backend: Backend) -> Self {
+        let mut sp = cq_obs::span!("quant", "ldq_quantize");
+        if sp.is_recording() {
+            sp.arg("elems", x.len())
+                .arg("blocks", x.len().div_ceil(config.block_size))
+                .arg("format", config.format.to_string().as_str());
+            cq_obs::counter!("quant.calls").incr();
+            cq_obs::counter!("quant.blocks").add(x.len().div_ceil(config.block_size) as u64);
+        }
+        match backend {
+            Backend::Naive => Self::quantize_naive(x, config),
+            Backend::Fast => {
+                if x.len() < fast::PAR_MIN_ELEMS || Pool::global().threads() == 1 {
+                    Self::quantize_fused_serial(x, config)
+                } else {
+                    Self::quantize_fast_on(Pool::global(), x, config)
+                }
+            }
+        }
+    }
+
+    /// The reference implementation: two passes per block through separate
+    /// tensor ops (slice → max-|X| → quantize), the bit-exactness oracle
+    /// for the fused path.
+    pub fn quantize_naive(x: &Tensor, config: LdqConfig) -> Self {
         let n = x.len();
-        let mut blocks = Vec::with_capacity(n.div_ceil(config.block_size.max(1)));
+        let nblocks = n.div_ceil(config.block_size.max(1));
+        let mut blocks = Vec::with_capacity(nblocks);
+        let mut thetas = Vec::with_capacity(nblocks);
         let mut start = 0;
         while start < n {
             let len = config.block_size.min(n - start);
             let block = x
                 .slice_flat(start, len)
                 .expect("block bounds derived from len");
-            blocks.push(QuantizedTensor::quantize_symmetric(&block, config.format));
+            let theta = block.max_abs();
+            blocks.push(QuantizedTensor::quantize(
+                &block,
+                QuantParams::symmetric(theta, config.format),
+            ));
+            thetas.push(fast::effective_theta(theta));
             start += len;
         }
         LdqTensor {
             blocks,
+            thetas,
+            dims: x.dims().to_vec(),
+            config,
+        }
+    }
+
+    /// Fused single-pass kernel for one block: θ and codes produced while
+    /// the slice is cache-resident, no intermediate tensors.
+    fn quantize_block_fused(data: &[f32], format: IntFormat) -> (QuantizedTensor, f32) {
+        let theta = fast::block_theta(data);
+        let params = QuantParams::symmetric(theta, format);
+        let mut codes = Vec::with_capacity(data.len());
+        fast::quantize_codes_into(data, params, &mut codes);
+        (
+            QuantizedTensor::from_codes(codes, params, &[data.len()]),
+            fast::effective_theta(theta),
+        )
+    }
+
+    /// Serial fused path.
+    fn quantize_fused_serial(x: &Tensor, config: LdqConfig) -> Self {
+        let data = x.data();
+        let n = data.len();
+        let nblocks = n.div_ceil(config.block_size.max(1));
+        let mut blocks = Vec::with_capacity(nblocks);
+        let mut thetas = Vec::with_capacity(nblocks);
+        let mut start = 0;
+        while start < n {
+            let len = config.block_size.min(n - start);
+            let (b, t) = Self::quantize_block_fused(&data[start..start + len], config.format);
+            blocks.push(b);
+            thetas.push(t);
+            start += len;
+        }
+        LdqTensor {
+            blocks,
+            thetas,
+            dims: x.dims().to_vec(),
+            config,
+        }
+    }
+
+    /// Pool-explicit fused path: blocks are partitioned into contiguous
+    /// chunks and results are flattened in block order, so the output is
+    /// identical for any worker count.
+    pub fn quantize_fast_on(pool: &Pool, x: &Tensor, config: LdqConfig) -> Self {
+        let data = x.data();
+        let n = data.len();
+        let nblocks = n.div_ceil(config.block_size.max(1));
+        let chunks = Pool::partition(nblocks, pool.threads(), fast::PAR_MIN_BLOCKS);
+        let per_chunk: Vec<Vec<(QuantizedTensor, f32)>> = pool.parallel_map(chunks.len(), |ci| {
+            let r = chunks[ci].clone();
+            let mut out = Vec::with_capacity(r.len());
+            for b in r {
+                let start = b * config.block_size;
+                let len = config.block_size.min(n - start);
+                out.push(Self::quantize_block_fused(
+                    &data[start..start + len],
+                    config.format,
+                ));
+            }
+            out
+        });
+        let mut blocks = Vec::with_capacity(nblocks);
+        let mut thetas = Vec::with_capacity(nblocks);
+        for (b, t) in per_chunk.into_iter().flatten() {
+            blocks.push(b);
+            thetas.push(t);
+        }
+        LdqTensor {
+            blocks,
+            thetas,
             dims: x.dims().to_vec(),
             config,
         }
@@ -94,10 +211,18 @@ impl LdqTensor {
     /// Reconstructs the full-precision tensor.
     pub fn dequantize(&self) -> Tensor {
         let mut data = Vec::with_capacity(self.len());
-        for b in &self.blocks {
-            data.extend_from_slice(b.dequantize().data());
-        }
+        self.dequantize_into(&mut data);
         Tensor::from_vec(data, &self.dims).expect("dims preserved by construction")
+    }
+
+    /// Appends the reconstructed full-precision values to a caller-owned
+    /// buffer, so repeated dequantization (e.g. per training step) reuses
+    /// one allocation instead of building fresh per-block tensors.
+    pub fn dequantize_into(&self, out: &mut Vec<f32>) {
+        out.reserve(self.len());
+        for b in &self.blocks {
+            b.dequantize_into(out);
+        }
     }
 
     /// The per-block quantized slices.
@@ -105,19 +230,14 @@ impl LdqTensor {
         &self.blocks
     }
 
-    /// Per-block statistics θᵢ (reconstructed from scales; all-zero
-    /// blocks — which carry the sentinel scale 1.0 — report θᵢ = 0).
-    pub fn block_thetas(&self) -> Vec<f32> {
-        self.blocks
-            .iter()
-            .map(|b| {
-                if b.values().iter().all(|&q| q == 0) {
-                    0.0
-                } else {
-                    b.params().scale * b.params().format.qmax() as f32
-                }
-            })
-            .collect()
+    /// Per-block statistics θᵢ, exactly as the quantizer used them: the
+    /// *effective* θ after degenerate-statistic clamping, i.e. the value
+    /// passed to [`QuantParams::symmetric`]. Blocks whose raw max-|X| was
+    /// zero or non-finite (all-zero blocks, NaN/∞ contamination) report
+    /// θᵢ = 0.0 — the sentinel under which every element quantizes to 0 —
+    /// rather than a value reconstructed from the sentinel scale.
+    pub fn block_thetas(&self) -> &[f32] {
+        &self.thetas
     }
 
     /// Total element count.
@@ -210,7 +330,7 @@ mod tests {
         let x = init::long_tailed(&[4096], 1.0, 0.02, 30.0, 7);
         let global = x.max_abs();
         let ldq = LdqTensor::quantize(&x, LdqConfig::new(128, IntFormat::Int8));
-        for theta in ldq.block_thetas() {
+        for &theta in ldq.block_thetas() {
             assert!(theta <= global + 1e-5);
         }
     }
@@ -289,6 +409,36 @@ mod tests {
     #[should_panic(expected = "block size must be positive")]
     fn zero_block_size_panics() {
         let _ = LdqConfig::new(0, IntFormat::Int8);
+    }
+
+    #[test]
+    fn block_thetas_report_effective_theta() {
+        // All-zero block: the quantizer clamps the degenerate statistic to
+        // θ = 0 (sentinel scale 1.0); block_thetas reports that same 0,
+        // not a value reconstructed from the sentinel scale.
+        let mut data = vec![0.0f32; 4];
+        data.extend([1.0, -2.0, 0.5, 0.25]);
+        let x = Tensor::from_vec(data, &[8]).unwrap();
+        for backend in [Backend::Naive, Backend::Fast] {
+            let ldq = LdqTensor::quantize_with(&x, LdqConfig::new(4, IntFormat::Int8), backend);
+            assert_eq!(ldq.block_thetas(), &[0.0, 2.0], "{backend:?}");
+            assert_eq!(ldq.blocks()[0].params().scale, 1.0, "sentinel scale");
+        }
+    }
+
+    #[test]
+    fn dequantize_into_appends_and_reuses_buffer() {
+        let x = init::normal(&[300], 0.0, 1.0, 2);
+        let ldq = LdqTensor::quantize(&x, LdqConfig::new(128, IntFormat::Int8));
+        let mut buf = Vec::new();
+        ldq.dequantize_into(&mut buf);
+        assert_eq!(buf.len(), 300);
+        assert_eq!(buf, ldq.dequantize().data());
+        // Steady state: clearing and refilling must not reallocate.
+        buf.clear();
+        let p = buf.as_ptr();
+        ldq.dequantize_into(&mut buf);
+        assert_eq!(buf.as_ptr(), p, "buffer reallocated on reuse");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod algorithms;
 pub mod e2bqm;
+pub mod fast;
 pub mod format;
 pub mod groupwise;
 pub mod guard;
@@ -42,6 +43,7 @@ pub mod rounding;
 
 pub use algorithms::{QuantScheme, TrainingQuantizer, WeightUpdatePrecision};
 pub use e2bqm::{CandidateStrategy, E2bqmQuantizer, E2bqmSelection, ErrorEstimator};
+pub use fast::QuantScratch;
 pub use format::{IntFormat, QuantParams};
 pub use groupwise::GroupQuantized;
 pub use guard::{DegradeEvent, GuardAction, GuardedQuantizer, QuantAnomaly};

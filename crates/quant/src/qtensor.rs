@@ -43,14 +43,30 @@ impl QuantizedTensor {
         Self::quantize(x, params)
     }
 
+    /// Assembles a quantized tensor from pre-computed codes (the fused
+    /// fast-path kernels produce codes directly, without an intermediate
+    /// block tensor).
+    pub(crate) fn from_codes(values: Vec<i32>, params: QuantParams, dims: &[usize]) -> Self {
+        debug_assert_eq!(values.len(), dims.iter().product::<usize>());
+        QuantizedTensor {
+            values,
+            params,
+            dims: dims.to_vec(),
+        }
+    }
+
     /// Reconstructs the full-precision tensor.
     pub fn dequantize(&self) -> Tensor {
-        let data = self
-            .values
-            .iter()
-            .map(|&q| self.params.dequantize(q))
-            .collect();
+        let mut data = Vec::new();
+        self.dequantize_into(&mut data);
         Tensor::from_vec(data, &self.dims).expect("dims preserved by construction")
+    }
+
+    /// Appends the reconstructed full-precision values to a caller-owned
+    /// buffer, so repeated dequantization can reuse one allocation.
+    pub fn dequantize_into(&self, out: &mut Vec<f32>) {
+        out.reserve(self.values.len());
+        out.extend(self.values.iter().map(|&q| self.params.dequantize(q)));
     }
 
     /// The quantized integer values.

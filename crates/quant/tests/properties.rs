@@ -76,7 +76,7 @@ proptest! {
         let global_theta = t.max_abs();
         let global_step = QuantParams::symmetric(global_theta, fmt).scale;
         let back = ldq.dequantize();
-        for (b, theta) in ldq.blocks().iter().zip(ldq.block_thetas()) {
+        for (b, &theta) in ldq.blocks().iter().zip(ldq.block_thetas()) {
             // All-zero blocks carry a sentinel scale (lossless) — skip.
             if b.values().iter().all(|&q| q == 0) {
                 continue;

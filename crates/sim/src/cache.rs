@@ -1,0 +1,307 @@
+//! Memoized hardware-cost cache.
+//!
+//! Experiment sweeps re-simulate identical (network, optimizer, config)
+//! combinations across ablation axes: the 6-net × format × block-size
+//! grids of the evaluation run the same per-layer timing/energy model
+//! many times with byte-identical inputs. Each whole-iteration simulation
+//! is a *pure function* of its inputs — the DDR model is stateful within
+//! a run (open rows, refresh, bus turnaround) but constructed fresh per
+//! call — so its result can be memoized without changing any report.
+//!
+//! # Keying
+//!
+//! A [`HwCostKey`] is a `domain` tag (which simulator produced the entry)
+//! plus a `spec` string that must capture *every* input the simulation
+//! depends on — by convention the `Debug` rendering of the full config,
+//! optimizer and network description. Debug-format keying is deliberately
+//! conservative: any field change, even one that would not affect the
+//! result, changes the key and forces a fresh computation.
+//!
+//! # Invalidation
+//!
+//! Entries live for the process lifetime; there is no eviction. The cache
+//! is only sound because simulations are deterministic pure functions of
+//! the key — the `hwcache_invariant` integration test asserts cached and
+//! uncached sweeps produce byte-identical reports. [`HwCostCache::clear`]
+//! exists for benchmarks that need repeatable cold-start timings.
+//!
+//! # Determinism
+//!
+//! `get_or_compute` runs the compute closure *outside* the map lock, so
+//! parallel sweeps still fan out on misses; when two threads race on the
+//! same key the first inserted value wins and both callers observe it
+//! (values are returned behind `Arc`, so "the" result is shared, not
+//! duplicated).
+//!
+//! # Gating
+//!
+//! The `CQ_HWCACHE` environment variable turns memoization off for A/B
+//! runs (`off`/`0`/`false`; anything unrecognized aborts rather than
+//! silently picking a mode). [`set_hwcache_enabled`] is the programmatic
+//! override used by `bench_perf`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Cache key: a simulator domain tag plus the full input specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HwCostKey {
+    /// Which simulator produced the entry (e.g. `"cambricon-q"`).
+    pub domain: &'static str,
+    /// Everything the simulation depends on, rendered to a string
+    /// (conventionally via `Debug` on the config/optimizer/network).
+    pub spec: String,
+}
+
+impl HwCostKey {
+    /// Creates a key.
+    pub fn new(domain: &'static str, spec: impl Into<String>) -> Self {
+        HwCostKey {
+            domain,
+            spec: spec.into(),
+        }
+    }
+}
+
+/// Hit/miss/size statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the compute closure.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// A memoizing map from [`HwCostKey`] to simulation results.
+///
+/// Values are stored behind [`Arc`], so a hit costs one clone of the
+/// pointer, not of the result.
+#[derive(Debug, Default)]
+pub struct HwCostCache<V> {
+    map: Mutex<HashMap<HwCostKey, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> HwCostCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        HwCostCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it with
+    /// `compute` on a miss. When memoization is disabled (see
+    /// [`hwcache_enabled`]) every call computes and nothing is stored.
+    ///
+    /// `compute` runs outside the map lock: concurrent misses on different
+    /// keys proceed in parallel, and a race on the *same* key resolves to
+    /// first-insert-wins (the loser's computation is discarded — safe
+    /// because simulations are pure).
+    pub fn get_or_compute(&self, key: HwCostKey, compute: impl FnOnce() -> V) -> Arc<V> {
+        if !hwcache_enabled() {
+            return Arc::new(compute());
+        }
+        if let Some(v) = self.lock_map().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            cq_obs::counter!("sim.hwcost.hit").incr();
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cq_obs::counter!("sim.hwcost.miss").incr();
+        let value = Arc::new(compute());
+        Arc::clone(self.lock_map().entry(key).or_insert(value))
+    }
+
+    /// Drops every entry (hit/miss counters are preserved). Benchmarks use
+    /// this to reproduce cold-start behaviour.
+    pub fn clear(&self) {
+        self.lock_map().clear();
+    }
+
+    /// Snapshot of hit/miss/entry counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.lock_map().len(),
+        }
+    }
+
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<HwCostKey, Arc<V>>> {
+        // A panicked compute closure never runs under the lock, so poison
+        // can only come from a panicking hasher — recover rather than
+        // cascade.
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Runtime override state: 0 = follow `CQ_HWCACHE`, 1 = on, 2 = off.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether memoization is active: a [`set_hwcache_enabled`] override wins,
+/// else the validated `CQ_HWCACHE` environment setting (default on).
+pub fn hwcache_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_default(),
+    }
+}
+
+/// Programmatic on/off override (e.g. `bench_perf`'s A/B sweep timing).
+pub fn set_hwcache_enabled(enabled: bool) {
+    OVERRIDE.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+fn env_default() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let raw = std::env::var("CQ_HWCACHE").ok();
+        match resolve_env_hwcache(raw.as_deref()) {
+            Ok(on) => on,
+            Err(msg) => panic!("{msg}"),
+        }
+    })
+}
+
+/// Resolves a raw `CQ_HWCACHE` value. `None`/empty means "unset" (cache
+/// on). Anything else must be a recognized on/off spelling, or the run
+/// aborts: a typo like `CQ_HWCACHE=offf` silently leaving the cache on
+/// would invalidate any sweep-timing comparison.
+fn resolve_env_hwcache(raw: Option<&str>) -> Result<bool, String> {
+    let Some(v) = raw else { return Ok(true) };
+    let t = v.trim();
+    if t.is_empty() {
+        return Ok(true);
+    }
+    match t.to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" => Ok(true),
+        "off" | "0" | "false" => Ok(false),
+        _ => Err(format!(
+            "invalid CQ_HWCACHE value {v:?}: expected on/off/1/0/true/false"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_hwcache_enabled` mutates process-global state; serialize the
+    /// tests that toggle it so parallel test threads don't observe each
+    /// other's modes.
+    fn mode_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn computes_once_then_hits() {
+        let _guard = mode_lock();
+        let cache: HwCostCache<u64> = HwCostCache::new();
+        set_hwcache_enabled(true);
+        let mut calls = 0;
+        let a = cache.get_or_compute(HwCostKey::new("test", "alpha"), || {
+            calls += 1;
+            41
+        });
+        let b = cache.get_or_compute(HwCostKey::new("test", "alpha"), || {
+            calls += 1;
+            999
+        });
+        assert_eq!((*a, *b, calls), (41, 41, 1));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_compute_separately() {
+        let _guard = mode_lock();
+        let cache: HwCostCache<String> = HwCostCache::new();
+        set_hwcache_enabled(true);
+        let a = cache.get_or_compute(HwCostKey::new("test", "a"), || "a".to_string());
+        let b = cache.get_or_compute(HwCostKey::new("other", "a"), || "b".to_string());
+        assert_ne!(*a, *b, "domain must participate in the key");
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes_and_stores_nothing() {
+        let _guard = mode_lock();
+        let cache: HwCostCache<u64> = HwCostCache::new();
+        set_hwcache_enabled(false);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(HwCostKey::new("test", "k"), || {
+                calls += 1;
+                7
+            });
+            assert_eq!(*v, 7);
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(cache.stats().entries, 0);
+        set_hwcache_enabled(true);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let _guard = mode_lock();
+        let cache: HwCostCache<u8> = HwCostCache::new();
+        set_hwcache_enabled(true);
+        let _ = cache.get_or_compute(HwCostKey::new("test", "x"), || 1);
+        let _ = cache.get_or_compute(HwCostKey::new("test", "x"), || 2);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Recompute after clear: a fresh miss.
+        let v = cache.get_or_compute(HwCostKey::new("test", "x"), || 9);
+        assert_eq!(*v, 9);
+    }
+
+    #[test]
+    fn env_resolution_rejects_garbage() {
+        assert_eq!(resolve_env_hwcache(None), Ok(true));
+        assert_eq!(resolve_env_hwcache(Some("")), Ok(true));
+        assert_eq!(resolve_env_hwcache(Some("  ")), Ok(true));
+        for on in ["on", "1", "true", " ON ", "True"] {
+            assert_eq!(resolve_env_hwcache(Some(on)), Ok(true), "{on}");
+        }
+        for off in ["off", "0", "false", " OFF "] {
+            assert_eq!(resolve_env_hwcache(Some(off)), Ok(false), "{off}");
+        }
+        for bad in ["offf", "yes", "no", "2", "disable"] {
+            let err = resolve_env_hwcache(Some(bad)).unwrap_err();
+            assert!(err.contains("invalid CQ_HWCACHE"), "{err}");
+        }
+    }
+
+    #[test]
+    fn racing_threads_share_one_value() {
+        let _guard = mode_lock();
+        let cache: HwCostCache<u64> = HwCostCache::new();
+        set_hwcache_enabled(true);
+        let out: Vec<Arc<u64>> = std::thread::scope(|s| {
+            let cache = &cache;
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || cache.get_or_compute(HwCostKey::new("test", "race"), || 5))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // First insert wins: everyone observes the same Arc value.
+        assert!(out.iter().all(|v| **v == 5));
+        let first = Arc::as_ptr(&out[0]);
+        let from_map = cache.get_or_compute(HwCostKey::new("test", "race"), || 6);
+        assert_eq!(Arc::as_ptr(&from_map), first);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

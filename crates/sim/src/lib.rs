@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 mod breakdown;
+pub mod cache;
 mod energy;
 pub mod hwcost;
 mod phase;
@@ -39,6 +40,7 @@ mod result;
 pub mod trace;
 
 pub use breakdown::{Component, EnergyBreakdown};
+pub use cache::{hwcache_enabled, set_hwcache_enabled, CacheStats, HwCostCache, HwCostKey};
 pub use energy::{table1_rows, EnergyModel, HwCostError, Table1Row};
 pub use phase::{Phase, PhaseBreakdown};
 pub use result::{geomean, SimResult};
