@@ -3,7 +3,7 @@
 //! Times every dense kernel, the fused quantization kernels, whole
 //! training steps, and a memoized simulation sweep under both the `Naive`
 //! reference path and the `Fast` path, then writes a machine-readable
-//! report. CI runs `--quick --check --baseline BENCH_PR5.json` and fails
+//! report. CI runs `--quick --check --baseline BENCH_PR6.json` and fails
 //! the build if `Fast` regresses below `Naive` on the reference GEMM
 //! shape (512×512×512), or if any serial quant-kernel entry drops more
 //! than 15% below its recorded baseline speedup.
@@ -15,7 +15,7 @@
 //!   --check         exit non-zero if Fast is slower than Naive on the
 //!                   reference 512x512x512 GEMM, or a gated quant entry
 //!                   regresses >15% below the baseline report
-//!   --out PATH      write the JSON report here (default: BENCH_PR5.json)
+//!   --out PATH      write the JSON report here (default: BENCH_PR6.json)
 //!   --baseline PATH a previous report to gate quant speedups against
 //! ```
 //!
@@ -23,7 +23,7 @@
 //!
 //! ```json
 //! {
-//!   "pr": 5,
+//!   "pr": 6,
 //!   "threads": 4,
 //!   "quick": false,
 //!   "entries": [
@@ -50,6 +50,7 @@ use cq_ndp::OptimizerKind;
 use cq_nn::{Adam, Conv2d, Dense, Flatten, MaxPool2d, QuantCtx, Relu, Sequential};
 use cq_par::Pool;
 use cq_quant::{E2bqmQuantizer, IntFormat, LdqConfig, LdqTensor, TrainingQuantizer};
+use cq_sim::{HwCostCache, HwCostKey};
 use cq_tensor::ops::{self, Conv2dParams};
 use cq_tensor::{init, Backend, Tensor};
 use cq_workloads::models;
@@ -426,6 +427,51 @@ fn hwcost_entry(reps: usize, quick: bool) -> Entry {
     }
 }
 
+/// Shard-level lock contention on the `HwCostCache`: four workers hammer
+/// a warm 64-key working set with pure hits. `ns_naive` is a single-shard
+/// cache (every hit serializes on one mutex), `ns_fast` the default
+/// 16-shard layout, so the speedup is the sharding win under contention.
+/// Not baseline-gated: contention ratios swing with the host's core
+/// count and scheduler far more than the serial kernels do.
+fn hwcache_hitstorm_entry(reps: usize, quick: bool) -> Entry {
+    let _sp = cq_obs::span!("bench", "hwcache hitstorm");
+    cq_sim::set_hwcache_enabled(true);
+    const WORKERS: usize = 4;
+    const KEYS: usize = 64;
+    let hits_per_worker: usize = if quick { 20_000 } else { 100_000 };
+    let pool = Pool::new(WORKERS);
+    let key = |k: usize| HwCostKey::new("bench-hitstorm", format!("key-{k}"));
+    let time_with = |shards: usize| {
+        let cache: HwCostCache<u64> = HwCostCache::with_shards(shards, None);
+        for k in 0..KEYS {
+            cache.get_or_compute(key(k), || k as u64);
+        }
+        best_ns(
+            || {
+                let sums = pool.parallel_map(WORKERS, |w| {
+                    let mut acc = 0u64;
+                    for j in 0..hits_per_worker {
+                        let k = (j.wrapping_mul(31) + w.wrapping_mul(17)) % KEYS;
+                        acc ^= *cache.get_or_compute(key(k), || k as u64);
+                    }
+                    acc
+                });
+                std::hint::black_box(sums);
+            },
+            reps,
+        )
+    };
+    Entry {
+        op: "hwcache_hitstorm",
+        shape: format!(
+            "{WORKERS}threads-{KEYS}keys-1v{}shards",
+            cq_sim::DEFAULT_SHARDS
+        ),
+        ns_naive: time_with(1),
+        ns_fast: time_with(cq_sim::DEFAULT_SHARDS),
+    }
+}
+
 /// Whether an entry's speedup is gated against the `--baseline` report.
 fn is_gated(e: &Entry) -> bool {
     GATED_QUANT_OPS.contains(&e.op) && !e.shape.ends_with("-pooled")
@@ -468,7 +514,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(entries: &[Entry], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 5,\n");
+    out.push_str("  \"pr\": 6,\n");
     out.push_str(&format!("  \"threads\": {},\n", Pool::global().threads()));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
@@ -490,7 +536,7 @@ fn render_json(entries: &[Entry], quick: bool) -> String {
 fn main() {
     let mut quick = false;
     let mut check = false;
-    let mut out_path = String::from("BENCH_PR5.json");
+    let mut out_path = String::from("BENCH_PR6.json");
     let mut baseline_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -551,6 +597,7 @@ fn main() {
 
     entries.extend(quant_entries(reps + 2, quick));
     entries.push(hwcost_entry(reps, quick));
+    entries.push(hwcache_hitstorm_entry(reps, quick));
 
     entries.push(train_step_entry(
         "train_step",

@@ -1,0 +1,271 @@
+//! Software chaos harness: seeded injection of *software* faults — task
+//! panics, slow tasks, checkpoint-blob corruption — into the execution
+//! layer, mirroring what [`crate::FaultInjector`] does for hardware
+//! value streams.
+//!
+//! Everything is a pure function of `(seed, task, attempt)` via
+//! SplitMix64, so a chaos run is exactly reproducible: the same plan
+//! panics the same cells on the same attempts every time. With
+//! `first_attempt_only` set (the default for [`ChaosPlan::moderate`]),
+//! every injected failure is transient — a retry policy with ≥ 2
+//! attempts is guaranteed to absorb it, which is what lets the
+//! `chaos_sweep` experiment demand *byte-identical* reports with chaos
+//! on and off.
+
+use cq_resil::{splitmix64, unit_f64};
+
+/// What the chaos harness decided to do to one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Leave the attempt alone.
+    None,
+    /// Panic the attempt (simulates a crashed worker).
+    Panic,
+    /// Delay the attempt by this many milliseconds (simulates a
+    /// straggler; trips soft deadlines).
+    Slow(u64),
+}
+
+/// A seeded schedule of software faults.
+///
+/// # Examples
+///
+/// ```
+/// use cq_faults::{ChaosAction, ChaosPlan};
+///
+/// let plan = ChaosPlan::moderate(42);
+/// // Deterministic: the same (task, attempt) always gets the same action.
+/// assert_eq!(plan.action(3, 1), plan.action(3, 1));
+/// // Retries are never sabotaged, so every injected failure is transient.
+/// assert_eq!(plan.action(3, 2), ChaosAction::None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed for the SplitMix64 schedule.
+    pub seed: u64,
+    /// Probability a task attempt panics.
+    pub panic_rate: f64,
+    /// Probability a task attempt is delayed.
+    pub slow_rate: f64,
+    /// Delay applied to slowed attempts (milliseconds).
+    pub slow_ms: u64,
+    /// Inject only into first attempts, so retries always succeed and
+    /// chaos never changes final results — only the path taken.
+    pub first_attempt_only: bool,
+}
+
+impl ChaosPlan {
+    /// No chaos at all (every action is [`ChaosAction::None`]).
+    pub fn off() -> Self {
+        ChaosPlan {
+            seed: 0,
+            panic_rate: 0.0,
+            slow_rate: 0.0,
+            slow_ms: 0,
+            first_attempt_only: true,
+        }
+    }
+
+    /// The standard chaos level of the `chaos_sweep` experiment: 25% of
+    /// first attempts panic, 15% are slowed by 2 ms, retries untouched.
+    pub fn moderate(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            panic_rate: 0.25,
+            slow_rate: 0.15,
+            slow_ms: 2,
+            first_attempt_only: true,
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.panic_rate > 0.0 || self.slow_rate > 0.0
+    }
+
+    /// The action for attempt `attempt` (1-based) of task `task` — a pure
+    /// function of `(seed, task, attempt)`.
+    pub fn action(&self, task: u64, attempt: u32) -> ChaosAction {
+        if self.first_attempt_only && attempt > 1 {
+            return ChaosAction::None;
+        }
+        let mixed = splitmix64(
+            self.seed ^ task.wrapping_mul(0xD134_2543_DE82_EF95) ^ ((attempt as u64) << 40),
+        );
+        let draw = unit_f64(mixed);
+        if draw < self.panic_rate {
+            ChaosAction::Panic
+        } else if draw < self.panic_rate + self.slow_rate {
+            ChaosAction::Slow(self.slow_ms)
+        } else {
+            ChaosAction::None
+        }
+    }
+
+    /// Executes the action for `(task, attempt)`: sleeps for
+    /// [`ChaosAction::Slow`], panics for [`ChaosAction::Panic`] (with a
+    /// message naming the injection, so isolated-failure logs are
+    /// attributable to the harness).
+    pub fn inject(&self, task: u64, attempt: u32) {
+        match self.action(task, attempt) {
+            ChaosAction::None => {}
+            ChaosAction::Slow(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            ChaosAction::Panic => panic!("chaos: injected panic in task {task} attempt {attempt}"),
+        }
+    }
+}
+
+/// Deterministic corruption of serialized blobs (checkpoints, journal
+/// lines) for integrity-check testing: the software analogue of
+/// [`crate::FaultInjector::corrupt_slice`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlobCorruptor {
+    seed: u64,
+}
+
+impl BlobCorruptor {
+    /// Creates a corruptor with the given seed.
+    pub fn new(seed: u64) -> Self {
+        BlobCorruptor { seed }
+    }
+
+    /// Flips `n` seeded-pseudo-random bits in `blob` (no-op on an empty
+    /// blob). Returns the flipped (byte, bit) positions.
+    pub fn flip_bits(&self, blob: &mut [u8], n: usize) -> Vec<(usize, u8)> {
+        if blob.is_empty() {
+            return Vec::new();
+        }
+        let mut s = self.seed;
+        let mut flipped = Vec::with_capacity(n);
+        for _ in 0..n {
+            s = splitmix64(s);
+            let pos = (s as usize) % blob.len();
+            let bit = ((s >> 32) % 8) as u8;
+            blob[pos] ^= 1 << bit;
+            flipped.push((pos, bit));
+        }
+        flipped
+    }
+
+    /// Truncates `blob` to a seeded fraction of its length (always strictly
+    /// shorter for a non-empty blob).
+    pub fn truncate(&self, blob: &mut Vec<u8>) {
+        if blob.is_empty() {
+            return;
+        }
+        let keep = (splitmix64(self.seed) as usize) % blob.len();
+        blob.truncate(keep);
+    }
+
+    /// Overwrites bytes 4..8 (the version word of framed formats) with a
+    /// seeded wrong version.
+    pub fn skew_version(&self, blob: &mut [u8]) {
+        if blob.len() < 8 {
+            return;
+        }
+        // Any value other than the current version 2; derive from seed.
+        let skew = 3 + (splitmix64(self.seed) % 1000) as u32;
+        blob[4..8].copy_from_slice(&skew.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_plan_never_injects() {
+        let plan = ChaosPlan::off();
+        assert!(!plan.is_active());
+        for task in 0..100 {
+            for attempt in 1..4 {
+                assert_eq!(plan.action(task, attempt), ChaosAction::None);
+            }
+        }
+    }
+
+    #[test]
+    fn moderate_plan_is_deterministic_and_mixed() {
+        let plan = ChaosPlan::moderate(7);
+        assert!(plan.is_active());
+        let (mut panics, mut slows, mut nones) = (0, 0, 0);
+        for task in 0..1000u64 {
+            let a = plan.action(task, 1);
+            assert_eq!(a, plan.action(task, 1), "determinism");
+            match a {
+                ChaosAction::Panic => panics += 1,
+                ChaosAction::Slow(ms) => {
+                    assert_eq!(ms, 2);
+                    slows += 1;
+                }
+                ChaosAction::None => nones += 1,
+            }
+        }
+        // Rates are 25% / 15% / 60%: allow generous slack.
+        assert!((150..350).contains(&panics), "{panics} panics");
+        assert!((75..250).contains(&slows), "{slows} slows");
+        assert!(nones > 450, "{nones} untouched");
+    }
+
+    #[test]
+    fn retries_are_never_sabotaged() {
+        let plan = ChaosPlan::moderate(7);
+        for task in 0..200 {
+            for attempt in 2..5 {
+                assert_eq!(plan.action(task, attempt), ChaosAction::None);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosPlan::moderate(1);
+        let b = ChaosPlan::moderate(2);
+        let diverges = (0..100u64).any(|t| a.action(t, 1) != b.action(t, 1));
+        assert!(diverges);
+    }
+
+    #[test]
+    fn inject_panics_with_attributable_message() {
+        let plan = ChaosPlan {
+            panic_rate: 1.0,
+            ..ChaosPlan::moderate(1)
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(|| plan.inject(9, 1));
+        std::panic::set_hook(prev);
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("chaos") && msg.contains("task 9"), "{msg}");
+    }
+
+    #[test]
+    fn corruptor_flips_truncates_and_skews() {
+        let c = BlobCorruptor::new(11);
+        let original = vec![0xAAu8; 64];
+        let mut blob = original.clone();
+        let flipped = c.flip_bits(&mut blob, 3);
+        assert_eq!(flipped.len(), 3);
+        assert_ne!(blob, original);
+        // Same seed → same flips (apply again restores).
+        let again = c.flip_bits(&mut blob, 3);
+        assert_eq!(flipped, again);
+        assert_eq!(blob, original);
+
+        let mut blob = original.clone();
+        c.truncate(&mut blob);
+        assert!(blob.len() < 64);
+
+        let mut blob = original.clone();
+        c.skew_version(&mut blob);
+        let v = u32::from_le_bytes(blob[4..8].try_into().unwrap());
+        assert!(v >= 3, "skewed version is never the real one");
+        assert_eq!(&blob[..4], &original[..4], "magic untouched");
+
+        // Degenerate inputs are no-ops, not panics.
+        c.flip_bits(&mut [], 5);
+        c.truncate(&mut Vec::new());
+        c.skew_version(&mut [0u8; 4]);
+    }
+}

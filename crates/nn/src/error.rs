@@ -16,6 +16,9 @@ pub enum NnError {
     },
     /// Invalid configuration (bad dims, empty batch, ...).
     InvalidConfig(String),
+    /// A checkpoint blob was rejected: bad magic, version skew,
+    /// truncation, CRC mismatch, or structure mismatch with the model.
+    Checkpoint(String),
 }
 
 impl fmt::Display for NnError {
@@ -26,6 +29,7 @@ impl fmt::Display for NnError {
                 write!(f, "backward before forward in layer {layer}")
             }
             NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::Checkpoint(msg) => write!(f, "checkpoint rejected: {msg}"),
         }
     }
 }

@@ -47,6 +47,7 @@ mod model;
 pub mod optim;
 mod param;
 pub mod schedule;
+mod watchdog;
 
 pub use activations::{BatchNorm1d, Sigmoid, Tanh};
 pub use attention::SelfAttention;
@@ -57,3 +58,4 @@ pub use model::{Sequential, StepReport};
 pub use optim::{AdaGrad, Adam, Optimizer, RmsProp, Sgd};
 pub use param::Param;
 pub use schedule::LrSchedule;
+pub use watchdog::{TrainWatchdog, WatchdogVerdict};

@@ -1,0 +1,189 @@
+//! Divergence watchdog: periodic in-memory snapshots of the model and
+//! automatic rollback when training blows up.
+//!
+//! Low-precision training (the whole point of Cambricon-Q's HQT path)
+//! occasionally diverges — a bad quantization step drives the loss to
+//! `NaN`/`inf` and every subsequent step is wasted. The watchdog
+//! snapshots the model every `interval` healthy observations (using the
+//! framed checkpoint codec, so snapshots carry the same integrity
+//! guarantees as on-disk checkpoints) and, on a divergent loss, restores
+//! the last good snapshot instead of letting the run continue corrupted.
+
+use crate::checkpoint;
+use crate::error::NnError;
+use crate::model::Sequential;
+
+/// What [`TrainWatchdog::observe`] decided about one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogVerdict {
+    /// Loss is finite and in bounds; nothing to do.
+    Healthy,
+    /// Loss is healthy and the snapshot interval elapsed: the model was
+    /// checkpointed in memory.
+    Snapshotted,
+    /// Loss diverged; the model was rolled back to the last snapshot.
+    RolledBack {
+        /// The step at which the restored snapshot was taken.
+        to_step: u64,
+    },
+}
+
+/// A NaN/divergence watchdog over a training loop.
+///
+/// Drive it with one [`TrainWatchdog::observe`] call per step, passing
+/// the step's loss. Divergence means a non-finite loss or one exceeding
+/// `max_loss`.
+///
+/// # Examples
+///
+/// ```
+/// use cq_nn::{Dense, QuantCtx, Sequential, Sgd, TrainWatchdog, WatchdogVerdict};
+/// use cq_tensor::init;
+///
+/// let mut model = Sequential::new();
+/// model.add(Dense::new("fc", 4, 2, 1));
+/// let mut dog = TrainWatchdog::new(1, 1e6);
+/// // Healthy step: snapshots (interval = 1).
+/// assert_eq!(dog.observe(&mut model, 0.7).unwrap(), WatchdogVerdict::Snapshotted);
+/// // Divergent step: rolls the model back to the snapshot.
+/// let verdict = dog.observe(&mut model, f64::NAN).unwrap();
+/// assert_eq!(verdict, WatchdogVerdict::RolledBack { to_step: 1 });
+/// ```
+#[derive(Debug)]
+pub struct TrainWatchdog {
+    interval: u64,
+    max_loss: f64,
+    step: u64,
+    last_good: Option<(u64, Vec<u8>)>,
+    rollbacks: u64,
+}
+
+impl TrainWatchdog {
+    /// Creates a watchdog that snapshots every `interval` healthy steps
+    /// (clamped to ≥ 1) and treats any loss above `max_loss` — or any
+    /// non-finite loss — as divergence.
+    pub fn new(interval: u64, max_loss: f64) -> Self {
+        TrainWatchdog {
+            interval: interval.max(1),
+            max_loss,
+            step: 0,
+            last_good: None,
+            rollbacks: 0,
+        }
+    }
+
+    /// Observes one training step's loss, snapshotting or rolling back
+    /// the model as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Checkpoint`] if the loss diverged before any snapshot
+    /// existed (there is nothing to roll back to — the caller should
+    /// restart from initialization), or if restoring the snapshot fails.
+    pub fn observe(
+        &mut self,
+        model: &mut Sequential,
+        loss: f64,
+    ) -> Result<WatchdogVerdict, NnError> {
+        self.step += 1;
+        let diverged = !loss.is_finite() || loss > self.max_loss;
+        if diverged {
+            cq_obs::counter!("resil.divergence").incr();
+            let Some((to_step, blob)) = &self.last_good else {
+                return Err(NnError::Checkpoint(format!(
+                    "loss {loss} diverged at step {} with no snapshot to roll back to",
+                    self.step
+                )));
+            };
+            checkpoint::load(model, blob)?;
+            self.rollbacks += 1;
+            cq_obs::counter!("resil.rollback").incr();
+            return Ok(WatchdogVerdict::RolledBack { to_step: *to_step });
+        }
+        if self.step.is_multiple_of(self.interval) {
+            self.last_good = Some((self.step, checkpoint::save(model)));
+            return Ok(WatchdogVerdict::Snapshotted);
+        }
+        Ok(WatchdogVerdict::Healthy)
+    }
+
+    /// Steps observed so far (healthy and divergent).
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Rollbacks performed so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// The step of the snapshot a future divergence would restore.
+    pub fn last_good_step(&self) -> Option<u64> {
+        self.last_good.as_ref().map(|(s, _)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, QuantCtx};
+    use crate::optim::Sgd;
+    use cq_tensor::init;
+
+    fn model(seed: u64) -> Sequential {
+        let mut m = Sequential::new();
+        m.add(Dense::new("fc", 4, 3, seed));
+        m
+    }
+
+    #[test]
+    fn snapshots_on_interval_only() {
+        let mut m = model(1);
+        let mut dog = TrainWatchdog::new(3, 1e9);
+        assert_eq!(dog.observe(&mut m, 1.0).unwrap(), WatchdogVerdict::Healthy);
+        assert_eq!(dog.observe(&mut m, 1.0).unwrap(), WatchdogVerdict::Healthy);
+        assert_eq!(
+            dog.observe(&mut m, 1.0).unwrap(),
+            WatchdogVerdict::Snapshotted
+        );
+        assert_eq!(dog.last_good_step(), Some(3));
+    }
+
+    #[test]
+    fn rollback_restores_snapshot_weights() {
+        let mut m = model(1);
+        let mut dog = TrainWatchdog::new(1, 1e9);
+        dog.observe(&mut m, 0.5).unwrap(); // snapshot at step 1
+        let x = init::normal(&[2, 4], 0.0, 1.0, 2);
+        let y_snapshot = m.forward(&x, &QuantCtx::fp32()).unwrap();
+        // Corrupt the model by training a step, then diverge.
+        let mut opt = Sgd::new(0.5);
+        m.train_step(&x, &[0, 1], &mut opt, &QuantCtx::fp32())
+            .unwrap();
+        assert_ne!(m.forward(&x, &QuantCtx::fp32()).unwrap(), y_snapshot);
+        let verdict = dog.observe(&mut m, f64::INFINITY).unwrap();
+        assert_eq!(verdict, WatchdogVerdict::RolledBack { to_step: 1 });
+        assert_eq!(m.forward(&x, &QuantCtx::fp32()).unwrap(), y_snapshot);
+        assert_eq!(dog.rollbacks(), 1);
+    }
+
+    #[test]
+    fn loss_above_threshold_counts_as_divergence() {
+        let mut m = model(1);
+        let mut dog = TrainWatchdog::new(1, 10.0);
+        dog.observe(&mut m, 9.9).unwrap();
+        assert!(matches!(
+            dog.observe(&mut m, 10.1).unwrap(),
+            WatchdogVerdict::RolledBack { to_step: 1 }
+        ));
+    }
+
+    #[test]
+    fn divergence_before_any_snapshot_is_an_error() {
+        let mut m = model(1);
+        let mut dog = TrainWatchdog::new(10, 1e9);
+        let err = dog.observe(&mut m, f64::NAN).unwrap_err();
+        assert!(matches!(err, NnError::Checkpoint(_)));
+        assert!(err.to_string().contains("no snapshot"), "{err}");
+    }
+}

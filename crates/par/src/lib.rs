@@ -45,9 +45,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod catch;
 pub mod conv;
 mod gemm;
 mod pool;
 
+pub use catch::catch_task;
 pub use gemm::{gemm, gemm_at, gemm_bt, transpose};
 pub use pool::Pool;

@@ -1,0 +1,96 @@
+//! Typed task failures: what the resilience layer records when a work
+//! item exhausts its attempt budget.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a task attempt was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The task panicked; the panic was caught and isolated.
+    Panicked {
+        /// The panic payload rendered to a string (`&str`/`String`
+        /// payloads verbatim, anything else a placeholder).
+        message: String,
+    },
+    /// The task completed but overran its soft deadline; the result was
+    /// discarded.
+    TimedOut {
+        /// How long the attempt actually took.
+        elapsed: Duration,
+        /// The policy's soft deadline it exceeded.
+        deadline: Duration,
+    },
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panicked { message } => write!(f, "panicked: {message}"),
+            FailureKind::TimedOut { elapsed, deadline } => write!(
+                f,
+                "soft deadline exceeded: {:.1} ms > {:.1} ms",
+                elapsed.as_secs_f64() * 1e3,
+                deadline.as_secs_f64() * 1e3
+            ),
+        }
+    }
+}
+
+/// One work item that failed every attempt the policy allowed.
+///
+/// The failure is *per item*: sibling tasks in the same parallel region
+/// are unaffected, and the pool stays alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Index of the failed item in its parallel region.
+    pub index: usize,
+    /// Attempts consumed (equals the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The final attempt's failure.
+    pub kind: FailureKind,
+}
+
+impl fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} failed after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.kind
+        )
+    }
+}
+
+impl Error for TaskFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_task_and_cause() {
+        let f = TaskFailure {
+            index: 11,
+            attempts: 3,
+            kind: FailureKind::Panicked {
+                message: "boom".into(),
+            },
+        };
+        let s = f.to_string();
+        assert!(s.contains("task 11") && s.contains("3 attempts") && s.contains("boom"));
+        let t = TaskFailure {
+            index: 0,
+            attempts: 1,
+            kind: FailureKind::TimedOut {
+                elapsed: Duration::from_millis(12),
+                deadline: Duration::from_millis(5),
+            },
+        };
+        let s = t.to_string();
+        assert!(s.contains("1 attempt:") && s.contains("deadline"), "{s}");
+    }
+}

@@ -1,0 +1,349 @@
+//! Crash-safe sweep-progress journal: an append-only completed-key log.
+//!
+//! Every completed grid cell of a sweep is appended as one self-checking
+//! line and flushed immediately, so a process killed mid-grid (SIGKILL,
+//! OOM, power loss) loses at most the cells still in flight. Reopening
+//! the journal recovers every intact line; a torn final line (the classic
+//! kill-during-write artifact) or a corrupted line is counted and
+//! skipped, never an error — the affected cell is simply recomputed.
+//!
+//! # Format
+//!
+//! One record per line:
+//!
+//! ```text
+//! CQJ1 <crc32:08x> <escaped-key>\x1F<escaped-payload>\n
+//! ```
+//!
+//! Key and payload are escaped (`\\`, `\n`, `\r` and the `\x1F` field
+//! separator), and the CRC-32 covers the escaped body, so any in-line
+//! corruption — not just truncation — is detected. Records are
+//! last-write-wins: re-recording a key (e.g. after a decode failure
+//! forced a recompute) supersedes the earlier line on the next open.
+
+use crate::crc32::crc32;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const LINE_MAGIC: &str = "CQJ1";
+const FIELD_SEP: char = '\x1F';
+
+/// What a [`SweepJournal::open`] recovered from disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Intact records recovered (after last-write-wins dedup).
+    pub recovered: u64,
+    /// Lines dropped: torn tails, CRC mismatches, malformed framing.
+    pub dropped: u64,
+}
+
+/// An append-only journal of `(key, payload)` records with per-line
+/// CRC-32 framing.
+///
+/// Writes are serialized through an internal mutex, so workers on a
+/// parallel sweep can share one `&SweepJournal`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cq_resil::SweepJournal;
+///
+/// let journal = SweepJournal::open("sweep.journal").unwrap();
+/// if journal.get("cell/alexnet/1e-6").is_none() {
+///     // ... compute the cell ...
+///     journal.record("cell/alexnet/1e-6", "42").unwrap();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    completed: HashMap<String, String>,
+    stats: JournalStats,
+    writer: Mutex<WriterState>,
+}
+
+struct WriterState {
+    file: Option<File>,
+    records_written: u64,
+    hook: Option<RecordHook>,
+}
+
+type RecordHook = Box<dyn Fn(u64) + Send>;
+
+impl std::fmt::Debug for WriterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterState")
+            .field("file", &self.file)
+            .field("records_written", &self.records_written)
+            .field("hook", &self.hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+impl SweepJournal {
+    /// Opens (or creates) the journal at `path`, recovering every intact
+    /// record. Torn or corrupted lines are tolerated and counted in
+    /// [`SweepJournal::stats`].
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<SweepJournal> {
+        let path = path.as_ref().to_path_buf();
+        let mut completed = HashMap::new();
+        let mut stats = JournalStats::default();
+        if path.exists() {
+            let mut text = String::new();
+            // Journals are written as UTF-8; corruption may not be, so read
+            // raw bytes and lossily decode (a mangled line fails its CRC).
+            let mut raw = Vec::new();
+            File::open(&path)?.read_to_end(&mut raw)?;
+            text.push_str(&String::from_utf8_lossy(&raw));
+            for line in text.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_line(line) {
+                    Some((key, payload)) => {
+                        completed.insert(key, payload);
+                    }
+                    None => stats.dropped += 1,
+                }
+            }
+            stats.recovered = completed.len() as u64;
+            if stats.dropped > 0 {
+                cq_obs::counter!("resil.journal.dropped_lines").add(stats.dropped);
+            }
+        }
+        Ok(SweepJournal {
+            path,
+            completed,
+            stats,
+            writer: Mutex::new(WriterState {
+                file: None,
+                records_written: 0,
+                hook: None,
+            }),
+        })
+    }
+
+    /// The journal's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Recovery statistics from [`SweepJournal::open`].
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// The payload recorded for `key`, if any line survived for it.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.completed.get(key).map(String::as_str)
+    }
+
+    /// Number of recovered records.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether nothing was recovered.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Installs a hook called after each successful [`SweepJournal::record`]
+    /// with the number of records written by *this* process. The chaos
+    /// harness uses it to SIGKILL itself deterministically mid-grid.
+    pub fn set_record_hook(&self, hook: impl Fn(u64) + Send + 'static) {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner()).hook = Some(Box::new(hook));
+    }
+
+    /// Appends one record and flushes it to disk before returning, so a
+    /// kill immediately after sees the record on the next open.
+    pub fn record(&self, key: &str, payload: &str) -> std::io::Result<()> {
+        let body = format!("{}{FIELD_SEP}{}", escape(key), escape(payload));
+        let line = format!("{LINE_MAGIC} {:08x} {}\n", crc32(body.as_bytes()), body);
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if w.file.is_none() {
+            w.file = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?,
+            );
+        }
+        let file = w.file.as_mut().expect("writer just opened");
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        w.records_written += 1;
+        cq_obs::counter!("resil.journal.recorded").incr();
+        let written = w.records_written;
+        if let Some(hook) = &w.hook {
+            hook(written);
+        }
+        Ok(())
+    }
+}
+
+/// Escapes backslash, newline, carriage return and the field separator.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            FIELD_SEP => out.push_str("\\u"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('u') => out.push(FIELD_SEP),
+            // A dangling escape only appears in corrupt data the CRC
+            // already rejected; preserve it verbatim for debuggability.
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Parses one journal line; `None` for anything malformed or corrupt.
+fn parse_line(line: &str) -> Option<(String, String)> {
+    let rest = line.strip_prefix(LINE_MAGIC)?.strip_prefix(' ')?;
+    let (crc_hex, body) = rest.split_at_checked(8)?;
+    let body = body.strip_prefix(' ')?;
+    let expect = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(body.as_bytes()) != expect {
+        return None;
+    }
+    let (key, payload) = body.split_once(FIELD_SEP)?;
+    Some((unescape(key), unescape(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("cq_resil_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_records() {
+        let path = tmp("roundtrip");
+        let j = SweepJournal::open(&path).unwrap();
+        assert!(j.is_empty());
+        j.record("cell/a", "1.5").unwrap();
+        j.record("cell/b", "payload with\ttab and \n newline")
+            .unwrap();
+        j.record("weird\x1Fkey\\with\nescapes", "v").unwrap();
+        drop(j);
+        let j = SweepJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.get("cell/a"), Some("1.5"));
+        assert_eq!(j.get("cell/b"), Some("payload with\ttab and \n newline"));
+        assert_eq!(j.get("weird\x1Fkey\\with\nescapes"), Some("v"));
+        assert_eq!(j.stats().dropped, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let path = tmp("lww");
+        let j = SweepJournal::open(&path).unwrap();
+        j.record("k", "old").unwrap();
+        j.record("k", "new").unwrap();
+        drop(j);
+        let j = SweepJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get("k"), Some("new"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = tmp("torn");
+        let j = SweepJournal::open(&path).unwrap();
+        j.record("a", "1").unwrap();
+        j.record("b", "2").unwrap();
+        drop(j);
+        // Simulate a kill mid-write: chop the file mid-line.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.truncate(raw.len() - 3);
+        std::fs::write(&path, &raw).unwrap();
+        let j = SweepJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 1, "only the intact record survives");
+        assert_eq!(j.get("a"), Some("1"));
+        assert_eq!(j.stats().dropped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_line_is_dropped() {
+        let path = tmp("corrupt");
+        let j = SweepJournal::open(&path).unwrap();
+        j.record("a", "1").unwrap();
+        j.record("b", "2").unwrap();
+        drop(j);
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip one bit inside the first line's body ("CQJ1 " + 8 hex
+        // digits + " " = 14 bytes of framing before the body).
+        raw[14] ^= 0x10;
+        std::fs::write(&path, &raw).unwrap();
+        let j = SweepJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get("b"), Some("2"));
+        assert_eq!(j.stats().dropped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_recovers_nothing() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a journal\nCQJ1 zzzzzzzz body\n\x00\xFF\n").unwrap();
+        let j = SweepJournal::open(&path).unwrap();
+        assert!(j.is_empty());
+        assert_eq!(j.stats().dropped, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_hook_sees_running_count() {
+        let path = tmp("hook");
+        let j = SweepJournal::open(&path).unwrap();
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = std::sync::Arc::clone(&seen);
+        j.set_record_hook(move |n| seen2.lock().unwrap().push(n));
+        j.record("a", "1").unwrap();
+        j.record("b", "2").unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn escape_unescape_inverse() {
+        for s in ["", "plain", "a\\b\nc\rd\x1Fe", "\\", "\\n", "trailing\\"] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+}

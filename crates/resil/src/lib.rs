@@ -1,0 +1,71 @@
+//! # cq-resil — crash-safe, fault-tolerant execution layer
+//!
+//! Cambricon-Q targets *efficient training*: long-running jobs where one
+//! fault must not discard hours of work. `cq-faults` hardens the hardware
+//! model (SECDED ECC, the guarded quantizer); this crate hardens the
+//! *software* that drives it — the experiment sweeps, the training loops
+//! and the simulation cache — which until now were fail-stop: one task
+//! panic aborted a whole sweep, and a killed process lost every completed
+//! grid cell.
+//!
+//! Four pieces, each opt-in (the default execution path is untouched and
+//! bit-identical):
+//!
+//! * [`RetryPolicy`] + [`run_resilient`] — a resilience layer over the
+//!   existing [`cq_par::Pool`]: capped exponential backoff with
+//!   *deterministic seeded jitter*, per-task soft deadlines, and panic
+//!   **isolation** — a panicking task is caught ([`cq_par::catch_task`]),
+//!   recorded as a typed [`TaskFailure`], and fails only its own work
+//!   item; the pool and every other task keep running.
+//! * [`SweepJournal`] — an append-only, CRC32-framed completed-key journal.
+//!   Each finished grid cell is flushed as one self-checking line, so a
+//!   SIGKILL mid-sweep loses at most the in-flight cells; reopening the
+//!   journal tolerates torn or corrupted tail lines.
+//! * [`run_journaled`] — the two combined: a resumable resilient sweep.
+//!   Cells already present in the journal are decoded and *not* re-run;
+//!   because every sweep in this workspace is a deterministic pure
+//!   function of its cell key, a killed-and-resumed run renders a report
+//!   byte-identical to an uninterrupted one (enforced by the `chaos-smoke`
+//!   CI job).
+//! * [`crc32`] / [`splitmix64`] — the shared integrity and deterministic-
+//!   randomness primitives (also used by the `CQCK` v2 checkpoint framing
+//!   in `cq-nn` and the chaos harness in `cq-faults`).
+//!
+//! Observability: `resil.retry`, `resil.panic_isolated`, `resil.timeout`,
+//! `resil.task_failed`, `resil.task_recovered`, `resil.journal.resumed`,
+//! `resil.journal.recorded` and `resil.journal.dropped_lines` counters
+//! (`cq-obs`) increment as the machinery acts.
+//!
+//! # Examples
+//!
+//! ```
+//! use cq_par::Pool;
+//! use cq_resil::{run_resilient, RetryPolicy};
+//!
+//! let pool = Pool::new(2);
+//! let policy = RetryPolicy::default();
+//! let out = run_resilient(&pool, &policy, 4, |i, attempt| {
+//!     // A task that fails transiently on its first attempt.
+//!     if i == 2 && attempt == 1 {
+//!         panic!("transient fault in task 2");
+//!     }
+//!     i * 10
+//! });
+//! assert_eq!(out[2].as_ref().unwrap(), &20);
+//! assert!(out.iter().all(|r| r.is_ok()), "retry absorbed the panic");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod crc32;
+mod failure;
+mod journal;
+mod retry;
+mod run;
+
+pub use crc32::crc32;
+pub use failure::{FailureKind, TaskFailure};
+pub use journal::{JournalStats, SweepJournal};
+pub use retry::{splitmix64, unit_f64, RetryPolicy};
+pub use run::{run_journaled, run_resilient, JournaledOutcome};

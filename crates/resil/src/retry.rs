@@ -1,0 +1,165 @@
+//! Retry policy: capped exponential backoff with deterministic seeded
+//! jitter, plus per-task soft deadlines.
+
+use std::time::Duration;
+
+/// SplitMix64: the workspace's cheap deterministic mixing function.
+///
+/// Used wherever a reproducible pseudo-random decision is derived from a
+/// composite key (backoff jitter from `(seed, task, attempt)`, chaos
+/// schedules in `cq-faults`). Full-period, passes BigCrush as a mixer.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a `u64` to a float uniform in `[0, 1)` using the top 53 bits.
+pub fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// How [`crate::run_resilient`] handles a failing task.
+///
+/// Backoff delays are *fully deterministic*: given the same policy the
+/// sleep before attempt `a` of task `t` is a pure function of
+/// `(jitter_seed, t, a)` — retries never introduce run-to-run variance in
+/// anything but wall-clock time. A task whose every attempt fails is
+/// reported as a typed [`crate::TaskFailure`], never a panic.
+///
+/// The deadline is *soft*: a worker thread cannot be preempted, so an
+/// overrunning task is detected only when it returns — its (complete)
+/// result is then discarded, the overrun is recorded, and the task is
+/// retried like any other failure. Use it to stop a pathological cell
+/// from being accepted, not to bound wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per task, including the first (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` starts from `base_delay_ms × 2^(k-1)`.
+    pub base_delay_ms: u64,
+    /// Cap on the exponential backoff (before jitter).
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Soft per-attempt deadline; `None` disables the check.
+    pub soft_deadline: Option<Duration>,
+    /// Suppress the default panic-hook output for panics this layer
+    /// catches (an isolated panic is data, not an event worth a
+    /// backtrace on stderr). Panics on other threads still print.
+    pub suppress_panic_output: bool,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms base / 64 ms cap backoff, no deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 64,
+            jitter_seed: 0xCA3B_71C0,
+            soft_deadline: None,
+            suppress_panic_output: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that runs every task exactly once (panic isolation and
+    /// deadline accounting stay active; nothing is retried).
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the attempt budget (builder style).
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the soft per-attempt deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.soft_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the jitter seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The backoff to sleep before retrying `task` after its failed
+    /// attempt `attempt` (1-based). Deterministic: exponential in the
+    /// attempt number, capped at `max_delay_ms`, scaled by a seeded
+    /// jitter factor in `[0.5, 1.0)` so synchronized failures de-cluster
+    /// without losing reproducibility.
+    pub fn backoff(&self, task: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(20))
+            .min(self.max_delay_ms);
+        let mixed = splitmix64(
+            self.jitter_seed ^ task.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((attempt as u64) << 48),
+        );
+        let factor = 0.5 + 0.5 * unit_f64(mixed);
+        Duration::from_micros((exp as f64 * 1000.0 * factor) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        let u = unit_f64(splitmix64(42));
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(7, 1), p.backoff(7, 1));
+        // Different tasks and attempts jitter differently.
+        assert_ne!(p.backoff(7, 1), p.backoff(8, 1));
+        assert_ne!(p.backoff(7, 1), p.backoff(7, 2));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            base_delay_ms: 4,
+            max_delay_ms: 16,
+            ..RetryPolicy::default()
+        };
+        // Jitter is in [0.5, 1.0): attempt k's delay is within
+        // [exp/2, exp) of the capped exponential.
+        for (attempt, exp_ms) in [(1u32, 4u64), (2, 8), (3, 16), (4, 16), (60, 16)] {
+            let d = p.backoff(3, attempt).as_micros() as u64;
+            assert!(
+                d >= exp_ms * 500 && d < exp_ms * 1000,
+                "attempt {attempt}: {d} µs not in [{}, {})",
+                exp_ms * 500,
+                exp_ms * 1000
+            );
+        }
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = RetryPolicy::no_retry()
+            .with_attempts(5)
+            .with_seed(9)
+            .with_deadline(Duration::from_millis(10));
+        assert_eq!(p.max_attempts, 5);
+        assert_eq!(p.jitter_seed, 9);
+        assert_eq!(p.soft_deadline, Some(Duration::from_millis(10)));
+    }
+}

@@ -1,0 +1,414 @@
+//! Resilient parallel execution over [`cq_par::Pool`]: retry with
+//! deterministic backoff, soft deadlines, panic isolation, and the
+//! journaled (resumable) variant.
+
+use crate::failure::{FailureKind, TaskFailure};
+use crate::journal::SweepJournal;
+use crate::retry::RetryPolicy;
+use cq_par::Pool;
+use std::cell::Cell;
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+thread_local! {
+    /// True while this thread is inside a resilience-layer attempt whose
+    /// policy asked for quiet panics.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Wraps the process panic hook (once) so panics caught by this layer
+/// print nothing; panics anywhere else keep the previous behaviour.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The attempt loop for one work item. Runs `task(index, attempt)` up to
+/// `policy.max_attempts` times, sleeping the policy's deterministic
+/// backoff between attempts.
+fn attempt_loop<T>(
+    policy: &RetryPolicy,
+    index: usize,
+    task: &(impl Fn(usize, u32) -> T + Sync),
+) -> Result<T, TaskFailure> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        let start = Instant::now();
+        if policy.suppress_panic_output {
+            QUIET_PANICS.with(|q| q.set(true));
+        }
+        let outcome = cq_par::catch_task(|| task(index, attempt));
+        QUIET_PANICS.with(|q| q.set(false));
+        let elapsed = start.elapsed();
+        let kind = match outcome {
+            Ok(value) => match policy.soft_deadline {
+                Some(deadline) if elapsed > deadline => {
+                    cq_obs::counter!("resil.timeout").incr();
+                    FailureKind::TimedOut { elapsed, deadline }
+                }
+                _ => {
+                    if attempt > 1 {
+                        cq_obs::counter!("resil.task_recovered").incr();
+                    }
+                    return Ok(value);
+                }
+            },
+            Err(message) => {
+                cq_obs::counter!("resil.panic_isolated").incr();
+                FailureKind::Panicked { message }
+            }
+        };
+        if attempt >= max_attempts {
+            cq_obs::counter!("resil.task_failed").incr();
+            return Err(TaskFailure {
+                index,
+                attempts: attempt,
+                kind,
+            });
+        }
+        cq_obs::counter!("resil.retry").incr();
+        std::thread::sleep(policy.backoff(index as u64, attempt));
+        attempt += 1;
+    }
+}
+
+/// Runs `n` tasks on `pool` with retry, soft deadlines and panic
+/// isolation per `policy`.
+///
+/// `task` receives `(index, attempt)` with `attempt` 1-based, so tests
+/// and the chaos harness can make failures attempt-dependent. Results
+/// come back index-ordered; a task that exhausts its attempt budget
+/// yields `Err(TaskFailure)` in its slot while every sibling completes
+/// normally — one poisoned cell no longer aborts a 54-cell sweep.
+///
+/// Determinism: with a fixed policy the backoff schedule is a pure
+/// function of `(jitter_seed, index, attempt)`, and results are ordered
+/// by index, so output does not depend on thread interleaving.
+///
+/// # Examples
+///
+/// ```
+/// use cq_par::Pool;
+/// use cq_resil::{run_resilient, RetryPolicy};
+///
+/// let pool = Pool::new(2);
+/// let out = run_resilient(&pool, &RetryPolicy::default(), 3, |i, attempt| {
+///     if i == 1 && attempt == 1 {
+///         panic!("transient");
+///     }
+///     i * 2
+/// });
+/// assert_eq!(out.into_iter().map(Result::unwrap).collect::<Vec<_>>(), vec![0, 2, 4]);
+/// ```
+pub fn run_resilient<T: Send>(
+    pool: &Pool,
+    policy: &RetryPolicy,
+    n: usize,
+    task: impl Fn(usize, u32) -> T + Sync,
+) -> Vec<Result<T, TaskFailure>> {
+    if policy.suppress_panic_output {
+        install_quiet_hook();
+    }
+    pool.parallel_map(n, |i| attempt_loop(policy, i, &task))
+}
+
+/// What [`run_journaled`] did: the per-cell results plus resume
+/// accounting.
+#[derive(Debug)]
+pub struct JournaledOutcome<T> {
+    /// Index-ordered results, exactly as [`run_resilient`] would return.
+    pub results: Vec<Result<T, TaskFailure>>,
+    /// Cells decoded from the journal instead of recomputed.
+    pub resumed: usize,
+    /// Cells actually executed this run.
+    pub computed: usize,
+    /// Cells whose results were appended to the journal this run.
+    pub recorded: usize,
+}
+
+impl<T> JournaledOutcome<T> {
+    /// The failed cells, if any.
+    pub fn failures(&self) -> Vec<&TaskFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
+    }
+}
+
+/// [`run_resilient`] with crash-safe resume: cells already recorded in
+/// `journal` are decoded and skipped; freshly computed cells are
+/// recorded (and flushed) the moment they finish, *before* the sweep
+/// barrier — a SIGKILL mid-grid loses only in-flight cells.
+///
+/// * `key_of(i)` must be a stable, unique identity for cell `i` (bake in
+///   every input that affects the result, e.g. seed and config).
+/// * `encode`/`decode` must round-trip exactly; if the sweep itself is
+///   deterministic this makes a killed-and-resumed run's report
+///   byte-identical to an uninterrupted one.
+/// * A recorded payload that fails to `decode` (version drift, manual
+///   edits) is not an error: the cell is recomputed and re-recorded.
+///
+/// Only task results are journaled; task failures are not, so a failed
+/// cell is retried from scratch on the next resume.
+// Three of the eight "arguments" are the key/encode/decode closure
+// triple; bundling them into a codec struct would only move the noise
+// to the call sites.
+#[allow(clippy::too_many_arguments)]
+pub fn run_journaled<T: Send>(
+    pool: &Pool,
+    policy: &RetryPolicy,
+    journal: &SweepJournal,
+    n: usize,
+    key_of: impl Fn(usize) -> String + Sync,
+    encode: impl Fn(&T) -> String + Sync,
+    decode: impl Fn(&str) -> Option<T> + Sync,
+    task: impl Fn(usize, u32) -> T + Sync,
+) -> std::io::Result<JournaledOutcome<T>> {
+    if policy.suppress_panic_output {
+        install_quiet_hook();
+    }
+    let mut results: Vec<Option<Result<T, TaskFailure>>> = (0..n).map(|_| None).collect();
+    let mut pending = Vec::new();
+    let mut resumed = 0usize;
+    for (i, slot) in results.iter_mut().enumerate() {
+        if let Some(payload) = journal.get(&key_of(i)) {
+            if let Some(value) = decode(payload) {
+                *slot = Some(Ok(value));
+                resumed += 1;
+                continue;
+            }
+            cq_obs::counter!("resil.journal.decode_failed").incr();
+        }
+        pending.push(i);
+    }
+    if resumed > 0 {
+        cq_obs::counter!("resil.journal.resumed").add(resumed as u64);
+    }
+
+    let write_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let recorded = std::sync::atomic::AtomicUsize::new(0);
+    let computed = pending.len();
+    let fresh = pool.parallel_map(pending.len(), |j| {
+        let i = pending[j];
+        let result = attempt_loop(policy, i, &task);
+        if let Ok(value) = &result {
+            match journal.record(&key_of(i), &encode(value)) {
+                Ok(()) => {
+                    recorded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Err(e) => {
+                    let mut guard = write_error.lock().unwrap_or_else(|p| p.into_inner());
+                    guard.get_or_insert(e);
+                }
+            }
+        }
+        result
+    });
+    if let Some(e) = write_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+    for (i, result) in pending.into_iter().zip(fresh) {
+        results[i] = Some(result);
+    }
+    Ok(JournaledOutcome {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every cell resolved"))
+            .collect(),
+        resumed,
+        computed,
+        recorded: recorded.into_inner(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("cq_resil_run_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_success() {
+        let pool = Pool::new(2);
+        let out = run_resilient(&pool, &RetryPolicy::default(), 8, |i, attempt| {
+            if i % 3 == 0 && attempt < 3 {
+                panic!("transient fault in {i}");
+            }
+            i + 100
+        });
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &(i + 100));
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_fails_only_its_cell() {
+        let pool = Pool::new(3);
+        let policy = RetryPolicy::default().with_attempts(2);
+        let out = run_resilient(&pool, &policy, 6, |i, _attempt| {
+            if i == 4 {
+                panic!("permanent fault");
+            }
+            i
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 4 {
+                let failure = r.as_ref().unwrap_err();
+                assert_eq!(failure.index, 4);
+                assert_eq!(failure.attempts, 2);
+                assert!(matches!(
+                    &failure.kind,
+                    FailureKind::Panicked { message } if message.contains("permanent fault")
+                ));
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &i);
+            }
+        }
+    }
+
+    #[test]
+    fn soft_deadline_discards_slow_result() {
+        let pool = Pool::new(2);
+        let policy = RetryPolicy::no_retry().with_deadline(Duration::from_millis(1));
+        let out = run_resilient(&pool, &policy, 2, |i, _| {
+            if i == 1 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            i
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &0);
+        assert!(matches!(
+            out[1].as_ref().unwrap_err().kind,
+            FailureKind::TimedOut { .. }
+        ));
+    }
+
+    #[test]
+    fn journaled_run_resumes_without_recompute() {
+        let path = tmp("resume");
+        let pool = Pool::new(2);
+        let policy = RetryPolicy::default();
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        let key_of = |i: usize| format!("cell/{i}");
+        let encode = |v: &usize| v.to_string();
+        let decode = |s: &str| s.parse::<usize>().ok();
+
+        let journal = SweepJournal::open(&path).unwrap();
+        let first = run_journaled(
+            &pool,
+            &policy,
+            &journal,
+            5,
+            key_of,
+            encode,
+            decode,
+            |i, _| {
+                ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                i * i
+            },
+        )
+        .unwrap();
+        assert_eq!(first.resumed, 0);
+        assert_eq!(first.computed, 5);
+        assert_eq!(first.recorded, 5);
+
+        let journal = SweepJournal::open(&path).unwrap();
+        let second = run_journaled(
+            &pool,
+            &policy,
+            &journal,
+            5,
+            key_of,
+            encode,
+            decode,
+            |i, _| {
+                ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                i * i
+            },
+        )
+        .unwrap();
+        assert_eq!(second.resumed, 5);
+        assert_eq!(second.computed, 0);
+        assert_eq!(
+            ran.load(std::sync::atomic::Ordering::Relaxed),
+            5,
+            "no recompute"
+        );
+        let values: Vec<usize> = second.results.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![0, 1, 4, 9, 16]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journaled_run_recomputes_after_partial_kill() {
+        let path = tmp("partial");
+        let pool = Pool::new(2);
+        let policy = RetryPolicy::default();
+        let key_of = |i: usize| format!("cell/{i}");
+        let encode = |v: &usize| v.to_string();
+        let decode = |s: &str| s.parse::<usize>().ok();
+
+        // "First run" that died after two cells: journal holds 0 and 3.
+        let journal = SweepJournal::open(&path).unwrap();
+        journal.record("cell/0", "0").unwrap();
+        journal.record("cell/3", "9").unwrap();
+        drop(journal);
+
+        let journal = SweepJournal::open(&path).unwrap();
+        let out = run_journaled(
+            &pool,
+            &policy,
+            &journal,
+            5,
+            key_of,
+            encode,
+            decode,
+            |i, _| i * i,
+        )
+        .unwrap();
+        assert_eq!(out.resumed, 2);
+        assert_eq!(out.computed, 3);
+        let values: Vec<usize> = out.results.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![0, 1, 4, 9, 16]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn undecodable_payload_forces_recompute() {
+        let path = tmp("undecodable");
+        let pool = Pool::new(1);
+        let journal = SweepJournal::open(&path).unwrap();
+        journal.record("cell/0", "not-a-number").unwrap();
+        let out = run_journaled(
+            &pool,
+            &RetryPolicy::default(),
+            &journal,
+            1,
+            |i| format!("cell/{i}"),
+            |v: &usize| v.to_string(),
+            |s| s.parse::<usize>().ok(),
+            |i, _| i + 7,
+        )
+        .unwrap();
+        assert_eq!(out.resumed, 0);
+        assert_eq!(out.computed, 1);
+        assert_eq!(out.results[0].as_ref().unwrap(), &7);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -40,7 +40,10 @@ mod result;
 pub mod trace;
 
 pub use breakdown::{Component, EnergyBreakdown};
-pub use cache::{hwcache_enabled, set_hwcache_enabled, CacheStats, HwCostCache, HwCostKey};
+pub use cache::{
+    hwcache_cap, hwcache_enabled, set_hwcache_enabled, CacheStats, HwCostCache, HwCostKey,
+    DEFAULT_SHARDS,
+};
 pub use energy::{table1_rows, EnergyModel, HwCostError, Table1Row};
 pub use phase::{Phase, PhaseBreakdown};
 pub use result::{geomean, SimResult};

@@ -1,7 +1,7 @@
 //! Common result type produced by every platform simulator.
 
-use crate::breakdown::EnergyBreakdown;
-use crate::phase::PhaseBreakdown;
+use crate::breakdown::{Component, EnergyBreakdown};
+use crate::phase::{Phase, PhaseBreakdown};
 use std::fmt;
 
 /// The outcome of simulating one training iteration (minibatch) of one
@@ -78,6 +78,56 @@ impl SimResult {
     pub fn energy_gain_over(&self, other: &SimResult) -> f64 {
         other.total_energy_mj() / self.total_energy_mj()
     }
+
+    /// Serializes to one tab-separated line that [`SimResult::from_record`]
+    /// decodes back *exactly* (floats use Rust's shortest-roundtrip `Debug`
+    /// text), so journaled sweep cells resume bit-identical.
+    ///
+    /// Fields: platform, workload, freq_ghz, six per-phase cycle counts,
+    /// six per-phase energies (pJ), four per-component energies (pJ).
+    /// Platform/workload names must not contain tabs or newlines (none
+    /// do; such a record would simply fail to decode).
+    pub fn to_record(&self) -> String {
+        let mut fields = vec![
+            self.platform.clone(),
+            self.workload.clone(),
+            format!("{:?}", self.freq_ghz),
+        ];
+        for p in Phase::ALL {
+            fields.push(self.phases.cycles(p).to_string());
+        }
+        for p in Phase::ALL {
+            fields.push(format!("{:?}", self.phases.energy_pj(p)));
+        }
+        for c in Component::ALL {
+            fields.push(format!("{:?}", self.energy.energy_pj(c)));
+        }
+        fields.join("\t")
+    }
+
+    /// Decodes a line produced by [`SimResult::to_record`]; `None` for
+    /// anything malformed (wrong field count, unparsable numbers).
+    pub fn from_record(record: &str) -> Option<SimResult> {
+        let fields: Vec<&str> = record.split('\t').collect();
+        if fields.len() != 3 + 6 + 6 + 4 {
+            return None;
+        }
+        let freq_ghz: f64 = fields[2].parse().ok()?;
+        let mut phases = PhaseBreakdown::new();
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            let cycles: u64 = fields[3 + i].parse().ok()?;
+            let pj: f64 = fields[9 + i].parse().ok()?;
+            phases.charge(p, cycles, pj);
+        }
+        let mut energy = EnergyBreakdown::new();
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            let pj: f64 = fields[15 + i].parse().ok()?;
+            energy.charge(c, pj);
+        }
+        Some(SimResult::new(
+            fields[0], fields[1], freq_ghz, phases, energy,
+        ))
+    }
 }
 
 impl fmt::Display for SimResult {
@@ -138,6 +188,35 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn record_roundtrip_is_exact() {
+        let mut phases = PhaseBreakdown::new();
+        phases.charge(Phase::Forward, 12_345, 0.1 + 0.2); // deliberately non-representable
+        phases.charge(Phase::Quantize, 7, 1e-300);
+        let mut energy = EnergyBreakdown::new();
+        energy.charge(crate::breakdown::Component::DdrDynamic, 1.0 / 3.0);
+        let r = SimResult::new("Cambricon-Q", "ResNet18", 1.5, phases, energy);
+        let decoded = SimResult::from_record(&r.to_record()).unwrap();
+        assert_eq!(r, decoded, "round-trip must be bit-exact");
+        assert_eq!(r.to_record(), decoded.to_record());
+    }
+
+    #[test]
+    fn record_rejects_malformed_lines() {
+        let r = result(100, 5.0);
+        let rec = r.to_record();
+        assert!(SimResult::from_record("").is_none());
+        assert!(SimResult::from_record("a\tb\tc").is_none());
+        let truncated = rec.rsplit_once('\t').unwrap().0;
+        assert!(SimResult::from_record(truncated).is_none());
+        let mangled = rec.replace('\t', "|");
+        assert!(SimResult::from_record(&mangled).is_none());
+        let extra = format!("{rec}\t1.0");
+        assert!(SimResult::from_record(&extra).is_none());
+        let bad_num = rec.replacen("100", "10O", 1);
+        assert!(SimResult::from_record(&bad_num).is_none());
     }
 
     #[test]

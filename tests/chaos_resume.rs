@@ -1,0 +1,146 @@
+//! Integration tests for the crash-safe execution layer: a sweep that is
+//! killed mid-grid (journal truncated to a prefix plus a torn line) must
+//! resume to a byte-identical report, injected panics must fail only
+//! their own cell, and chaotic reruns must be deterministic.
+
+use cq_experiments::resilience::{
+    cell_key, report_from_record, report_record, run_cell, sweep_cells,
+};
+use cq_faults::ChaosPlan;
+use cq_par::Pool;
+use cq_resil::{run_journaled, run_resilient, FailureKind, RetryPolicy, SweepJournal};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("cq_chaos_resume_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The first nine cells of the fault-sweep grid: one benchmark at every
+/// (rate, protection) combination — big enough to span configs, small
+/// enough for a debug-build test.
+fn subset() -> Vec<(cq_workloads::Network, cq_faults::FaultPlan)> {
+    sweep_cells().into_iter().take(9).collect()
+}
+
+fn run_subset_journaled(
+    journal: &SweepJournal,
+    chaos: &ChaosPlan,
+) -> cq_resil::JournaledOutcome<cq_faults::ResilienceReport> {
+    let cells = subset();
+    run_journaled(
+        Pool::global(),
+        &RetryPolicy::default(),
+        journal,
+        cells.len(),
+        |i| cell_key(&cells[i].0, &cells[i].1),
+        report_record,
+        report_from_record,
+        |i, attempt| {
+            chaos.inject(i as u64, attempt);
+            run_cell(&cells[i].0, &cells[i].1)
+        },
+    )
+    .expect("journal writable")
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identical() {
+    let path = tmp("kill");
+    let cells = subset();
+    let reference: String = cq_faults::ResilienceReport::table(
+        &cells
+            .iter()
+            .map(|(n, p)| run_cell(n, p))
+            .collect::<Vec<_>>(),
+    )
+    .to_string();
+
+    // Uninterrupted chaotic run fills the journal.
+    let chaos = ChaosPlan::moderate(0xCA3B_71C0);
+    let journal = SweepJournal::open(&path).unwrap();
+    let full = run_subset_journaled(&journal, &chaos);
+    assert!(full.failures().is_empty());
+    drop(journal);
+
+    // Simulate a SIGKILL mid-grid: keep the first four journal lines and
+    // a torn fragment of the fifth — exactly what a dead process leaves.
+    let raw = std::fs::read(&path).unwrap();
+    let lines: Vec<&[u8]> = raw.split_inclusive(|&b| b == b'\n').collect();
+    assert!(lines.len() >= 5, "expected >=5 journal lines");
+    let mut truncated: Vec<u8> = lines[..4].concat();
+    truncated.extend_from_slice(&lines[4][..lines[4].len() / 2]);
+    std::fs::write(&path, &truncated).unwrap();
+
+    // Resume: the intact prefix is reused, the torn line is dropped (not
+    // fatal), the rest recomputes, and the report is byte-identical.
+    let journal = SweepJournal::open(&path).unwrap();
+    assert_eq!(journal.len(), 4, "intact prefix resumes");
+    assert_eq!(journal.stats().dropped, 1, "torn line dropped, not fatal");
+    let resumed = run_subset_journaled(&journal, &chaos);
+    assert_eq!(resumed.resumed, 4);
+    assert_eq!(resumed.computed, 5);
+    assert!(resumed.failures().is_empty());
+    let rows: Vec<_> = resumed.results.into_iter().map(Result::unwrap).collect();
+    assert_eq!(
+        cq_faults::ResilienceReport::table(&rows).to_string(),
+        reference,
+        "killed-and-resumed report must be byte-identical"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn injected_panic_fails_only_its_cell() {
+    // No retry budget: the poisoned cell must fail, every sibling must
+    // complete — one bad cell no longer aborts the grid.
+    let out = run_resilient(
+        Pool::global(),
+        &RetryPolicy::no_retry(),
+        8,
+        |i, _attempt| {
+            if i == 5 {
+                panic!("poisoned cell");
+            }
+            i * 3
+        },
+    );
+    for (i, r) in out.iter().enumerate() {
+        if i == 5 {
+            let f = r.as_ref().unwrap_err();
+            assert_eq!(f.index, 5);
+            assert!(matches!(
+                &f.kind,
+                FailureKind::Panicked { message } if message.contains("poisoned")
+            ));
+        } else {
+            assert_eq!(r.as_ref().unwrap(), &(i * 3));
+        }
+    }
+}
+
+#[test]
+fn chaotic_runs_are_deterministic_across_repeats() {
+    // The same seeds (chaos schedule + backoff jitter) must produce the
+    // same values and the same per-cell success pattern, run after run.
+    let chaos = ChaosPlan::moderate(99);
+    let policy = RetryPolicy::default();
+    let run = || {
+        run_resilient(Pool::global(), &policy, 32, |i, attempt| {
+            chaos.inject(i as u64, attempt);
+            (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        match (x, y) {
+            (Ok(v), Ok(w)) => assert_eq!(v, w),
+            (Err(e), Err(f)) => assert_eq!(e.index, f.index),
+            _ => panic!("success pattern diverged between identical runs"),
+        }
+    }
+    // Moderate chaos with a three-attempt budget absorbs everything.
+    assert!(a.iter().all(Result::is_ok));
+}
