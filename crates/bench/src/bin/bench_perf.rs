@@ -3,27 +3,29 @@
 //! Times every dense kernel, the fused quantization kernels, whole
 //! training steps, and a memoized simulation sweep under both the `Naive`
 //! reference path and the `Fast` path, then writes a machine-readable
-//! report. CI runs `--quick --check --baseline BENCH_PR6.json` and fails
-//! the build if `Fast` regresses below `Naive` on the reference GEMM
-//! shape (512×512×512), or if any serial quant-kernel entry drops more
-//! than 15% below its recorded baseline speedup.
+//! report. CI runs `--quick --check --baseline BENCH_PR7.json` and fails
+//! the build if `Fast` falls below 3.0x over `Naive` on the reference
+//! GEMM shape (512×512×512), or if any gated entry (serial quant
+//! kernels, the gemm/conv family, train steps) drops below its
+//! recorded baseline speedup — kernels retain 85%, whole train steps
+//! 60% (noisier; see [`TRAIN_STEP_RETAIN`]).
 //!
 //! ```text
 //! bench_perf [--quick] [--check] [--out PATH] [--baseline PATH]
 //!
 //!   --quick         reduced shape set and repetition count (CI smoke mode)
-//!   --check         exit non-zero if Fast is slower than Naive on the
-//!                   reference 512x512x512 GEMM, or a gated quant entry
+//!   --check         exit non-zero if Fast is below 3.0x over Naive on
+//!                   the reference 512x512x512 GEMM, or a gated entry
 //!                   regresses >15% below the baseline report
-//!   --out PATH      write the JSON report here (default: BENCH_PR6.json)
-//!   --baseline PATH a previous report to gate quant speedups against
+//!   --out PATH      write the JSON report here (default: BENCH_PR7.json)
+//!   --baseline PATH a previous report to gate speedups against
 //! ```
 //!
 //! Report schema (hand-written JSON, no serde):
 //!
 //! ```json
 //! {
-//!   "pr": 6,
+//!   "pr": 7,
 //!   "threads": 4,
 //!   "quick": false,
 //!   "entries": [
@@ -35,10 +37,14 @@
 //!
 //! Quant entries without a `-pooled` suffix stay below the fast path's
 //! parallel threshold, so their speedups measure the fused single-pass
-//! kernels at one worker and are stable across machines — those are the
-//! baseline-gated ones. `-pooled` shapes cross the threshold and scale
-//! with the core count; `hwcost_sweep` times re-simulation with the
-//! `HwCostCache` disabled (`ns_naive`) vs enabled and warm (`ns_fast`).
+//! kernels at one worker and are stable across machines — those are
+//! baseline-gated. The gemm/conv/train_step entries are also gated:
+//! their speedups come from the blocked SIMD GEMM, whose Fast-vs-Naive
+//! ratio is a same-process A/B and therefore stable even though the
+//! absolute times are not. `-pooled` shapes cross the threshold and
+//! scale with the core count; `hwcost_sweep` times re-simulation with
+//! the `HwCostCache` disabled (`ns_naive`) vs enabled and warm
+//! (`ns_fast`).
 //!
 //! Times are nanoseconds for the best (minimum) of `reps` timed runs
 //! after one warmup, so the numbers measure the kernels, not the
@@ -59,12 +65,39 @@ use std::time::Instant;
 /// The shape whose Fast-vs-Naive ratio gates CI (`--check`).
 const REFERENCE_GEMM: (usize, usize, usize) = (512, 512, 512);
 
+/// Minimum Fast-vs-Naive speedup `--check` demands on the reference
+/// GEMM. The blocked SIMD kernel clears 3x even on the scalar
+/// micro-kernels, so anything below this means the fast path broke.
+const REFERENCE_MIN_SPEEDUP: f64 = 3.0;
+
 /// Ops whose serial (non-`-pooled`) entries are gated against a
 /// `--baseline` report: a >15% speedup drop fails `--check`.
 const GATED_QUANT_OPS: [&str; 3] = ["ldq_quantize", "e2bqm_quantize_blocks", "fake_quantize"];
 
+/// Dense-compute ops gated the same way. Their Fast-vs-Naive ratios are
+/// same-process A/Bs of the blocked GEMM against the reference loops,
+/// so they are stable enough to gate even though absolute times vary
+/// by host.
+const GATED_COMPUTE_OPS: [&str; 7] = [
+    "gemm",
+    "gemm_at",
+    "gemm_bt",
+    "conv2d",
+    "conv2d_grad_input",
+    "conv2d_grad_weight",
+    "train_step",
+];
+
 /// Fraction of the baseline speedup a gated entry must retain.
 const BASELINE_RETAIN: f64 = 0.85;
+
+/// Looser retention floor for `train_step` entries: a whole training
+/// step times the allocator, quantizers, and optimizer alongside the
+/// kernels, and its Fast side is short enough that quick-mode runs
+/// swing ±20% run to run. 60% still trips on a real fast-path
+/// collapse (losing SIMD alone costs more than that on the CNN steps)
+/// without flaking on scheduler noise.
+const TRAIN_STEP_RETAIN: f64 = 0.60;
 
 struct Entry {
     op: &'static str,
@@ -433,6 +466,14 @@ fn hwcost_entry(reps: usize, quick: bool) -> Entry {
 /// 16-shard layout, so the speedup is the sharding win under contention.
 /// Not baseline-gated: contention ratios swing with the host's core
 /// count and scheduler far more than the serial kernels do.
+///
+/// The keys are built once outside the timed loop and cloned per hit:
+/// BENCH_PR6's ~1.0x reading turned out to measure per-hit `format!`
+/// key construction, which dominates a sharded-mutex hit and hides the
+/// lock behavior entirely. Note that on a host with a single hardware
+/// thread the four workers time-slice instead of contending, so ~1.0x
+/// is the *correct* reading there — sharding only pays when hits
+/// genuinely overlap — which is why this entry stays ungated.
 fn hwcache_hitstorm_entry(reps: usize, quick: bool) -> Entry {
     let _sp = cq_obs::span!("bench", "hwcache hitstorm");
     cq_sim::set_hwcache_enabled(true);
@@ -440,11 +481,13 @@ fn hwcache_hitstorm_entry(reps: usize, quick: bool) -> Entry {
     const KEYS: usize = 64;
     let hits_per_worker: usize = if quick { 20_000 } else { 100_000 };
     let pool = Pool::new(WORKERS);
-    let key = |k: usize| HwCostKey::new("bench-hitstorm", format!("key-{k}"));
+    let keys: Vec<HwCostKey> = (0..KEYS)
+        .map(|k| HwCostKey::new("bench-hitstorm", format!("key-{k}")))
+        .collect();
     let time_with = |shards: usize| {
         let cache: HwCostCache<u64> = HwCostCache::with_shards(shards, None);
-        for k in 0..KEYS {
-            cache.get_or_compute(key(k), || k as u64);
+        for (k, key) in keys.iter().enumerate() {
+            cache.get_or_compute(key.clone(), || k as u64);
         }
         best_ns(
             || {
@@ -452,7 +495,7 @@ fn hwcache_hitstorm_entry(reps: usize, quick: bool) -> Entry {
                     let mut acc = 0u64;
                     for j in 0..hits_per_worker {
                         let k = (j.wrapping_mul(31) + w.wrapping_mul(17)) % KEYS;
-                        acc ^= *cache.get_or_compute(key(k), || k as u64);
+                        acc ^= *cache.get_or_compute(keys[k].clone(), || k as u64);
                     }
                     acc
                 });
@@ -474,7 +517,8 @@ fn hwcache_hitstorm_entry(reps: usize, quick: bool) -> Entry {
 
 /// Whether an entry's speedup is gated against the `--baseline` report.
 fn is_gated(e: &Entry) -> bool {
-    GATED_QUANT_OPS.contains(&e.op) && !e.shape.ends_with("-pooled")
+    (GATED_QUANT_OPS.contains(&e.op) && !e.shape.ends_with("-pooled"))
+        || GATED_COMPUTE_OPS.contains(&e.op)
 }
 
 /// Extracts `(op, shape, speedup)` triples from a previous report. The
@@ -514,7 +558,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(entries: &[Entry], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 6,\n");
+    out.push_str("  \"pr\": 7,\n");
     out.push_str(&format!("  \"threads\": {},\n", Pool::global().threads()));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
@@ -536,7 +580,7 @@ fn render_json(entries: &[Entry], quick: bool) -> String {
 fn main() {
     let mut quick = false;
     let mut check = false;
-    let mut out_path = String::from("BENCH_PR6.json");
+    let mut out_path = String::from("BENCH_PR7.json");
     let mut baseline_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -575,8 +619,9 @@ fn main() {
     let mut entries = Vec::new();
 
     eprintln!(
-        "bench_perf: threads={} quick={quick}",
-        Pool::global().threads()
+        "bench_perf: threads={} quick={quick} fast-path=[{}]",
+        Pool::global().threads(),
+        cq_tensor::fast_path_info()
     );
 
     // Reference GEMM always runs: it gates --check.
@@ -639,15 +684,15 @@ fn main() {
             .iter()
             .find(|e| e.op == "gemm" && e.shape == format!("{rm}x{rk}x{rn}"))
             .expect("reference GEMM entry");
-        if reference.speedup() < 1.0 {
+        if reference.speedup() < REFERENCE_MIN_SPEEDUP {
             eprintln!(
-                "FAIL: Fast backend slower than Naive on reference GEMM ({:.2}x)",
+                "FAIL: Fast backend below {REFERENCE_MIN_SPEEDUP:.1}x over Naive on reference GEMM ({:.2}x)",
                 reference.speedup()
             );
             std::process::exit(1);
         }
         eprintln!(
-            "check passed: Fast {:.2}x Naive on reference GEMM",
+            "check passed: Fast {:.2}x Naive on reference GEMM (floor {REFERENCE_MIN_SPEEDUP:.1}x)",
             reference.speedup()
         );
 
@@ -661,7 +706,12 @@ fn main() {
                     eprintln!("  note: no baseline for {} {}", e.op, e.shape);
                     continue;
                 };
-                let floor = base * BASELINE_RETAIN;
+                let retain = if e.op == "train_step" {
+                    TRAIN_STEP_RETAIN
+                } else {
+                    BASELINE_RETAIN
+                };
+                let floor = base * retain;
                 if e.speedup() < floor {
                     eprintln!(
                         "FAIL: {} {} speedup {:.2}x below baseline floor {:.2}x (recorded {:.2}x)",
@@ -685,7 +735,7 @@ fn main() {
             if failed {
                 std::process::exit(1);
             }
-            eprintln!("check passed: quant kernels within 15% of baseline speedups");
+            eprintln!("check passed: gated entries within retention floors of baseline speedups");
         }
     }
 }

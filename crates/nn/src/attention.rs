@@ -85,9 +85,28 @@ impl Layer for SelfAttention {
             ctx.q(&self.wo.value),
         ];
         let be = ctx.backend;
-        let q = ops::matmul_with(be, &xq, &w[0])?;
-        let k = ops::matmul_with(be, &xq, &w[1])?;
-        let v = ops::matmul_with(be, &xq, &w[2])?;
+        // Fused QKV projection: one [BT,D]×[D,3D] GEMM instead of three
+        // [BT,D]×[D,D]. Concatenating weight *columns* leaves every output
+        // column's reduction untouched, so q/k/v are value-identical to
+        // the separate calls on both backends — while the packed GEMM gets
+        // a 3× wider panel to amortize its A-packing over.
+        let mut wqkv = Tensor::zeros(&[d, 3 * d]);
+        for di in 0..d {
+            let row = &mut wqkv.data_mut()[di * 3 * d..(di + 1) * 3 * d];
+            row[..d].copy_from_slice(&w[0].data()[di * d..(di + 1) * d]);
+            row[d..2 * d].copy_from_slice(&w[1].data()[di * d..(di + 1) * d]);
+            row[2 * d..].copy_from_slice(&w[2].data()[di * d..(di + 1) * d]);
+        }
+        let qkv = ops::matmul_with(be, &xq, &wqkv)?;
+        let mut q = Tensor::zeros(&[b * t, d]);
+        let mut k = Tensor::zeros(&[b * t, d]);
+        let mut v = Tensor::zeros(&[b * t, d]);
+        for r in 0..b * t {
+            let src = &qkv.data()[r * 3 * d..(r + 1) * 3 * d];
+            q.data_mut()[r * d..(r + 1) * d].copy_from_slice(&src[..d]);
+            k.data_mut()[r * d..(r + 1) * d].copy_from_slice(&src[d..2 * d]);
+            v.data_mut()[r * d..(r + 1) * d].copy_from_slice(&src[2 * d..]);
+        }
         let scale = 1.0 / (d as f32).sqrt();
         let mut attn = Vec::with_capacity(b);
         let mut ctx_out = Tensor::zeros(&[b * t, d]);
@@ -178,16 +197,30 @@ impl Layer for SelfAttention {
             gk.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gkb.data());
             gv.data_mut()[bi * t * d..(bi + 1) * t * d].copy_from_slice(gvb.data());
         }
-        // Projection weight grads and input grad.
-        self.wq
-            .grad
-            .add_scaled(&ops::matmul_at_with(be, &cache.xq, &gq)?, 1.0)?;
-        self.wk
-            .grad
-            .add_scaled(&ops::matmul_at_with(be, &cache.xq, &gk)?, 1.0)?;
-        self.wv
-            .grad
-            .add_scaled(&ops::matmul_at_with(be, &cache.xq, &gv)?, 1.0)?;
+        // Projection weight grads: one fused [BT]-reduction GEMM over the
+        // column-concatenated gq|gk|gv — per-column reductions (and thus
+        // every gradient value) identical to three separate matmul_at
+        // calls on both backends.
+        let mut g_qkv = Tensor::zeros(&[b * t, 3 * d]);
+        for r in 0..b * t {
+            let dst = &mut g_qkv.data_mut()[r * 3 * d..(r + 1) * 3 * d];
+            dst[..d].copy_from_slice(&gq.data()[r * d..(r + 1) * d]);
+            dst[d..2 * d].copy_from_slice(&gk.data()[r * d..(r + 1) * d]);
+            dst[2 * d..].copy_from_slice(&gv.data()[r * d..(r + 1) * d]);
+        }
+        let gw_qkv = ops::matmul_at_with(be, &cache.xq, &g_qkv)?; // [D, 3D]
+        let mut gwq = Tensor::zeros(&[d, d]);
+        let mut gwk = Tensor::zeros(&[d, d]);
+        let mut gwv = Tensor::zeros(&[d, d]);
+        for di in 0..d {
+            let src = &gw_qkv.data()[di * 3 * d..(di + 1) * 3 * d];
+            gwq.data_mut()[di * d..(di + 1) * d].copy_from_slice(&src[..d]);
+            gwk.data_mut()[di * d..(di + 1) * d].copy_from_slice(&src[d..2 * d]);
+            gwv.data_mut()[di * d..(di + 1) * d].copy_from_slice(&src[2 * d..]);
+        }
+        self.wq.grad.add_scaled(&gwq, 1.0)?;
+        self.wk.grad.add_scaled(&gwk, 1.0)?;
+        self.wv.grad.add_scaled(&gwv, 1.0)?;
         let mut gx = ops::matmul_bt_with(be, &gq, &w[0])?;
         gx.add_scaled(&ops::matmul_bt_with(be, &gk, &w[1])?, 1.0)?;
         gx.add_scaled(&ops::matmul_bt_with(be, &gv, &w[2])?, 1.0)?;

@@ -76,15 +76,17 @@ impl Lstm {
     fn step(
         &self,
         xq: &Tensor,
+        zx: &Tensor,
         h_prev: &Tensor,
         c_prev: &Tensor,
-        wxq: &Tensor,
         whq: &Tensor,
         backend: Backend,
     ) -> Result<StepCache, NnError> {
         let h = self.hidden;
         let b = xq.dims()[0];
-        let mut z = ops::matmul_with(backend, xq, wxq)?;
+        // `zx` is this step's row block of the batched input projection
+        // (see `forward`); only the recurrent matmul runs per step.
+        let mut z = zx.clone();
         let zh = ops::matmul_with(backend, h_prev, whq)?;
         z.add_scaled(&zh, 1.0)?;
         let bias = self.bias.value.data();
@@ -137,13 +139,29 @@ impl Layer for Lstm {
         let (t, b, i) = (x.dims()[0], x.dims()[1], x.dims()[2]);
         let wxq = ctx.q(&self.wx.value);
         let whq = ctx.q(&self.wh.value);
+        // Quantize each timestep exactly as before (per-step quantization
+        // parameters are part of the numerics), then run the input
+        // projection for *all* timesteps as one [T·B, I] × [I, 4H] GEMM:
+        // each row's reduction is unchanged, so every z value matches the
+        // per-step matmuls on both backends — while the packed GEMM sees
+        // one tall matrix instead of T thin ones.
+        let mut xq_steps = Vec::with_capacity(t);
+        let mut xq_all = Tensor::zeros(&[t * b, i]);
+        for ti in 0..t {
+            let xt = x.slice_flat(ti * b * i, b * i)?.reshape(&[b, i])?;
+            let xq = ctx.q(&xt);
+            xq_all.data_mut()[ti * b * i..(ti + 1) * b * i].copy_from_slice(xq.data());
+            xq_steps.push(xq);
+        }
+        let zx_all = ops::matmul_with(ctx.backend, &xq_all, &wxq)?; // [T·B, 4H]
         let mut h = Tensor::zeros(&[b, self.hidden]);
         let mut c = Tensor::zeros(&[b, self.hidden]);
         let mut caches = Vec::with_capacity(t);
         for ti in 0..t {
-            let xt = x.slice_flat(ti * b * i, b * i)?.reshape(&[b, i])?;
-            let xq = ctx.q(&xt);
-            let cache = self.step(&xq, &h, &c, &wxq, &whq, ctx.backend)?;
+            let zx_t = zx_all
+                .slice_flat(ti * b * 4 * self.hidden, b * 4 * self.hidden)?
+                .reshape(&[b, 4 * self.hidden])?;
+            let cache = self.step(&xq_steps[ti], &zx_t, &h, &c, &whq, ctx.backend)?;
             h = Self::hidden_of(&cache, self.hidden);
             c = cache.c.clone();
             caches.push(cache);
@@ -166,7 +184,7 @@ impl Layer for Lstm {
         let i_dim = self.wx.value.dims()[0];
         let mut dh = ctx.q(grad_out);
         let mut dc = Tensor::zeros(&[b, h]);
-        let mut dx_all = Tensor::zeros(&[t, b, i_dim]);
+        let mut dz_all = Tensor::zeros(&[t * b, 4 * h]);
         for ti in (0..t).rev() {
             let cache = &caches[ti];
             let mut dz = Tensor::zeros(&[b, 4 * h]);
@@ -204,12 +222,15 @@ impl Layer for Lstm {
                     self.bias.grad.data_mut()[j] += dz.data()[bi * 4 * h + j];
                 }
             }
-            // Input and recurrent gradients.
-            let dx = ops::matmul_bt_with(ctx.backend, &dz, wxq)?;
-            dx_all.data_mut()[ti * b * i_dim..(ti + 1) * b * i_dim].copy_from_slice(dx.data());
+            // Recurrent gradient feeds the next (earlier) step; the input
+            // gradient is deferred to one batched GEMM below.
+            dz_all.data_mut()[ti * b * 4 * h..(ti + 1) * b * 4 * h].copy_from_slice(dz.data());
             dh = ops::matmul_bt_with(ctx.backend, &dz, whq)?;
         }
-        Ok(dx_all)
+        // Batched input gradient: one [T·B, 4H] × [I, 4H]ᵀ GEMM whose row
+        // reductions are identical to the per-step matmul_bt calls.
+        let dx_flat = ops::matmul_bt_with(ctx.backend, &dz_all, wxq)?;
+        Ok(dx_flat.reshape(&[t, b, i_dim])?)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

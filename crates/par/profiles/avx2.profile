@@ -1,0 +1,7 @@
+# cq-tune gemm profile v1
+simd = avx2
+mr = 6
+nr = 16
+kc = 512
+mc = 144
+nc = 2048

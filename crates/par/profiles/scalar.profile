@@ -1,0 +1,7 @@
+# cq-tune gemm profile v1
+simd = scalar
+mr = 6
+nr = 16
+kc = 128
+mc = 72
+nc = 512

@@ -14,8 +14,9 @@
 //! one patch buffer per worker; the batch-1 case falls back to the
 //! parallel GEMM itself.
 
-use crate::gemm::{gemm, gemm_at, gemm_bt};
+use crate::gemm::{gemm, gemm_at, gemm_bt, gemm_prepacked, PackedA};
 use crate::pool::Pool;
+use crate::tune::active_plan;
 
 /// Shape bundle for one convolution, with all derived sizes precomputed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,31 +186,32 @@ pub fn conv2d(shape: &ConvShape, input: &[f32], weight: &[f32], out: &mut [f32],
     if shape.out_len() == 0 {
         return;
     }
-    let serial = Pool::new(1);
-    let inner_pool = if shape.n > 1 { &serial } else { pool };
-    let run_image = |img: usize, out_img: &mut [f32], cols: &mut [f32]| {
-        let image = &input[img * shape.image_len()..(img + 1) * shape.image_len()];
-        im2col(shape, image, cols);
+    if shape.n > 1 {
+        // The weight matrix is the left operand of every per-image GEMM:
+        // pack its panels once and share them (PackedA is read-only) across
+        // the image fan-out instead of repacking per image.
+        let packed_w = PackedA::pack(active_plan(), shape.f, shape.col_rows(), weight);
+        pool.parallel_row_chunks(out, shape.out_len(), 1, |first, band| {
+            let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+            for (i, out_img) in band.chunks_exact_mut(shape.out_len()).enumerate() {
+                let img = first + i;
+                let image = &input[img * shape.image_len()..(img + 1) * shape.image_len()];
+                im2col(shape, image, &mut cols);
+                gemm_prepacked(&packed_w, shape.col_cols(), &cols, out_img);
+            }
+        });
+    } else {
+        let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+        im2col(shape, input, &mut cols);
         gemm(
             shape.f,
             shape.col_rows(),
             shape.col_cols(),
             weight,
-            cols,
-            out_img,
-            inner_pool,
+            &cols,
+            out,
+            pool,
         );
-    };
-    if shape.n > 1 {
-        pool.parallel_row_chunks(out, shape.out_len(), 1, |first, band| {
-            let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
-            for (i, out_img) in band.chunks_exact_mut(shape.out_len()).enumerate() {
-                run_image(first + i, out_img, &mut cols);
-            }
-        });
-    } else {
-        let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
-        run_image(0, out, &mut cols);
     }
 }
 
@@ -233,32 +235,33 @@ pub fn conv2d_grad_input(
     if shape.out_len() == 0 || shape.image_len() == 0 {
         return;
     }
-    let serial = Pool::new(1);
-    let inner_pool = if shape.n > 1 { &serial } else { pool };
-    let run_image = |img: usize, gin_img: &mut [f32], cols: &mut [f32]| {
-        let g = &grad_out[img * shape.out_len()..(img + 1) * shape.out_len()];
-        // cols = Wᵀ[C·KH·KW, F] × g[F, OH·OW]
+    if shape.n > 1 {
+        // Wᵀ is the left operand of every per-image GEMM: pack its panels
+        // once, straight from the [F, C·KH·KW] storage (strided packer —
+        // no transpose materialization), shared across the fan-out.
+        let packed_wt = PackedA::pack_transposed(active_plan(), shape.col_rows(), shape.f, weight);
+        pool.parallel_row_chunks(gin, shape.image_len(), 1, |first, band| {
+            let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
+            for (i, gin_img) in band.chunks_exact_mut(shape.image_len()).enumerate() {
+                let img = first + i;
+                let g = &grad_out[img * shape.out_len()..(img + 1) * shape.out_len()];
+                // cols = Wᵀ[C·KH·KW, F] × g[F, OH·OW]
+                gemm_prepacked(&packed_wt, shape.col_cols(), g, &mut cols);
+                col2im_add(shape, &cols, gin_img);
+            }
+        });
+    } else {
+        let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
         gemm_at(
             shape.col_rows(),
             shape.f,
             shape.col_cols(),
             weight,
-            g,
-            cols,
-            inner_pool,
+            grad_out,
+            &mut cols,
+            pool,
         );
-        col2im_add(shape, cols, gin_img);
-    };
-    if shape.n > 1 {
-        pool.parallel_row_chunks(gin, shape.image_len(), 1, |first, band| {
-            let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
-            for (i, gin_img) in band.chunks_exact_mut(shape.image_len()).enumerate() {
-                run_image(first + i, gin_img, &mut cols);
-            }
-        });
-    } else {
-        let mut cols = vec![0.0f32; shape.col_rows() * shape.col_cols()];
-        run_image(0, gin, &mut cols);
+        col2im_add(shape, &cols, gin);
     }
 }
 

@@ -1,38 +1,287 @@
-//! Cache-blocked, register-tiled GEMM kernels with operand packing.
+//! Three-level cache-blocked GEMM: micro-kernel × register tile below,
+//! KC/MC/NC panel blocking above, pool banding on top.
 //!
-//! The micro-kernel computes an `MR × NR` (6×8) tile of the output with
-//! all 48 partial sums held in locals. Before the tile loops run, the
-//! band's A rows are repacked into `MR`-interleaved panels and each group
-//! of `NR` B columns into a contiguous `k × NR` panel, so the inner loop
-//! over the reduction dimension issues two short *contiguous* loads (one
-//! `NR`-vector of B, one `MR`-vector of A) per 48 multiply-accumulates —
-//! no strided cache-line or TLB traffic, and roughly 8× less memory
-//! movement than the naive axpy loop, which re-reads and re-writes the
-//! output row on every step. Packing costs `O(mk + kn)` against the
-//! `O(mkn)` multiply. Parallelism partitions the *output rows* across the
-//! [`Pool`]: bands are disjoint `&mut` slices, so no synchronization is
-//! needed.
+//! The loop nest is the classic BLIS/GotoBLAS structure, parameterized by
+//! the active [`GemmPlan`] (see [`crate::tune`]):
 //!
-//! Accumulation order over `k` is ascending for every output element —
-//! identical to the naive kernels in `cq_tensor::ops` — so results match
-//! the reference backend bit-for-bit (rustc does not contract `a*b + c`
-//! into FMA on its own). Zero-padded panel lanes (ragged edges) only ever
-//! land in discarded accumulators.
+//! ```text
+//! for jc in 0..n  step NC      // B column block   → packed once per (jc,pc)
+//!   for pc in 0..k step KC     // reduction block  → accumulate after the first
+//!     pack B[pc.., jc..]  (KC × NC, NR-column panels)
+//!     for ic in 0..m step MC   // A row block      → packed, reused over NC cols
+//!       pack A[ic.., pc..] (MC × KC, MR-row interleaved panels)
+//!       for jr step NR · for ir step MR:
+//!         micro-kernel: C[ic+ir.., jc+jr..] (+)= A-panel × B-panel
+//! ```
+//!
+//! Packing rewrites both operands so the micro-kernel streams two short
+//! contiguous loads per `MR·NR` multiply-accumulates, and the KC/MC/NC
+//! blocks keep the panels resident in L1/L2 while they are reused. The
+//! packer reads A and B through a strided [`MatRef`] view, so
+//! [`gemm_at`] (A stored `[k, m]`) and [`gemm_bt`] (B stored `[n, k]`)
+//! pack their transposed operand *directly* — no scratch transpose
+//! materialization and no extra pass over memory.
+//!
+//! Parallelism still partitions output rows across the [`Pool`]: bands
+//! are disjoint `&mut` slices running the full blocked nest.
+//!
+//! # Determinism
+//!
+//! Every output element is accumulated over `k` in ascending index
+//! order: the `pc` blocks advance in order and each micro-kernel sums
+//! its block ascending. Banding, blocking and thread count change which
+//! elements are computed *together*, never the per-element operation
+//! sequence — so results are bitwise identical across thread counts and
+//! tile shapes *within* one SIMD level. Across levels (or vs the naive
+//! backend) the FMA kernels differ by fused-rounding only, inside the
+//! documented `k · amax · bmax · 8ε` parity tolerance.
 
+// Micro-kernel invocations are raw-pointer calls (see microkernel.rs);
+// every call site documents the bounds that make it sound.
+#![allow(unsafe_code)]
+
+use crate::microkernel::{MAX_MR, MAX_NR};
 use crate::pool::Pool;
+use crate::tune::{active_plan, GemmPlan};
 
-/// Rows per register tile.
-const MR: usize = 6;
-/// Columns per register tile.
-const NR: usize = 8;
 /// Minimum multiply-accumulate count before a GEMM fans out to the pool;
 /// below this, scoped-thread spawn overhead (~tens of µs) dominates.
 const PAR_MIN_MACS: usize = 1 << 18;
-/// Minimum output rows handed to one worker; keeps each band's `O(kn)`
-/// B-packing cost small next to its `O(rows·kn)` compute.
-const PAR_MIN_ROWS: usize = 4 * MR;
 
-/// `out[m,n] = a[m,k] × b[k,n]`, all row-major.
+/// A strided read-only matrix view: element `(r, c)` lives at
+/// `data[off + r·rs + c·cs]`. Lets one packer serve row-major A,
+/// column-stored Aᵀ and row-stored Bᵀ without materializing transposes.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    off: usize,
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    fn row_major(data: &'a [f32], cols: usize) -> Self {
+        MatRef {
+            data,
+            off: 0,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// View of the same matrix starting `r0` rows down.
+    fn band(self, r0: usize) -> Self {
+        MatRef {
+            off: self.off + r0 * self.rs,
+            ..self
+        }
+    }
+
+    #[inline(always)]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        self.off + r * self.rs + c * self.cs
+    }
+}
+
+/// Packs the `mcb × kcb` block of `a` at `(i0, p0)` into `MR`-interleaved
+/// panels: panel `ib` holds rows `i0 + ib·mr ..`, laid out `p`-major as
+/// `dst[ib·kcb·mr + p·mr + ii]`. Ragged final panels are zero-padded —
+/// padded lanes only ever land in discarded accumulators.
+fn pack_a(a: MatRef<'_>, i0: usize, p0: usize, mcb: usize, kcb: usize, mr: usize, dst: &mut [f32]) {
+    for ib in 0..mcb.div_ceil(mr) {
+        let panel = &mut dst[ib * kcb * mr..(ib + 1) * kcb * mr];
+        let rows_here = mr.min(mcb - ib * mr);
+        if rows_here < mr {
+            panel.fill(0.0);
+        }
+        for ii in 0..rows_here {
+            let mut src = a.idx(i0 + ib * mr + ii, p0);
+            for p in 0..kcb {
+                panel[p * mr + ii] = a.data[src];
+                src += a.cs;
+            }
+        }
+    }
+}
+
+/// Packs the `kcb × ncb` block of `b` at `(p0, j0)` into `NR`-column
+/// panels: panel `jb` holds columns `j0 + jb·nr ..`, laid out as
+/// `dst[jb·kcb·nr + p·nr + jj]`, zero-padded on the ragged edge.
+fn pack_b(b: MatRef<'_>, p0: usize, j0: usize, kcb: usize, ncb: usize, nr: usize, dst: &mut [f32]) {
+    for jb in 0..ncb.div_ceil(nr) {
+        let panel = &mut dst[jb * kcb * nr..(jb + 1) * kcb * nr];
+        let cols_here = nr.min(ncb - jb * nr);
+        if cols_here < nr {
+            panel.fill(0.0);
+        }
+        if b.cs == 1 {
+            for p in 0..kcb {
+                let src = b.idx(p0 + p, j0 + jb * nr);
+                panel[p * nr..p * nr + cols_here].copy_from_slice(&b.data[src..src + cols_here]);
+            }
+        } else {
+            for p in 0..kcb {
+                let mut src = b.idx(p0 + p, j0 + jb * nr);
+                for jj in 0..cols_here {
+                    panel[p * nr + jj] = b.data[src];
+                    src += b.cs;
+                }
+            }
+        }
+    }
+}
+
+/// Where the blocked driver gets its packed A panels from.
+enum ASource<'a> {
+    /// Pack on the fly from a strided view.
+    View(MatRef<'a>),
+    /// Reuse panels packed once by [`PackedA::pack`].
+    Packed(&'a PackedA),
+}
+
+/// The serial three-level loop nest over one band of output rows.
+/// `out` is the row-major `rows × n` band; `a` covers exactly those rows.
+fn gemm_blocked(
+    plan: &GemmPlan,
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: ASource<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+) {
+    let cfg = plan.cfg;
+    let (mr, nr, kc, mc, nc) = (cfg.mr, cfg.nr, cfg.kc, cfg.mc, cfg.nc);
+    let kern = plan.kern;
+
+    let mut bp = vec![0.0f32; kc.min(k) * nc.min(n).div_ceil(nr) * nr];
+    let mut ap = match a {
+        ASource::View(_) => vec![0.0f32; kc.min(k) * mc.min(rows).div_ceil(mr) * mr],
+        ASource::Packed(_) => Vec::new(),
+    };
+    let mut scratch = [0.0f32; MAX_MR * MAX_NR];
+
+    let mut jc = 0;
+    while jc < n {
+        let ncb = nc.min(n - jc);
+        let mut pc = 0;
+        let mut pci = 0;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            pack_b(b, pc, jc, kcb, ncb, nr, &mut bp);
+            // After the first reduction block, micro-kernels add into C.
+            let acc = pci > 0;
+            let mut ic = 0;
+            let mut ici = 0;
+            while ic < rows {
+                let mcb = mc.min(rows - ic);
+                let a_panels: &[f32] = match &a {
+                    ASource::View(v) => {
+                        pack_a(*v, ic, pc, mcb, kcb, mr, &mut ap);
+                        &ap
+                    }
+                    ASource::Packed(p) => p.block(pci, ici),
+                };
+                let mut jr = 0;
+                while jr < ncb {
+                    let nrb = nr.min(ncb - jr);
+                    let bpanel = &bp[(jr / nr) * kcb * nr..];
+                    let mut ir = 0;
+                    while ir < mcb {
+                        let mrb = mr.min(mcb - ir);
+                        let apanel = &a_panels[(ir / mr) * kcb * mr..];
+                        let (row, col) = (ic + ir, jc + jr);
+                        if mrb == mr && nrb == nr {
+                            // SAFETY: apanel/bpanel hold ≥ kcb·mr / kcb·nr
+                            // floats (full panels exist for full tiles);
+                            // rows row..row+mr and cols col..col+nr are in
+                            // bounds, so every write `i·n + j` from the
+                            // tile base stays inside `out`.
+                            unsafe {
+                                kern(
+                                    kcb,
+                                    apanel.as_ptr(),
+                                    bpanel.as_ptr(),
+                                    out.as_mut_ptr().add(row * n + col),
+                                    n,
+                                    acc,
+                                );
+                            }
+                        } else {
+                            // Ragged edge: compute the full zero-padded
+                            // tile into scratch, then copy/add the valid
+                            // `mrb × nrb` corner.
+                            // SAFETY: panels as above (zero-padded to full
+                            // size); scratch holds MAX_MR·MAX_NR ≥ mr·nr
+                            // floats at ldc = nr.
+                            unsafe {
+                                kern(
+                                    kcb,
+                                    apanel.as_ptr(),
+                                    bpanel.as_ptr(),
+                                    scratch.as_mut_ptr(),
+                                    nr,
+                                    false,
+                                );
+                            }
+                            for ii in 0..mrb {
+                                let o = (row + ii) * n + col;
+                                let s = &scratch[ii * nr..ii * nr + nrb];
+                                if acc {
+                                    for (ov, &sv) in out[o..o + nrb].iter_mut().zip(s) {
+                                        *ov += sv;
+                                    }
+                                } else {
+                                    out[o..o + nrb].copy_from_slice(s);
+                                }
+                            }
+                        }
+                        ir += mr;
+                    }
+                    jr += nr;
+                }
+                ic += mc;
+                ici += 1;
+            }
+            pc += kc;
+            pci += 1;
+        }
+        jc += nc;
+    }
+}
+
+/// Shared entry: handles degenerate shapes and the serial/banded split.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    plan: &GemmPlan,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    pool: &Pool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let min_rows = 4 * plan.cfg.mr;
+    if pool.threads() == 1 || m * n * k < PAR_MIN_MACS {
+        gemm_blocked(plan, m, k, n, ASource::View(a), b, out);
+    } else {
+        pool.parallel_row_chunks(out, n, min_rows, |first_row, band| {
+            let rows = band.len() / n;
+            gemm_blocked(plan, rows, k, n, ASource::View(a.band(first_row)), b, band);
+        });
+    }
+}
+
+/// `out[m,n] = a[m,k] × b[k,n]`, all row-major, using the process-wide
+/// [`active_plan`].
 ///
 /// # Panics
 ///
@@ -49,9 +298,233 @@ const PAR_MIN_ROWS: usize = 4 * MR;
 /// assert_eq!(out, [58.0, 64.0, 139.0, 154.0]);
 /// ```
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], pool: &Pool) {
+    gemm_with_plan(active_plan(), m, k, n, a, b, out, pool);
+}
+
+/// [`gemm`] with an explicit plan (used by the autotuner and parity tests).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_plan(
+    plan: &GemmPlan,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    pool: &Pool,
+) {
     assert_eq!(a.len(), m * k, "gemm: a length");
     assert_eq!(b.len(), k * n, "gemm: b length");
     assert_eq!(out.len(), m * n, "gemm: out length");
+    run(
+        plan,
+        m,
+        k,
+        n,
+        MatRef::row_major(a, k),
+        MatRef::row_major(b, n),
+        out,
+        pool,
+    );
+}
+
+/// `out[m,n] = aᵀ × b` for `a[k,m]`, `b[k,n]` (the weight-gradient shape).
+///
+/// Aᵀ is packed directly from its `[k, m]` storage (column stride `m`)
+/// by the panel packer — no transpose materialization.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], pool: &Pool) {
+    gemm_at_with_plan(active_plan(), m, k, n, a, b, out, pool);
+}
+
+/// [`gemm_at`] with an explicit plan.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_at_with_plan(
+    plan: &GemmPlan,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    pool: &Pool,
+) {
+    assert_eq!(a.len(), k * m, "gemm_at: a length");
+    assert_eq!(b.len(), k * n, "gemm_at: b length");
+    assert_eq!(out.len(), m * n, "gemm_at: out length");
+    // Element (i, p) of Aᵀ is a[p·m + i]: row stride 1, column stride m.
+    let at = MatRef {
+        data: a,
+        off: 0,
+        rs: 1,
+        cs: m,
+    };
+    run(plan, m, k, n, at, MatRef::row_major(b, n), out, pool);
+}
+
+/// `out[m,n] = a × bᵀ` for `a[m,k]`, `b[n,k]` (the neuron-gradient shape).
+///
+/// Bᵀ is packed directly from its `[n, k]` storage (column stride `k`)
+/// by the panel packer — no transpose materialization.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], pool: &Pool) {
+    gemm_bt_with_plan(active_plan(), m, k, n, a, b, out, pool);
+}
+
+/// [`gemm_bt`] with an explicit plan.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bt_with_plan(
+    plan: &GemmPlan,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    pool: &Pool,
+) {
+    assert_eq!(a.len(), m * k, "gemm_bt: a length");
+    assert_eq!(b.len(), n * k, "gemm_bt: b length");
+    assert_eq!(out.len(), m * n, "gemm_bt: out length");
+    // Element (p, j) of Bᵀ is b[j·k + p]: row stride 1, column stride k.
+    let bt = MatRef {
+        data: b,
+        off: 0,
+        rs: 1,
+        cs: k,
+    };
+    run(plan, m, k, n, MatRef::row_major(a, k), bt, out, pool);
+}
+
+/// A's panels packed once for reuse across many GEMMs with the same left
+/// operand — the im2col conv paths multiply one weight matrix against a
+/// per-image patch matrix, so packing W per *call* wastes `O(m·k)` work
+/// per image.
+///
+/// Built by [`PackedA::pack`] / [`PackedA::pack_transposed`] and consumed
+/// by [`gemm_prepacked`]. The panel grid (KC × MC blocks) follows the
+/// plan used at pack time, so prepacked results are bitwise identical to
+/// [`gemm_with_plan`] with the same plan.
+pub struct PackedA {
+    plan: GemmPlan,
+    m: usize,
+    k: usize,
+    n_ic: usize,
+    data: Vec<f32>,
+    /// Start of each `(pci, ici)` block in `data`, plus an end sentinel.
+    offsets: Vec<usize>,
+}
+
+impl PackedA {
+    /// Packs row-major `a[m, k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn pack(plan: &GemmPlan, m: usize, k: usize, a: &[f32]) -> PackedA {
+        assert_eq!(a.len(), m * k, "PackedA::pack: a length");
+        Self::pack_view(plan, m, k, MatRef::row_major(a, k))
+    }
+
+    /// Packs `aᵀ` for `a` stored `[k, m]` (the grad-input weight shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != k * m`.
+    pub fn pack_transposed(plan: &GemmPlan, m: usize, k: usize, a: &[f32]) -> PackedA {
+        assert_eq!(a.len(), k * m, "PackedA::pack_transposed: a length");
+        Self::pack_view(
+            plan,
+            m,
+            k,
+            MatRef {
+                data: a,
+                off: 0,
+                rs: 1,
+                cs: m,
+            },
+        )
+    }
+
+    fn pack_view(plan: &GemmPlan, m: usize, k: usize, a: MatRef<'_>) -> PackedA {
+        let (mr, kc, mc) = (plan.cfg.mr, plan.cfg.kc, plan.cfg.mc);
+        let n_pc = k.div_ceil(kc);
+        let n_ic = m.div_ceil(mc);
+        let mut data = Vec::new();
+        let mut offsets = Vec::with_capacity(n_pc * n_ic + 1);
+        for pci in 0..n_pc {
+            let pc = pci * kc;
+            let kcb = kc.min(k - pc);
+            for ici in 0..n_ic {
+                let ic = ici * mc;
+                let mcb = mc.min(m - ic);
+                offsets.push(data.len());
+                let len = mcb.div_ceil(mr) * kcb * mr;
+                data.resize(data.len() + len, 0.0);
+                let start = data.len() - len;
+                pack_a(a, ic, pc, mcb, kcb, mr, &mut data[start..]);
+            }
+        }
+        offsets.push(data.len());
+        PackedA {
+            plan: *plan,
+            m,
+            k,
+            n_ic,
+            data,
+            offsets,
+        }
+    }
+
+    /// Rows of the packed operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Reduction length of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Panels of block `(pci, ici)`.
+    fn block(&self, pci: usize, ici: usize) -> &[f32] {
+        let i = pci * self.n_ic + ici;
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
+
+/// Serial GEMM reusing pre-packed A panels: `out[m,n] = A × b[k,n]` with
+/// `(m, k)` and the plan taken from `packed`. Bitwise identical to
+/// [`gemm_with_plan`] with the same plan on 1 thread.
+///
+/// Serial by design: the conv paths call it per image *inside* a pool
+/// fan-out over the batch.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the packed dimensions.
+pub fn gemm_prepacked(packed: &PackedA, n: usize, b: &[f32], out: &mut [f32]) {
+    let (m, k) = (packed.m, packed.k);
+    assert_eq!(b.len(), k * n, "gemm_prepacked: b length");
+    assert_eq!(out.len(), m * n, "gemm_prepacked: out length");
     if m == 0 || n == 0 {
         return;
     }
@@ -59,101 +532,15 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32],
         out.fill(0.0);
         return;
     }
-    if pool.threads() == 1 || m * n * k < PAR_MIN_MACS {
-        gemm_band(&a[..m * k], k, n, b, out);
-    } else {
-        pool.parallel_row_chunks(out, n, PAR_MIN_ROWS, |first_row, band| {
-            let rows = band.len() / n;
-            gemm_band(&a[first_row * k..(first_row + rows) * k], k, n, b, band);
-        });
-    }
-}
-
-/// Serial GEMM over a band of output rows; `a_band` holds exactly the
-/// band's rows of A.
-fn gemm_band(a_band: &[f32], k: usize, n: usize, b: &[f32], out_band: &mut [f32]) {
-    let rows = out_band.len() / n;
-    let rblocks = rows.div_ceil(MR);
-
-    // Pack A once per band: each row block becomes a `k × MR` interleaved
-    // panel (`ap[block][p][ii]`), zero-padded below `rows`.
-    let mut ap = vec![0.0f32; rblocks * k * MR];
-    for ib in 0..rblocks {
-        let panel = &mut ap[ib * k * MR..(ib + 1) * k * MR];
-        for ii in 0..MR.min(rows - ib * MR) {
-            let row = &a_band[(ib * MR + ii) * k..(ib * MR + ii + 1) * k];
-            for (p, &v) in row.iter().enumerate() {
-                panel[p * MR + ii] = v;
-            }
-        }
-    }
-
-    // One reusable `k × NR` B panel, repacked per column group and swept
-    // across every row block while it is cache-hot.
-    let mut bp = vec![0.0f32; k * NR];
-    let mut j0 = 0;
-    while j0 < n {
-        let nr = (n - j0).min(NR);
-        if nr < NR {
-            bp.fill(0.0);
-        }
-        for p in 0..k {
-            bp[p * NR..p * NR + nr].copy_from_slice(&b[p * n + j0..p * n + j0 + nr]);
-        }
-        for ib in 0..rblocks {
-            let acc = micro_packed(&ap[ib * k * MR..(ib + 1) * k * MR], &bp, k);
-            for (ii, accr) in acc.iter().enumerate().take(MR.min(rows - ib * MR)) {
-                let row = (ib * MR + ii) * n;
-                out_band[row + j0..row + j0 + nr].copy_from_slice(&accr[..nr]);
-            }
-        }
-        j0 += nr;
-    }
-}
-
-/// The hot inner kernel: one `MR × NR` register tile over packed panels.
-/// Both operands stream contiguously: `ap` is `k × MR` interleaved A,
-/// `bp` is `k × NR` packed B.
-#[inline(always)]
-fn micro_packed(ap: &[f32], bp: &[f32], k: usize) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
-        for (accr, &a) in acc.iter_mut().zip(av) {
-            for (o, &b) in accr.iter_mut().zip(bv) {
-                *o += a * b;
-            }
-        }
-    }
-    acc
-}
-
-/// `out[m,n] = aᵀ × b` for `a[k,m]`, `b[k,n]` (the weight-gradient shape).
-///
-/// Materializes `aᵀ` once (blocked transpose, `O(km)` — negligible next to
-/// the `O(mkn)` multiply) and runs the tiled [`gemm`].
-///
-/// # Panics
-///
-/// Panics if slice lengths disagree with the dimensions.
-pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], pool: &Pool) {
-    assert_eq!(a.len(), k * m, "gemm_at: a length");
-    let mut at = vec![0.0f32; k * m];
-    transpose(a, k, m, &mut at);
-    gemm(m, k, n, &at, b, out, pool);
-}
-
-/// `out[m,n] = a × bᵀ` for `a[m,k]`, `b[n,k]` (the neuron-gradient shape).
-///
-/// Materializes `bᵀ` once and runs the tiled [`gemm`].
-///
-/// # Panics
-///
-/// Panics if slice lengths disagree with the dimensions.
-pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], pool: &Pool) {
-    assert_eq!(b.len(), n * k, "gemm_bt: b length");
-    let mut bt = vec![0.0f32; k * n];
-    transpose(b, n, k, &mut bt);
-    gemm(m, k, n, a, &bt, out, pool);
+    gemm_blocked(
+        &packed.plan,
+        m,
+        k,
+        n,
+        ASource::Packed(packed),
+        MatRef::row_major(b, n),
+        out,
+    );
 }
 
 /// Blocked transpose: `dst[cols,rows] = srcᵀ` for row-major `src[rows,cols]`.
@@ -185,6 +572,9 @@ pub fn transpose(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::microkernel::{SimdLevel, SUPPORTED_TILES};
+    use crate::tune::TileConfig;
+    use proptest::prelude::*;
 
     fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
         let mut out = vec![0.0f32; m * n];
@@ -201,8 +591,9 @@ mod tests {
     }
 
     fn fill(len: usize, seed: u32) -> Vec<f32> {
-        // Small LCG: exact-in-f32 values so naive and tiled sums are
-        // comparable with equality.
+        // Small LCG: exact-in-f32 values (1/16 steps, |v| < 8) so every
+        // association — and even fused multiply-adds — produces the same
+        // bits, making tiled results comparable to naive with equality.
         let mut s = seed;
         (0..len)
             .map(|_| {
@@ -210,6 +601,51 @@ mod tests {
                 ((s >> 24) as f32 - 128.0) / 16.0
             })
             .collect()
+    }
+
+    /// Plans covering all supported tiles, degenerate blocking (every
+    /// block boundary exercised) and the active level's defaults.
+    fn test_plans() -> Vec<GemmPlan> {
+        let mut levels = vec![SimdLevel::Scalar];
+        let detected = crate::microkernel::simd_level();
+        if detected != SimdLevel::Scalar {
+            levels.push(detected);
+        }
+        let mut plans = Vec::new();
+        for level in levels {
+            for &(mr, nr) in &SUPPORTED_TILES {
+                // Tiny blocks: many KC/MC/NC iterations even on small inputs.
+                plans.push(
+                    GemmPlan::new(
+                        level,
+                        TileConfig {
+                            mr,
+                            nr,
+                            kc: 3,
+                            mc: mr,
+                            nc: nr,
+                        },
+                    )
+                    .unwrap(),
+                );
+                // Moderate blocks: partial edge blocks on test shapes.
+                plans.push(
+                    GemmPlan::new(
+                        level,
+                        TileConfig {
+                            mr,
+                            nr,
+                            kc: 16,
+                            mc: 2 * mr + 1,
+                            nc: 2 * nr + 3,
+                        },
+                    )
+                    .unwrap(),
+                );
+            }
+            plans.push(GemmPlan::new(level, crate::tune::default_profile(level).1).unwrap());
+        }
+        plans
     }
 
     #[test]
@@ -229,6 +665,22 @@ mod tests {
             for threads in [1, 4] {
                 gemm(m, k, n, &a, &b, &mut out, &Pool::new(threads));
                 assert_eq!(out, naive(m, k, n, &a, &b), "{m}x{k}x{n} t{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_plans() {
+        // Exact fill values make every kernel/blocking combination
+        // directly comparable to naive with equality.
+        for &(m, k, n) in &[(5usize, 7usize, 9usize), (17, 23, 19), (33, 40, 31)] {
+            let a = fill(m * k, 2 + m as u32);
+            let b = fill(k * n, 7 + n as u32);
+            let want = naive(m, k, n, &a, &b);
+            for plan in test_plans() {
+                let mut out = vec![-1.0f32; m * n];
+                gemm_with_plan(&plan, m, k, n, &a, &b, &mut out, &Pool::new(1));
+                assert_eq!(out, want, "{m}x{k}x{n} plan {}", plan.describe());
             }
         }
     }
@@ -269,13 +721,60 @@ mod tests {
     }
 
     #[test]
-    fn transpose_roundtrip() {
-        let src = fill(5 * 9, 42);
-        let mut t = vec![0.0; 45];
-        let mut back = vec![0.0; 45];
-        transpose(&src, 5, 9, &mut t);
-        transpose(&t, 9, 5, &mut back);
-        assert_eq!(src, back);
+    fn transposed_variants_match_across_plans() {
+        let (m, k, n) = (13, 19, 11);
+        let a_t = fill(k * m, 15);
+        let b = fill(k * n, 16);
+        let b_t = fill(n * k, 17);
+        let a = fill(m * k, 18);
+        let mut at = vec![0.0; m * k];
+        transpose(&a_t, k, m, &mut at);
+        let mut bt = vec![0.0; k * n];
+        transpose(&b_t, n, k, &mut bt);
+        let want_at = naive(m, k, n, &at, &b);
+        let want_bt = naive(m, k, n, &a, &bt);
+        for plan in test_plans() {
+            let mut got = vec![0.0; m * n];
+            gemm_at_with_plan(&plan, m, k, n, &a_t, &b, &mut got, &Pool::new(1));
+            assert_eq!(got, want_at, "gemm_at plan {}", plan.describe());
+            gemm_bt_with_plan(&plan, m, k, n, &a, &b_t, &mut got, &Pool::new(1));
+            assert_eq!(got, want_bt, "gemm_bt plan {}", plan.describe());
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_gemm_bitwise() {
+        for plan in test_plans() {
+            let (m, k) = (21, 29);
+            let a = fill(m * k, 31);
+            let a_t = fill(k * m, 32);
+            let packed = PackedA::pack(&plan, m, k, &a);
+            let packed_t = PackedA::pack_transposed(&plan, m, k, &a_t);
+            assert_eq!((packed.m(), packed.k()), (m, k));
+            for n in [1usize, 8, 13] {
+                let b = fill(k * n, 40 + n as u32);
+                let mut want = vec![0.0; m * n];
+                gemm_with_plan(&plan, m, k, n, &a, &b, &mut want, &Pool::new(1));
+                let mut got = vec![-1.0; m * n];
+                gemm_prepacked(&packed, n, &b, &mut got);
+                assert_eq!(got, want, "prepacked n={n} plan {}", plan.describe());
+
+                gemm_at_with_plan(&plan, m, k, n, &a_t, &b, &mut want, &Pool::new(1));
+                gemm_prepacked(&packed_t, n, &b, &mut got);
+                assert_eq!(got, want, "prepacked_t n={n} plan {}", plan.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_degenerate_shapes() {
+        let plan = *active_plan();
+        let packed = PackedA::pack(&plan, 0, 5, &[]);
+        gemm_prepacked(&packed, 3, &fill(15, 3), &mut []);
+        let packed = PackedA::pack(&plan, 2, 0, &[]);
+        let mut out = vec![1.0f32; 6];
+        gemm_prepacked(&packed, 3, &[], &mut out);
+        assert_eq!(out, vec![0.0; 6]);
     }
 
     #[test]
@@ -288,5 +787,131 @@ mod tests {
         gemm(m, k, n, &a, &b, &mut serial, &Pool::new(1));
         gemm(m, k, n, &a, &b, &mut par, &Pool::new(8));
         assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let src = fill(5 * 9, 42);
+        let mut t = vec![0.0; 45];
+        let mut back = vec![0.0; 45];
+        transpose(&src, 5, 9, &mut t);
+        transpose(&t, 9, 5, &mut back);
+        assert_eq!(src, back);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Panel packing invariant on ragged/empty/single-row blocks:
+        /// `panel[p·mr + ii]` is `a[(i0+ib·mr+ii), (p0+p)]` inside the
+        /// block and exactly 0.0 in padded lanes.
+        #[test]
+        fn pack_a_layout_invariant(
+            (rows, k) in (0usize..12, 1usize..15),
+            (mri, frac_i, frac_p) in (0usize..SUPPORTED_TILES.len(), 0.0f32..1.0, 0.0f32..1.0),
+            seed in 0u32..1000,
+        ) {
+            let mr = SUPPORTED_TILES[mri].0;
+            let a = fill(rows * k, seed);
+            let v = MatRef::row_major(&a, k);
+            let i0 = ((rows as f32 * frac_i) as usize).min(rows);
+            let p0 = ((k as f32 * frac_p) as usize).min(k - 1);
+            let mcb = rows - i0;
+            let kcb = k - p0;
+            let mut dst = vec![f32::NAN; mcb.div_ceil(mr) * kcb * mr];
+            pack_a(v, i0, p0, mcb, kcb, mr, &mut dst);
+            for ib in 0..mcb.div_ceil(mr) {
+                for p in 0..kcb {
+                    for ii in 0..mr {
+                        let got = dst[ib * kcb * mr + p * mr + ii];
+                        let row = i0 + ib * mr + ii;
+                        if ib * mr + ii < mcb {
+                            prop_assert_eq!(got, a[row * k + p0 + p]);
+                        } else {
+                            prop_assert_eq!(got, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Same invariant for B panels, including the strided (cs > 1)
+        /// path used by `gemm_bt`.
+        #[test]
+        fn pack_b_layout_invariant(
+            (k, n) in (1usize..15, 0usize..20),
+            (nri, strided) in (0usize..SUPPORTED_TILES.len(), any::<bool>()),
+            seed in 0u32..1000,
+        ) {
+            let nr = SUPPORTED_TILES[nri].1;
+            let b = fill(k * n, seed);
+            // Row-major [k, n] view, or the same logical matrix stored
+            // transposed [n, k] and viewed through strides.
+            let bt: Vec<f32>;
+            let v = if !strided {
+                MatRef::row_major(&b, n)
+            } else {
+                let mut t = vec![0.0; k * n];
+                if k * n > 0 {
+                    transpose(&b, k, n, &mut t);
+                }
+                bt = t;
+                MatRef { data: &bt, off: 0, rs: 1, cs: k }
+            };
+            let kcb = k;
+            let ncb = n;
+            let mut dst = vec![f32::NAN; ncb.div_ceil(nr) * kcb * nr];
+            pack_b(v, 0, 0, kcb, ncb, nr, &mut dst);
+            for jb in 0..ncb.div_ceil(nr) {
+                for p in 0..kcb {
+                    for jj in 0..nr {
+                        let got = dst[jb * kcb * nr + p * nr + jj];
+                        let col = jb * nr + jj;
+                        if col < ncb {
+                            prop_assert_eq!(got, b[p * n + col], "p={} col={}", p, col);
+                        } else {
+                            prop_assert_eq!(got, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Transpose on ragged/empty/single-row shapes: element map plus
+        /// double-transpose identity.
+        #[test]
+        fn transpose_properties(
+            (rows, cols) in (0usize..40, 0usize..40),
+            seed in 0u32..1000,
+        ) {
+            let src = fill(rows * cols, seed);
+            let mut dst = vec![f32::NAN; rows * cols];
+            transpose(&src, rows, cols, &mut dst);
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(dst[c * rows + r], src[r * cols + c]);
+                }
+            }
+            let mut back = vec![f32::NAN; rows * cols];
+            transpose(&dst, cols, rows, &mut back);
+            prop_assert_eq!(back, src);
+        }
+
+        /// Blocked GEMM equals naive on arbitrary small shapes for every
+        /// plan (exact inputs → exact equality).
+        #[test]
+        fn gemm_matches_naive_proptest(
+            (m, k, n) in (0usize..12, 0usize..12, 0usize..12),
+            seed in 0u32..1000,
+        ) {
+            let a = fill(m * k, seed);
+            let b = fill(k * n, seed ^ 0xabcd);
+            let want = naive(m, k, n, &a, &b);
+            for plan in test_plans() {
+                let mut out = vec![-1.0f32; m * n];
+                gemm_with_plan(&plan, m, k, n, &a, &b, &mut out, &Pool::new(1));
+                prop_assert_eq!(&out, &want, "{}x{}x{} plan {}", m, k, n, plan.describe());
+            }
+        }
     }
 }

@@ -10,9 +10,16 @@
 //!   partitioning, a dynamically scheduled [`Pool::parallel_map`], and
 //!   panic propagation. No external dependencies (the build environment is
 //!   offline, matching the `shims/` precedent).
-//! * [`gemm`], [`gemm_at`], [`gemm_bt`] — cache-blocked, register-tiled
-//!   (4×8 accumulator micro-kernel) matrix multiplies over raw `f32`
-//!   slices.
+//! * [`gemm`], [`gemm_at`], [`gemm_bt`] — three-level cache-blocked
+//!   matrix multiplies: a runtime-selected SIMD micro-kernel (AVX2/FMA
+//!   on x86_64, portable scalar fallback — see [`SimdLevel`]) under
+//!   KC/MC/NC panel blocking with packed-operand reuse, parameterized by
+//!   a tunable [`GemmPlan`] (see [`active_plan`] and the `cq-tune`
+//!   crate). The transposed variants pack their transposed operand
+//!   directly — no scratch transpose.
+//! * [`PackedA`] / [`gemm_prepacked`] — pack a left operand once, reuse
+//!   its panels across many GEMMs (the im2col conv paths multiply one
+//!   weight matrix against every image's patch matrix).
 //! * [`conv`] — an im2col lowering that turns 2-D convolution (forward,
 //!   input-gradient and weight-gradient passes) into GEMM calls.
 //!
@@ -23,11 +30,19 @@
 //! # Determinism
 //!
 //! All kernels accumulate each output element over the reduction dimension
-//! in ascending index order — the same order as the naive reference
-//! kernels — so, absent FMA contraction (which rustc does not perform by
-//! default), results are bitwise identical to the naive backend. Tiling
-//! and threading change *which* elements are computed together, never the
-//! per-element summation order.
+//! in ascending index order — reduction (`KC`) blocks advance in order and
+//! each micro-kernel sums its block ascending — so, for a fixed SIMD level
+//! and plan, results are bitwise identical across thread counts, bandings
+//! and batch-path choices (prepacked vs on-the-fly packing). Tiling and
+//! threading change *which* elements are computed together, never the
+//! per-element operation sequence.
+//!
+//! The *bit-identity* contract with the naive backend belongs to the
+//! Naive path alone: the AVX2 micro-kernels use fused multiply-add, whose
+//! skipped intermediate rounding shifts results within the documented
+//! backend-parity tolerance (`k · amax · bmax · 8ε` — see
+//! `cq-tensor/tests/backend_parity.rs`). The scalar micro-kernel rounds
+//! multiply and add separately, like the naive loops.
 //!
 //! # Examples
 //!
@@ -43,13 +58,23 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 mod catch;
 pub mod conv;
 mod gemm;
+mod microkernel;
 mod pool;
+pub mod tune;
 
 pub use catch::catch_task;
-pub use gemm::{gemm, gemm_at, gemm_bt, transpose};
+pub use gemm::{
+    gemm, gemm_at, gemm_at_with_plan, gemm_bt, gemm_bt_with_plan, gemm_prepacked, gemm_with_plan,
+    transpose, PackedA,
+};
+pub use microkernel::{simd_level, SimdLevel, SUPPORTED_TILES};
 pub use pool::Pool;
+pub use tune::{
+    active_plan, default_profile, describe_active_plan, parse_profile, render_profile, GemmPlan,
+    TileConfig,
+};

@@ -1,0 +1,353 @@
+//! Register-tile micro-kernels: the innermost loops of the blocked GEMM.
+//!
+//! A micro-kernel computes one `MR × NR` tile of the output from packed
+//! operand panels (`ap`: `k × MR` interleaved A, `bp`: `k × NR` packed B),
+//! either overwriting the tile or accumulating into it (the `KC` panel
+//! loop above sums partial products block by block).
+//!
+//! Two families exist behind one function-pointer type:
+//!
+//! * **scalar** — portable const-generic Rust, compiled for every
+//!   supported `(MR, NR)` pair. Multiplies and adds round separately, so
+//!   with the default `(6, 8)` tile and a single `KC` block the results
+//!   are exactly the historical cq-par kernel's.
+//! * **avx2** — `std::arch` AVX2+FMA intrinsics (x86_64 only), holding
+//!   the whole tile in `__m256` accumulators and issuing one fused
+//!   multiply-add per lane per `k` step. FMA skips the intermediate
+//!   rounding of `a*b`, so results differ from scalar within the
+//!   documented backend-parity tolerance (`k · amax · bmax · 8ε`).
+//!
+//! The family is chosen once per process by [`simd_level`]: the `CQ_SIMD`
+//! environment variable (`auto` / `scalar` / `avx2`) filtered through
+//! runtime CPU feature detection. Malformed values or requesting `avx2`
+//! on hardware without it abort with a diagnostic — the same fail-loud
+//! policy as `CQ_BACKEND`/`CQ_THREADS`.
+//!
+//! Accumulation order over `k` is ascending in every kernel — identical
+//! to the naive reference — so the *sequence* of per-element operations
+//! never depends on tiling, banding or thread count; only FMA's fused
+//! rounding distinguishes the families numerically.
+
+// The AVX2 kernels are the one place in cq-par where `unsafe` is earned:
+// `std::arch` intrinsics are only callable from `#[target_feature]`
+// functions, which are unsafe to call. Every call site is guarded by
+// runtime feature detection in `simd_level()`.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Largest `MR` any registered kernel uses (sizes the edge-tile scratch).
+pub(crate) const MAX_MR: usize = 8;
+/// Largest `NR` any registered kernel uses.
+pub(crate) const MAX_NR: usize = 16;
+
+/// Register-tile pairs every SIMD level provides a kernel for. The
+/// autotuner searches exactly this set.
+pub const SUPPORTED_TILES: [(usize, usize); 5] = [(4, 8), (6, 8), (8, 8), (4, 16), (6, 16)];
+
+/// Which micro-kernel family the process runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar Rust (separate multiply and add roundings).
+    Scalar,
+    /// AVX2 + FMA intrinsics (x86_64, runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Short display name (`"scalar"` / `"avx2"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses `"scalar"` / `"avx2"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<SimdLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdLevel::Scalar),
+            "avx2" => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// A micro-kernel entry point.
+///
+/// Computes the full `MR × NR` tile: `c[i, j] (+)= Σ_p ap[p·MR + i] ·
+/// bp[p·NR + j]`, writing row `i` at `c + i·ldc`.
+///
+/// # Safety
+///
+/// * `ap` must hold `k·MR` floats and `bp` `k·NR` floats.
+/// * `c` must be valid for reads/writes of `NR` floats at each of the
+///   `MR` row offsets `i·ldc`.
+/// * AVX2 kernels additionally require the CPU to support AVX2 and FMA
+///   (guaranteed by [`simd_level`] at registry construction).
+pub(crate) type KernFn =
+    unsafe fn(k: usize, ap: *const f32, bp: *const f32, c: *mut f32, ldc: usize, accumulate: bool);
+
+/// Portable reference kernel, monomorphized per `(MR, NR)`.
+///
+/// # Safety
+///
+/// See [`KernFn`].
+unsafe fn scalar_kern<const MR: usize, const NR: usize>(
+    k: usize,
+    ap: *const f32,
+    bp: *const f32,
+    c: *mut f32,
+    ldc: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let a = ap.add(p * MR);
+        let b = bp.add(p * NR);
+        for (i, row) in acc.iter_mut().enumerate() {
+            let av = *a.add(i);
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell += av * *b.add(j);
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let crow = c.add(i * ldc);
+        for (j, &v) in row.iter().enumerate() {
+            if accumulate {
+                *crow.add(j) += v;
+            } else {
+                *crow.add(j) = v;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! FMA micro-kernels. `NRV` is the tile width in 8-lane `__m256`
+    //! vectors; the register budget is `MR·NRV` accumulators + `NRV`
+    //! B vectors + 1 broadcast, which fits the 16 ymm registers for
+    //! every supported tile (the largest, 6×16, uses 15).
+
+    macro_rules! avx2_kern {
+        ($name:ident, $mr:expr, $nrv:expr) => {
+            #[target_feature(enable = "avx2,fma")]
+            pub(super) unsafe fn $name(
+                k: usize,
+                ap: *const f32,
+                bp: *const f32,
+                c: *mut f32,
+                ldc: usize,
+                accumulate: bool,
+            ) {
+                use std::arch::x86_64::*;
+                const MR: usize = $mr;
+                const NRV: usize = $nrv;
+                let mut acc = [[_mm256_setzero_ps(); NRV]; MR];
+                for p in 0..k {
+                    let b = bp.add(p * NRV * 8);
+                    let mut bv = [_mm256_setzero_ps(); NRV];
+                    for (v, bvv) in bv.iter_mut().enumerate() {
+                        *bvv = _mm256_loadu_ps(b.add(8 * v));
+                    }
+                    let a = ap.add(p * MR);
+                    for (i, row) in acc.iter_mut().enumerate() {
+                        let av = _mm256_broadcast_ss(&*a.add(i));
+                        for (cell, &bvv) in row.iter_mut().zip(&bv) {
+                            *cell = _mm256_fmadd_ps(av, bvv, *cell);
+                        }
+                    }
+                }
+                for (i, row) in acc.iter().enumerate() {
+                    let crow = c.add(i * ldc);
+                    for (v, &vec) in row.iter().enumerate() {
+                        let ptr = crow.add(8 * v);
+                        let out = if accumulate {
+                            _mm256_add_ps(_mm256_loadu_ps(ptr), vec)
+                        } else {
+                            vec
+                        };
+                        _mm256_storeu_ps(ptr, out);
+                    }
+                }
+            }
+        };
+    }
+
+    avx2_kern!(kern_4x8, 4, 1);
+    avx2_kern!(kern_6x8, 6, 1);
+    avx2_kern!(kern_8x8, 8, 1);
+    avx2_kern!(kern_4x16, 4, 2);
+    avx2_kern!(kern_6x16, 6, 2);
+}
+
+/// Looks up the kernel for a `(level, mr, nr)` triple; `None` if the pair
+/// is not in [`SUPPORTED_TILES`] (or the level lacks it on this target).
+pub(crate) fn kernel_for(level: SimdLevel, mr: usize, nr: usize) -> Option<KernFn> {
+    match level {
+        SimdLevel::Scalar => match (mr, nr) {
+            (4, 8) => Some(scalar_kern::<4, 8> as KernFn),
+            (6, 8) => Some(scalar_kern::<6, 8> as KernFn),
+            (8, 8) => Some(scalar_kern::<8, 8> as KernFn),
+            (4, 16) => Some(scalar_kern::<4, 16> as KernFn),
+            (6, 16) => Some(scalar_kern::<6, 16> as KernFn),
+            _ => None,
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => match (mr, nr) {
+            (4, 8) => Some(avx2::kern_4x8 as KernFn),
+            (6, 8) => Some(avx2::kern_6x8 as KernFn),
+            (8, 8) => Some(avx2::kern_8x8 as KernFn),
+            (4, 16) => Some(avx2::kern_4x16 as KernFn),
+            (6, 16) => Some(avx2::kern_6x16 as KernFn),
+            _ => None,
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 => None,
+    }
+}
+
+/// Whether this build/CPU can run the AVX2 kernels.
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Resolves a raw `CQ_SIMD` value against hardware capability.
+/// `None`/empty means `auto` (best available). `scalar` always works;
+/// `avx2` must actually be runnable or the run aborts — silently falling
+/// back would invalidate any A/B kernel comparison.
+fn resolve_env_simd(raw: Option<&str>, avx2_ok: bool) -> Result<SimdLevel, String> {
+    let auto = || {
+        if avx2_ok {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Scalar
+        }
+    };
+    match raw {
+        None => Ok(auto()),
+        Some(v) if v.trim().is_empty() => Ok(auto()),
+        Some(v) if v.trim().eq_ignore_ascii_case("auto") => Ok(auto()),
+        Some(v) => match SimdLevel::parse(v) {
+            Some(SimdLevel::Scalar) => Ok(SimdLevel::Scalar),
+            Some(SimdLevel::Avx2) if avx2_ok => Ok(SimdLevel::Avx2),
+            Some(SimdLevel::Avx2) => Err(format!(
+                "CQ_SIMD={v:?} requests the AVX2 micro-kernels but this CPU/target \
+                 does not support AVX2+FMA"
+            )),
+            None => Err(format!(
+                "invalid CQ_SIMD value {v:?}: expected \"auto\", \"scalar\" or \"avx2\""
+            )),
+        },
+    }
+}
+
+/// The process-wide micro-kernel family: `CQ_SIMD` filtered through
+/// runtime feature detection, resolved once.
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let raw = std::env::var("CQ_SIMD").ok();
+        match resolve_env_simd(raw.as_deref(), avx2_available()) {
+            Ok(level) => level,
+            Err(msg) => panic!("{msg}"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_resolution_rejects_garbage() {
+        assert_eq!(resolve_env_simd(None, true), Ok(SimdLevel::Avx2));
+        assert_eq!(resolve_env_simd(None, false), Ok(SimdLevel::Scalar));
+        assert_eq!(resolve_env_simd(Some(""), true), Ok(SimdLevel::Avx2));
+        assert_eq!(
+            resolve_env_simd(Some(" AUTO "), false),
+            Ok(SimdLevel::Scalar)
+        );
+        assert_eq!(
+            resolve_env_simd(Some("scalar"), true),
+            Ok(SimdLevel::Scalar)
+        );
+        assert_eq!(resolve_env_simd(Some(" Avx2 "), true), Ok(SimdLevel::Avx2));
+        let err = resolve_env_simd(Some("avx2"), false).unwrap_err();
+        assert!(err.contains("AVX2"), "{err}");
+        let err = resolve_env_simd(Some("sse9"), true).unwrap_err();
+        assert!(err.contains("invalid CQ_SIMD"), "{err}");
+        assert!(err.contains("scalar"), "{err}");
+    }
+
+    #[test]
+    fn every_supported_tile_has_a_scalar_kernel() {
+        for &(mr, nr) in &SUPPORTED_TILES {
+            assert!(
+                kernel_for(SimdLevel::Scalar, mr, nr).is_some(),
+                "missing scalar kernel for {mr}x{nr}"
+            );
+            assert!(mr <= MAX_MR && nr <= MAX_NR);
+        }
+        assert!(kernel_for(SimdLevel::Scalar, 7, 8).is_none());
+        assert!(kernel_for(SimdLevel::Scalar, 6, 12).is_none());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn every_supported_tile_has_an_avx2_kernel() {
+        for &(mr, nr) in &SUPPORTED_TILES {
+            assert!(
+                kernel_for(SimdLevel::Avx2, mr, nr).is_some(),
+                "missing avx2 kernel for {mr}x{nr}"
+            );
+        }
+    }
+
+    /// The scalar and (when runnable) AVX2 kernels agree on exact inputs:
+    /// small halves, whose products and partial sums are all exactly
+    /// representable, make FMA's fused rounding a no-op.
+    #[test]
+    fn kernels_agree_on_exact_inputs() {
+        let k = 37;
+        for &(mr, nr) in &SUPPORTED_TILES {
+            let ap: Vec<f32> = (0..k * mr).map(|i| ((i % 17) as f32 - 8.0) / 4.0).collect();
+            let bp: Vec<f32> = (0..k * nr).map(|i| ((i % 13) as f32 - 6.0) / 8.0).collect();
+            let mut want = vec![0.0f32; mr * nr];
+            for p in 0..k {
+                for i in 0..mr {
+                    for j in 0..nr {
+                        want[i * nr + j] += ap[p * mr + i] * bp[p * nr + j];
+                    }
+                }
+            }
+            let run = |level: SimdLevel| {
+                let kern = kernel_for(level, mr, nr).unwrap();
+                let mut c = vec![-1.0f32; mr * nr];
+                // SAFETY: buffers sized k*mr / k*nr / mr*nr, ldc = nr.
+                unsafe { kern(k, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), nr, false) };
+                // Accumulate pass on top of the overwrite pass: doubles it.
+                let mut c2 = c.clone();
+                unsafe { kern(k, ap.as_ptr(), bp.as_ptr(), c2.as_mut_ptr(), nr, true) };
+                (c, c2)
+            };
+            let (c, c2) = run(SimdLevel::Scalar);
+            assert_eq!(c, want, "scalar {mr}x{nr}");
+            assert_eq!(c2, want.iter().map(|v| v * 2.0).collect::<Vec<_>>());
+            if avx2_available() {
+                let (c, c2) = run(SimdLevel::Avx2);
+                assert_eq!(c, want, "avx2 {mr}x{nr}");
+                assert_eq!(c2, want.iter().map(|v| v * 2.0).collect::<Vec<_>>());
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Feature-detection override test: `CQ_SIMD=scalar` must actually force
+//! the scalar micro-kernels, regardless of what the CPU supports.
+//!
+//! A single `#[test]` (env mutation + `OnceLock` resolution must happen
+//! before any other gemm touches the plan) sets the variable, resolves
+//! the level, and runs a parity check proving the scalar path computes
+//! correctly end to end.
+
+use cq_par::{gemm, Pool, SimdLevel};
+
+#[test]
+fn cq_simd_scalar_forces_the_scalar_kernels() {
+    // This test binary runs alone, so the process-wide OnceLocks in
+    // cq-par have not been resolved yet.
+    std::env::set_var("CQ_SIMD", "scalar");
+
+    assert_eq!(cq_par::simd_level(), SimdLevel::Scalar);
+    let plan = cq_par::active_plan();
+    assert_eq!(plan.simd, SimdLevel::Scalar);
+    assert!(
+        cq_par::describe_active_plan().starts_with("scalar "),
+        "{}",
+        cq_par::describe_active_plan()
+    );
+
+    // Exact-valued inputs (1/16 steps): the forced scalar path must match
+    // a naive oracle bit-for-bit, since nothing reassociates and nothing
+    // fuses.
+    let (m, k, n) = (37, 53, 29);
+    let mut s = 7u32;
+    let mut next = move || {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((s >> 24) as f32 - 128.0) / 16.0
+    };
+    let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+    let mut want = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            want[i * n + j] = acc;
+        }
+    }
+    for threads in [1, 4] {
+        let mut out = vec![f32::NAN; m * n];
+        gemm(m, k, n, &a, &b, &mut out, &Pool::new(threads));
+        assert_eq!(out, want, "threads={threads}");
+    }
+}

@@ -4,12 +4,18 @@
 //!
 //! * [`Backend::Naive`] — the original single-threaded scalar triple
 //!   loops, kept as the bit-accurate reference.
-//! * [`Backend::Fast`] — `cq-par`'s cache-blocked, register-tiled GEMM
-//!   and im2col convolution, parallelized over the global worker pool.
+//! * [`Backend::Fast`] — `cq-par`'s three-level blocked GEMM (SIMD
+//!   micro-kernel under KC/MC/NC panel blocking, selected by `CQ_SIMD` /
+//!   `CQ_TUNE_FILE` — see [`fast_path_info`]) and im2col convolution,
+//!   parallelized over the global worker pool.
 //!
 //! Both accumulate every output element over the reduction dimension in
-//! the same (ascending) order, so they agree bit-for-bit on finite
-//! inputs; see the `backend_parity` test suite for the enforced bound.
+//! the same (ascending) order. The bit-identity contract belongs to the
+//! Naive path alone: Fast's AVX2 micro-kernels use fused multiply-add,
+//! which skips one rounding per step and shifts results within the
+//! tolerance enforced by the `backend_parity` test suite
+//! (`k · amax · bmax · 8ε`); Fast's scalar micro-kernel rounds like the
+//! naive loops.
 //!
 //! The process-wide default is [`Backend::Fast`], overridable by the
 //! `CQ_BACKEND` environment variable (`naive` or `fast`) at startup and by
@@ -97,6 +103,15 @@ pub fn set_default_backend(backend: Backend) {
         Backend::Fast => 2,
     };
     OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// One-line description of what the Fast backend resolves to on this
+/// process: SIMD micro-kernel level and blocking plan (e.g.
+/// `"avx2 6x16 kc=512 mc=144 nc=2048"`). Forces plan resolution, so a
+/// bad `CQ_SIMD`/`CQ_TUNE_FILE` aborts here rather than mid-GEMM —
+/// bench and experiment binaries print this up front for provenance.
+pub fn fast_path_info() -> String {
+    cq_par::describe_active_plan()
 }
 
 #[cfg(test)]

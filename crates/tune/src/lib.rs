@@ -1,0 +1,237 @@
+//! # cq-tune — tile/blocking autotuner for the cq-par GEMM
+//!
+//! Searches the `(MR, NR, KC, MC, NC)` factor space of the three-level
+//! blocked GEMM (see `cq_par::tune`) by *measuring* candidate plans on
+//! this machine, FactorFlow/CoSA-style: enumerate per-level tiling
+//! factors, score each by measured throughput, keep the best.
+//!
+//! The search is two-stage to keep it tractable:
+//!
+//! 1. **Register tile** — every supported `(MR, NR)` pair runs with a
+//!    neutral mid-sized blocking; the fastest tile wins. The tile decides
+//!    the micro-kernel's instruction mix, so it dominates and factors out.
+//! 2. **Cache blocking** — a grid over `(KC, MC, NC)` around the winning
+//!    tile (`MC` in multiples of `MR`, `NC` in multiples of `NR`).
+//!
+//! Plans are scored by multiply-accumulates per nanosecond, summed over a
+//! set of probe shapes (best-of-reps per shape, like `bench_perf`), so a
+//! config that wins big on one shape can't hide a regression on another.
+//!
+//! The winning config is rendered in the `cq_par::tune` profile format:
+//! point `CQ_TUNE_FILE` at it, or commit it as the default profile for
+//! its SIMD level (`crates/par/profiles/`). See EXPERIMENTS.md for the
+//! recipe.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cq_par::{gemm_with_plan, simd_level, GemmPlan, Pool, SimdLevel, TileConfig, SUPPORTED_TILES};
+use std::time::Instant;
+
+/// Probe shapes `(m, k, n)` for the full search: the bench reference
+/// square, a skinny train-step-like shape, and a smaller square that
+/// lives closer to cache.
+const FULL_SHAPES: [(usize, usize, usize); 3] = [(512, 512, 512), (384, 128, 512), (256, 256, 256)];
+
+/// Probe shape for `--quick` (CI smoke) runs.
+const QUICK_SHAPES: [(usize, usize, usize); 1] = [(256, 256, 256)];
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOptions {
+    /// Coarser grid, one probe shape, fewer reps — for CI smoke runs.
+    pub quick: bool,
+}
+
+/// Outcome of a search: the winning plan plus its measured throughput.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// SIMD level the search ran under (detected / `CQ_SIMD`).
+    pub level: SimdLevel,
+    /// Winning blocking configuration.
+    pub cfg: TileConfig,
+    /// Measured multiply-accumulates per nanosecond of the winner
+    /// (2·MACs/ns = GFLOP/s).
+    pub macs_per_ns: f64,
+    /// Number of candidate plans measured.
+    pub candidates: usize,
+}
+
+impl TuneResult {
+    /// The winner rendered in the `CQ_TUNE_FILE` profile format.
+    pub fn profile(&self) -> String {
+        cq_par::render_profile(self.level, &self.cfg)
+    }
+}
+
+/// Best-of-reps wall time of `plan` summed over `shapes`; returns
+/// `(total_ns, total_macs)`.
+fn measure(plan: &GemmPlan, shapes: &[(usize, usize, usize)], reps: usize) -> (u128, u128) {
+    let pool = Pool::new(1);
+    let mut total_ns = 0u128;
+    let mut total_macs = 0u128;
+    for &(m, k, n) in shapes {
+        let a = fill(m * k, 0x5eed + m as u32);
+        let b = fill(k * n, 0xbeef + n as u32);
+        let mut out = vec![0.0f32; m * n];
+        // Warm-up rep, then best of `reps`.
+        gemm_with_plan(plan, m, k, n, &a, &b, &mut out, &pool);
+        let mut best = u128::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            gemm_with_plan(plan, m, k, n, &a, &b, &mut out, &pool);
+            best = best.min(t0.elapsed().as_nanos());
+        }
+        total_ns += best.max(1);
+        total_macs += (m * k * n) as u128;
+    }
+    (total_ns, total_macs)
+}
+
+fn fill(len: usize, seed: u32) -> Vec<f32> {
+    let mut s = seed;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((s >> 24) as f32 - 128.0) / 16.0
+        })
+        .collect()
+}
+
+/// The two-stage search over explicit probe shapes (exposed so tests can
+/// run it on small shapes; use [`tune`] / [`tune_with_log`] normally).
+pub fn search(
+    shapes: &[(usize, usize, usize)],
+    reps: usize,
+    quick_grid: bool,
+    mut log: impl FnMut(&str),
+) -> TuneResult {
+    let level = simd_level();
+    let mut candidates = 0usize;
+
+    let score = |cfg: TileConfig, log: &mut dyn FnMut(&str)| -> Option<f64> {
+        let plan = GemmPlan::new(level, cfg).ok()?;
+        let (ns, macs) = measure(&plan, shapes, reps);
+        let mpn = macs as f64 / ns as f64;
+        log(&format!("  {}  {:.3} MACs/ns", plan.describe(), mpn));
+        Some(mpn)
+    };
+
+    // Stage 1: register tile under neutral blocking.
+    log(&format!(
+        "stage 1: register tile ({} kernels)",
+        level.name()
+    ));
+    let mut best_tile = SUPPORTED_TILES[0];
+    let mut best_tile_score = f64::MIN;
+    for &(mr, nr) in &SUPPORTED_TILES {
+        let cfg = TileConfig {
+            mr,
+            nr,
+            kc: 256,
+            mc: 12 * mr,
+            nc: 64 * nr,
+        };
+        candidates += 1;
+        if let Some(s) = score(cfg, &mut log) {
+            if s > best_tile_score {
+                best_tile_score = s;
+                best_tile = (mr, nr);
+            }
+        }
+    }
+    let (mr, nr) = best_tile;
+    log(&format!("stage 1 winner: {mr}x{nr}"));
+
+    // Stage 2: cache blocking around the winning tile.
+    log("stage 2: cache blocking");
+    let (kcs, mc_mults, nc_mults): (&[usize], &[usize], &[usize]) = if quick_grid {
+        (&[128, 256], &[12, 24], &[32, 64])
+    } else {
+        (&[128, 256, 512], &[6, 12, 24, 48], &[16, 32, 64, 128])
+    };
+    let mut best_cfg = TileConfig {
+        mr,
+        nr,
+        kc: 256,
+        mc: 12 * mr,
+        nc: 64 * nr,
+    };
+    let mut best_score = best_tile_score;
+    for &kc in kcs {
+        for &mcm in mc_mults {
+            for &ncm in nc_mults {
+                let cfg = TileConfig {
+                    mr,
+                    nr,
+                    kc,
+                    mc: mcm * mr,
+                    nc: ncm * nr,
+                };
+                if cfg == best_cfg {
+                    continue; // already measured in stage 1
+                }
+                candidates += 1;
+                if let Some(s) = score(cfg, &mut log) {
+                    if s > best_score {
+                        best_score = s;
+                        best_cfg = cfg;
+                    }
+                }
+            }
+        }
+    }
+    log(&format!(
+        "winner: {} {}x{} kc={} mc={} nc={}  {:.3} MACs/ns",
+        level.name(),
+        best_cfg.mr,
+        best_cfg.nr,
+        best_cfg.kc,
+        best_cfg.mc,
+        best_cfg.nc,
+        best_score
+    ));
+    TuneResult {
+        level,
+        cfg: best_cfg,
+        macs_per_ns: best_score,
+        candidates,
+    }
+}
+
+/// Runs the search at the option-selected scale, reporting progress
+/// through `log` (one line per candidate; pass `|_| {}` to silence).
+pub fn tune_with_log(opts: TuneOptions, log: impl FnMut(&str)) -> TuneResult {
+    if opts.quick {
+        search(&QUICK_SHAPES, 2, true, log)
+    } else {
+        search(&FULL_SHAPES, 3, false, log)
+    }
+}
+
+/// [`tune_with_log`] without progress output.
+pub fn tune(opts: TuneOptions) -> TuneResult {
+    tune_with_log(opts, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_yields_valid_committed_style_profile() {
+        // A real two-stage search on deliberately tiny probe shapes (this
+        // runs in debug mode): the result must validate, build a plan,
+        // and round-trip through the profile format.
+        let mut lines = 0usize;
+        let res = search(&[(40, 24, 36)], 1, true, |_| lines += 1);
+        assert!(res.cfg.validate().is_ok());
+        assert!(GemmPlan::new(res.level, res.cfg).is_ok());
+        assert!(res.macs_per_ns > 0.0);
+        // 5 stage-1 tiles + ≥7 stage-2 grid points, plus banner lines.
+        assert!(res.candidates >= 12, "{}", res.candidates);
+        assert!(lines >= res.candidates);
+        let parsed = cq_par::parse_profile(&res.profile()).unwrap();
+        assert_eq!(parsed, (res.level, res.cfg));
+    }
+}
