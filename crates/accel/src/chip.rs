@@ -20,11 +20,12 @@
 //!   them all.
 
 use crate::config::CqConfig;
-use crate::pe::PeArray;
+use crate::pe::{PeArray, PeCost};
 use crate::squ::Squ;
 use cq_mem::{DdrModel, Dir};
 use cq_ndp::{NdpEngine, OptimizerKind};
 use cq_sim::hwcost::{acceleration_core_cost, ndp_engine_cost, DRAM_STANDBY_MW};
+use cq_sim::mapping::{Mapping, MappingPolicy, MatShape};
 use cq_sim::{
     CacheStats, Component, EnergyBreakdown, EnergyModel, HwCostCache, HwCostKey, Phase,
     PhaseBreakdown, SimResult,
@@ -82,11 +83,18 @@ pub struct CambriconQ {
     pe: PeArray,
     squ: Squ,
     energy: EnergyModel,
+    mapping: MappingPolicy,
 }
 
 impl CambriconQ {
-    /// A chip with the given configuration.
+    /// A chip with the given configuration and the process-wide
+    /// `CQ_MAPPING` mapping policy (default when unset).
     pub fn new(config: CqConfig) -> Self {
+        CambriconQ::with_mapping(config, cq_sim::mapping::env_policy().clone())
+    }
+
+    /// A chip with an explicit mapping policy, bypassing `CQ_MAPPING`.
+    pub fn with_mapping(config: CqConfig, mapping: MappingPolicy) -> Self {
         let pe = PeArray::new(&config);
         let squ = Squ::new(&config);
         CambriconQ {
@@ -94,6 +102,7 @@ impl CambriconQ {
             pe,
             squ,
             energy: EnergyModel::tsmc45(),
+            mapping,
         }
     }
 
@@ -105,6 +114,11 @@ impl CambriconQ {
     /// The configuration in use.
     pub fn config(&self) -> &CqConfig {
         &self.config
+    }
+
+    /// The active mapping policy.
+    pub fn mapping_policy(&self) -> &MappingPolicy {
+        &self.mapping
     }
 
     /// Quantized element size in bytes (0.5 for INT4, 1 for INT8, ...).
@@ -123,19 +137,22 @@ impl CambriconQ {
             let inputs = layer.input_count() * batch as u64;
             let outputs = layer.output_count() * batch as u64;
             let weights = layer.weight_count();
-            let mut compute_cycles = 0u64;
-            let mut compute_energy = 0.0f64;
-            for mm in layer.as_matmuls(batch) {
-                let c = self.pe.matmul(mm.m, mm.n, mm.k);
-                compute_cycles += c.cycles * mm.serial_repeats;
-                compute_energy += c.energy_pj * mm.serial_repeats as f64;
-            }
+            let matmuls = layer.as_matmuls(batch);
+            let mapping = self.layer_mapping(net, layer, batch);
+            let me = self.eval_mapping(&mapping, &matmuls);
+            let (compute, compute_cycles) = self.layer_compute(&matmuls, me.kfold);
+            let mut reads = vec![
+                (inputs * me.f_in, self.qbytes()),
+                (weights * me.f_w, self.qbytes()),
+            ];
+            let mut writes = vec![(outputs, self.qbytes())];
+            push_spills(&mut reads, &mut writes, me.spill_elems);
             self.charge_mac_phase(
                 Phase::Forward,
                 compute_cycles,
-                compute_energy,
-                &[(inputs, self.qbytes()), (weights, self.qbytes())],
-                &[(outputs, self.qbytes())],
+                compute.energy_pj,
+                &reads,
+                &writes,
                 0, // inference weights are stored pre-quantized
                 &mut mem,
                 &mut phases,
@@ -190,19 +207,24 @@ impl CambriconQ {
         (run.result.clone(), run.ecc)
     }
 
-    /// The memoized whole-iteration run for this (config, optimizer, net).
+    /// The memoized whole-iteration run for this (config, optimizer, net,
+    /// mapping policy).
     ///
     /// The key captures *every* input the simulation reads: the full
     /// `CqConfig` (PE geometry, formats, DDR timing, fault/ECC settings),
-    /// the optimizer and the network description, all rendered via `Debug`.
-    /// The energy model is a constant (`tsmc45`) and so needs no key part.
+    /// the optimizer, the network description, and the mapping policy
+    /// (including any table contents), all rendered via `Debug`. The
+    /// energy model is a constant (`tsmc45`) and so needs no key part.
     /// Inference ([`CambriconQ::simulate_inference`]) and external-baseline
     /// simulations are deliberately uncached: they are not re-invoked with
     /// identical inputs inside sweeps often enough to matter.
     fn cached_run(&self, net: &Network, optimizer: OptimizerKind) -> Arc<CachedRun> {
         let key = HwCostKey::new(
             "cambricon-q",
-            format!("{:?}|{:?}|{:?}", self.config, optimizer, net),
+            format!(
+                "{:?}|{:?}|{:?}|map={:?}",
+                self.config, optimizer, net, self.mapping
+            ),
         );
         sim_cache().get_or_compute(key, || self.fresh_run(net, optimizer))
     }
@@ -240,63 +262,19 @@ impl CambriconQ {
             let weights = layer.weight_count();
             let matmuls = layer.as_matmuls(batch);
 
-            // ---- compute cost shared by the three MAC phases ----
-            let mut compute_cycles = 0u64;
-            let mut compute_energy = 0.0f64;
-            for mm in &matmuls {
-                let c = self.pe.matmul(mm.m, mm.n, mm.k);
-                compute_cycles += c.cycles * mm.serial_repeats;
-                compute_energy += c.energy_pj * mm.serial_repeats as f64;
-            }
-
-            // FW: read I(q) + W(q over bus), write O(q).
-            self.charge_mac_phase(
-                Phase::Forward,
-                compute_cycles,
-                compute_energy,
-                &[(inputs, self.qbytes()), (weights, self.qbytes())],
-                &[(outputs, self.qbytes())],
-                weights, // FP32 cell reads behind the NDP SQU
-                mem,
-                &mut phases,
-                &mut energy,
-            );
-            // NG: read O(q) + δ_out(q) + W(q), write δ_in(q).
-            self.charge_mac_phase(
-                Phase::NeuronGrad,
-                compute_cycles,
-                compute_energy,
-                &[
-                    (outputs, self.qbytes()),
-                    (outputs, self.qbytes()),
-                    (weights, self.qbytes()),
-                ],
-                &[(inputs, self.qbytes())],
+            // FW/NG/WG under this layer's mapping.
+            let mapping = self.layer_mapping(net, layer, batch);
+            self.charge_layer_mac_phases(
+                &mapping,
+                inputs,
+                outputs,
                 weights,
+                &matmuls,
                 mem,
                 &mut phases,
                 &mut energy,
             );
-            // WG: read I(q) + δ(q); ΔW leaves at FP32. With NDP the write
-            // is the WGSTORE stream accounted in WU; without NDP it lands
-            // in DRAM here and is re-read during WU.
-            let wg_writes: &[(u64, f64)] = if self.config.ndp_enabled {
-                &[]
-            } else {
-                &[(weights, 4.0)]
-            };
-            self.charge_mac_phase(
-                Phase::WeightGrad,
-                compute_cycles,
-                compute_energy,
-                &[(inputs, self.qbytes()), (outputs, self.qbytes())],
-                wg_writes,
-                0,
-                mem,
-                &mut phases,
-                &mut energy,
-            );
-            // WU.
+            // WU (mapping-independent: the update streams w/m/v linearly).
             if self.config.ndp_enabled {
                 let stats = ndp.update_weights(weights, mem);
                 let cycles = mem.to_clock(stats.cycles, self.config.freq_ghz);
@@ -381,6 +359,201 @@ impl CambriconQ {
         )
     }
 
+    /// The mapping this layer's phases charge through, resolved from the
+    /// chip's policy: the streaming default, a table entry (a missing
+    /// entry aborts — a silently defaulted layer would invalidate any
+    /// mapping comparison), or the memoized per-layer search winner.
+    fn layer_mapping(&self, net: &Network, layer: &cq_workloads::Layer, batch: usize) -> Mapping {
+        match &self.mapping {
+            MappingPolicy::Default => Mapping::streaming_default(),
+            MappingPolicy::Table(t) => *t.get(&net.name, &layer.name).unwrap_or_else(|| {
+                panic!(
+                    "CQ_MAPPING table has no entry for {}/{}",
+                    net.name, layer.name
+                )
+            }),
+            MappingPolicy::Search => {
+                crate::mapping_search::search_layer(self, &net.name, batch, layer).mapping
+            }
+        }
+    }
+
+    /// Aggregates mapping-derived stream factors over a layer's matmuls:
+    /// reload factors as the max across matmuls (conservative — the
+    /// worst-mapped matmul sets the layer's re-streaming), spill traffic
+    /// summed with serial repeats applied, and the fold clamped to the
+    /// row dimension.
+    pub(crate) fn eval_mapping(
+        &self,
+        mapping: &Mapping,
+        matmuls: &[cq_workloads::MatmulDims],
+    ) -> LayerMapEval {
+        let hier = self.config.mem_hierarchy();
+        let mut out = LayerMapEval {
+            f_in: 1,
+            f_w: 1,
+            spill_elems: 0,
+            kfold: mapping.kfold.clamp(1, hier.pe_rows.max(1)),
+        };
+        for mm in matmuls {
+            let shape = MatShape {
+                m: mm.m,
+                n: mm.n,
+                k: mm.k,
+            };
+            let e = mapping.evaluate(shape, &hier);
+            out.f_in = out.f_in.max(e.reload_in);
+            out.f_w = out.f_w.max(e.reload_w);
+            out.spill_elems += e.psum_spill_elems * mm.serial_repeats;
+        }
+        out
+    }
+
+    /// Sums the PE cost of a layer's matmuls with their serial repeats
+    /// applied (the fold previously duplicated across
+    /// [`CambriconQ::simulate_inference`] and the training iteration):
+    /// the returned [`PeCost`] accumulates repeat-scaled cycles, energy
+    /// and MACs, and the `u64` is the compute-cycle total charged to
+    /// each MAC phase. `kfold` is the mapping's PE-level reduction fold
+    /// (1 = the legacy sweep).
+    fn layer_compute(&self, matmuls: &[cq_workloads::MatmulDims], kfold: u64) -> (PeCost, u64) {
+        let mut total = PeCost::default();
+        for mm in matmuls {
+            let c = self.pe.matmul_mapped(mm.m, mm.n, mm.k, kfold);
+            total.merge(PeCost {
+                cycles: c.cycles * mm.serial_repeats,
+                energy_pj: c.energy_pj * mm.serial_repeats as f64,
+                macs: c.macs * mm.serial_repeats,
+            });
+        }
+        (total, total.cycles)
+    }
+
+    /// Charges the three MAC phases (FW/NG/WG) of one layer through
+    /// `mapping`: operand streams are scaled by the mapping's reload
+    /// factors (input-role streams by `f_in`, weight-role by `f_w`,
+    /// final output writes by 1), partial-sum spill round trips are
+    /// appended at accumulator width when present, and the PE sweep uses
+    /// the mapping's fold. The streaming default (all factors 1, no
+    /// spills, fold 1) charges the exact legacy stream sequence.
+    fn charge_layer_mac_phases(
+        &self,
+        mapping: &Mapping,
+        inputs: u64,
+        outputs: u64,
+        weights: u64,
+        matmuls: &[cq_workloads::MatmulDims],
+        mem: &mut DdrModel,
+        phases: &mut PhaseBreakdown,
+        energy: &mut EnergyBreakdown,
+    ) {
+        let me = self.eval_mapping(mapping, matmuls);
+        // ---- compute cost shared by the three MAC phases ----
+        let (compute, compute_cycles) = self.layer_compute(matmuls, me.kfold);
+
+        // FW: read I(q) + W(q over bus), write O(q).
+        let mut fw_reads = vec![
+            (inputs * me.f_in, self.qbytes()),
+            (weights * me.f_w, self.qbytes()),
+        ];
+        let mut fw_writes = vec![(outputs, self.qbytes())];
+        push_spills(&mut fw_reads, &mut fw_writes, me.spill_elems);
+        self.charge_mac_phase(
+            Phase::Forward,
+            compute_cycles,
+            compute.energy_pj,
+            &fw_reads,
+            &fw_writes,
+            weights * me.f_w, // FP32 cell reads behind the NDP SQU
+            mem,
+            phases,
+            energy,
+        );
+        // NG: read O(q) + δ_out(q) + W(q), write δ_in(q). Activation-
+        // role streams share the input reload factor.
+        let mut ng_reads = vec![
+            (outputs * me.f_in, self.qbytes()),
+            (outputs * me.f_in, self.qbytes()),
+            (weights * me.f_w, self.qbytes()),
+        ];
+        let mut ng_writes = vec![(inputs, self.qbytes())];
+        push_spills(&mut ng_reads, &mut ng_writes, me.spill_elems);
+        self.charge_mac_phase(
+            Phase::NeuronGrad,
+            compute_cycles,
+            compute.energy_pj,
+            &ng_reads,
+            &ng_writes,
+            weights * me.f_w,
+            mem,
+            phases,
+            energy,
+        );
+        // WG: read I(q) + δ(q); ΔW leaves at FP32. With NDP the write
+        // is the WGSTORE stream accounted in WU; without NDP it lands
+        // in DRAM here and is re-read during WU.
+        let mut wg_reads = vec![
+            (inputs * me.f_in, self.qbytes()),
+            (outputs * me.f_in, self.qbytes()),
+        ];
+        let mut wg_writes: Vec<(u64, f64)> = if self.config.ndp_enabled {
+            vec![]
+        } else {
+            vec![(weights, 4.0)]
+        };
+        push_spills(&mut wg_reads, &mut wg_writes, me.spill_elems);
+        self.charge_mac_phase(
+            Phase::WeightGrad,
+            compute_cycles,
+            compute.energy_pj,
+            &wg_reads,
+            &wg_writes,
+            0,
+            mem,
+            phases,
+            energy,
+        );
+    }
+
+    /// Scores one candidate mapping for one layer: the three MAC phases
+    /// charged against a *fresh* DDR model plus the time-proportional
+    /// static components (DRAM standby, core/NDP idle share), so a
+    /// latency win also shows up as an energy win. Returns
+    /// `(cycles, energy_pj)`. Used by the mapping search; deliberately
+    /// ignores the chip's policy so search candidates score themselves.
+    pub(crate) fn score_layer_mapping(
+        &self,
+        inputs: u64,
+        outputs: u64,
+        weights: u64,
+        matmuls: &[cq_workloads::MatmulDims],
+        mapping: &Mapping,
+    ) -> (u64, f64) {
+        let mut mem = DdrModel::new(self.config.ddr);
+        let mut phases = PhaseBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        self.charge_layer_mac_phases(
+            mapping,
+            inputs,
+            outputs,
+            weights,
+            matmuls,
+            &mut mem,
+            &mut phases,
+            &mut energy,
+        );
+        let seconds = phases.total_cycles() as f64 / (self.config.freq_ghz * 1e9);
+        energy.charge(
+            Component::DdrStandby,
+            DRAM_STANDBY_MW * 1e9 * seconds * self.config.ddr.bus_bytes as f64 / 8.0,
+        );
+        let static_mw = 0.3
+            * (acceleration_core_cost().total_power_mw() * self.config.pe_arrays as f64
+                + ndp_engine_cost().total_power_mw());
+        energy.charge(Component::Acc, static_mw * 1e9 * seconds);
+        (phases.total_cycles(), energy.total_pj())
+    }
+
     /// Charges one MAC phase: compute overlapped with quantized streams.
     #[allow(clippy::too_many_arguments)]
     fn charge_mac_phase(
@@ -433,6 +606,10 @@ impl CambriconQ {
         let bubble = blocks * 8 / units;
 
         phases.charge(phase, total, compute_energy);
+        // Split the non-overlapped SQU time between the S and Q phases
+        // without losing cycles: `x / 2` + `x - x / 2` conserves odd
+        // values (charging `x / 2` to both sides silently dropped up to
+        // 2 cycles per phase).
         phases.charge(
             Phase::Statistic,
             squ_excess / 2 + bubble / 2,
@@ -440,7 +617,7 @@ impl CambriconQ {
         );
         phases.charge(
             Phase::Quantize,
-            squ_excess / 2 + bubble / 2,
+            (squ_excess - squ_excess / 2) + (bubble - bubble / 2),
             squ_cost.energy_pj * 0.75,
         );
 
@@ -455,6 +632,33 @@ impl CambriconQ {
         // On-chip buffer traffic: operands in and out of NBin/SB/NBout.
         energy.charge(Component::Buf, self.energy.sram(bus_bytes * 2.0));
         total + bubble
+    }
+}
+
+/// Mapping-derived stream factors aggregated over one layer's matmuls.
+/// These four numbers fully determine a mapping's phase charges for a
+/// given layer, which is what lets the search memoize scores by them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct LayerMapEval {
+    /// DRAM reload factor for input/activation-role streams.
+    pub(crate) f_in: u64,
+    /// DRAM reload factor for weight-role streams.
+    pub(crate) f_w: u64,
+    /// Partial-sum spill elements (each one write + one re-read at
+    /// accumulator width), serial repeats applied.
+    pub(crate) spill_elems: u64,
+    /// PE-level reduction fold, clamped to the row dimension.
+    pub(crate) kfold: u64,
+}
+
+/// Appends the partial-sum spill round trip (one write + one re-read at
+/// FP32 accumulator width) to a phase's stream lists. Skipped entirely
+/// when there are no spills so the default mapping's DDR transfer
+/// sequence stays byte-identical to the legacy stream.
+fn push_spills(reads: &mut Vec<(u64, f64)>, writes: &mut Vec<(u64, f64)>, spill_elems: u64) {
+    if spill_elems > 0 {
+        reads.push((spill_elems, 4.0));
+        writes.push((spill_elems, 4.0));
     }
 }
 

@@ -169,6 +169,22 @@ impl CqConfig {
         let int8_macs = self.macs_per_cycle_int4() as f64 / 4.0;
         int8_macs * 2.0 * self.freq_ghz * 1e9 / 1e12
     }
+
+    /// The mapping-model view of this configuration: buffer capacities,
+    /// element widths (quantized operands in NBin/SB, FP32 partial sums
+    /// in NBout) and PE geometry. See [`cq_sim::mapping`].
+    pub fn mem_hierarchy(&self) -> cq_sim::mapping::MemHierarchy {
+        cq_sim::mapping::MemHierarchy {
+            nbin_bytes: (self.nbin_kb * 1024) as u64,
+            sb_bytes: (self.sb_kb * 1024) as u64,
+            nbout_bytes: (self.nbout_kb * 1024) as u64,
+            elem_bytes: self.train_format.bytes(),
+            acc_bytes: 4.0,
+            pe_rows: self.pe_rows as u64,
+            pe_cols: self.pe_cols as u64,
+            pe_arrays: self.pe_arrays as u64,
+        }
+    }
 }
 
 impl Default for CqConfig {

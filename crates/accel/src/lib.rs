@@ -31,6 +31,7 @@ pub mod compiler;
 mod config;
 mod exec;
 mod machine;
+pub mod mapping_search;
 pub mod pe;
 mod qbc;
 mod squ;
@@ -43,5 +44,6 @@ pub use compiler::{
 pub use config::{CqConfig, ScaleVariant};
 pub use exec::{ExecTiming, TimingExecutor};
 pub use machine::{ExecStats, Machine, MachineError};
+pub use mapping_search::{search_layer, search_network, searched_table, LayerSearch};
 pub use qbc::{BufferLine, Qbc, QbcStats};
 pub use squ::{Squ, SquCost};

@@ -60,15 +60,26 @@ impl PeArray {
     /// pass. Partial tiles still occupy the full array (padding), which is
     /// where utilization loss on skinny matrices comes from.
     pub fn matmul(&self, m: u64, n: u64, k: u64) -> PeCost {
+        self.matmul_mapped(m, n, k, 1)
+    }
+
+    /// Cost of a matmul swept under a mapping's PE-level reduction fold
+    /// (see [`cq_sim::mapping::pe_sweep_cycles`]): `kfold` reduction
+    /// chunks map across the row dimension, shortening skinny sweeps.
+    /// Energy is fold-independent — the same MACs execute either way —
+    /// and `kfold = 1` is exactly [`PeArray::matmul`].
+    pub fn matmul_mapped(&self, m: u64, n: u64, k: u64, kfold: u64) -> PeCost {
         if m == 0 || n == 0 || k == 0 {
             return PeCost::default();
         }
-        let row_tiles = m.div_ceil(self.rows as u64);
-        let col_tiles = n.div_ceil(self.cols as u64);
-        let total_tiles = row_tiles * col_tiles;
-        // Tiles distribute across the (possibly scaled) set of arrays.
-        let tiles_per_array = total_tiles.div_ceil(self.arrays as u64);
-        let cycles = tiles_per_array * k * self.passes;
+        let cycles = cq_sim::mapping::pe_sweep_cycles(
+            self.rows as u64,
+            self.cols as u64,
+            self.arrays as u64,
+            kfold,
+            cq_sim::mapping::MatShape { m, n, k },
+            self.passes,
+        );
         let macs = m * n * k;
         PeCost {
             cycles,
@@ -172,6 +183,26 @@ mod tests {
     fn zero_work_is_free() {
         let pe = PeArray::new(&CqConfig::edge());
         assert_eq!(pe.matmul(0, 10, 10), PeCost::default());
+        assert_eq!(pe.matmul_mapped(0, 10, 10, 4), PeCost::default());
+    }
+
+    #[test]
+    fn fold_one_matches_unmapped_matmul() {
+        let pe = PeArray::new(&CqConfig::edge());
+        for (m, n, k) in [(64, 64, 1000), (65, 64, 100), (20, 2600, 1950)] {
+            assert_eq!(pe.matmul(m, n, k), pe.matmul_mapped(m, n, k, 1));
+        }
+    }
+
+    #[test]
+    fn fold_shortens_skinny_matmul_without_changing_energy() {
+        let pe = PeArray::new(&CqConfig::edge());
+        // PTB-LSTM-like shape: m=20 fills under a third of the 64 rows.
+        let base = pe.matmul_mapped(20, 2600, 1950, 1);
+        let folded = pe.matmul_mapped(20, 2600, 1950, 3);
+        assert_eq!(base.cycles, 3 * folded.cycles);
+        assert_eq!(base.energy_pj, folded.energy_pj);
+        assert_eq!(base.macs, folded.macs);
     }
 
     #[test]

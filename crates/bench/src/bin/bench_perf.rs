@@ -3,7 +3,7 @@
 //! Times every dense kernel, the fused quantization kernels, whole
 //! training steps, and a memoized simulation sweep under both the `Naive`
 //! reference path and the `Fast` path, then writes a machine-readable
-//! report. CI runs `--quick --check --baseline BENCH_PR7.json` and fails
+//! report. CI runs `--quick --check --baseline BENCH_PR8.json` and fails
 //! the build if `Fast` falls below 3.0x over `Naive` on the reference
 //! GEMM shape (512×512×512), or if any gated entry (serial quant
 //! kernels, the gemm/conv family, train steps) drops below its
@@ -17,7 +17,7 @@
 //!   --check         exit non-zero if Fast is below 3.0x over Naive on
 //!                   the reference 512x512x512 GEMM, or a gated entry
 //!                   regresses >15% below the baseline report
-//!   --out PATH      write the JSON report here (default: BENCH_PR7.json)
+//!   --out PATH      write the JSON report here (default: BENCH_PR8.json)
 //!   --baseline PATH a previous report to gate speedups against
 //! ```
 //!
@@ -25,7 +25,7 @@
 //!
 //! ```json
 //! {
-//!   "pr": 7,
+//!   "pr": 8,
 //!   "threads": 4,
 //!   "quick": false,
 //!   "entries": [
@@ -44,7 +44,8 @@
 //! absolute times are not. `-pooled` shapes cross the threshold and
 //! scale with the core count; `hwcost_sweep` times re-simulation with
 //! the `HwCostCache` disabled (`ns_naive`) vs enabled and warm
-//! (`ns_fast`).
+//! (`ns_fast`), and `mapping_search_quick` does the same A/B for the
+//! per-layer mapping search memo.
 //!
 //! Times are nanoseconds for the best (minimum) of `reps` timed runs
 //! after one warmup, so the numbers measure the kernels, not the
@@ -515,6 +516,38 @@ fn hwcache_hitstorm_entry(reps: usize, quick: bool) -> Entry {
     }
 }
 
+/// Per-layer mapping search over the `--quick` study set: the two-stage
+/// tile/order search recomputed from scratch every call (`ns_naive`,
+/// memo disabled) vs served from the warm process-wide search cache
+/// (`ns_fast`). Ungated: the cold side is dominated by cycle-accurate
+/// DDR walks whose candidate count shifts whenever the search space or
+/// pruning changes, so the ratio tracks search design, not a kernel
+/// regression.
+fn mapping_search_entry(reps: usize, quick: bool) -> Entry {
+    let _sp = cq_obs::span!("bench", "mapping search");
+    let chip = CambriconQ::edge();
+    let nets = if quick {
+        vec![models::alexnet()]
+    } else {
+        vec![models::alexnet(), models::ptb_lstm_medium()]
+    };
+    let run = || {
+        for net in &nets {
+            let _ = cq_accel::search_network(&chip, net);
+        }
+    };
+    cq_sim::set_hwcache_enabled(false);
+    let ns_naive = best_ns(run, reps);
+    cq_sim::set_hwcache_enabled(true);
+    let ns_fast = best_ns(run, reps);
+    Entry {
+        op: "mapping_search_quick",
+        shape: format!("{}nets-edge", nets.len()),
+        ns_naive,
+        ns_fast,
+    }
+}
+
 /// Whether an entry's speedup is gated against the `--baseline` report.
 fn is_gated(e: &Entry) -> bool {
     (GATED_QUANT_OPS.contains(&e.op) && !e.shape.ends_with("-pooled"))
@@ -558,7 +591,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(entries: &[Entry], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 7,\n");
+    out.push_str("  \"pr\": 8,\n");
     out.push_str(&format!("  \"threads\": {},\n", Pool::global().threads()));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
@@ -580,7 +613,7 @@ fn render_json(entries: &[Entry], quick: bool) -> String {
 fn main() {
     let mut quick = false;
     let mut check = false;
-    let mut out_path = String::from("BENCH_PR7.json");
+    let mut out_path = String::from("BENCH_PR8.json");
     let mut baseline_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -643,6 +676,7 @@ fn main() {
     entries.extend(quant_entries(reps + 2, quick));
     entries.push(hwcost_entry(reps, quick));
     entries.push(hwcache_hitstorm_entry(reps, quick));
+    entries.push(mapping_search_entry(reps, quick));
 
     entries.push(train_step_entry(
         "train_step",

@@ -39,6 +39,7 @@
 //! | `table8_extended` | [`accuracy`] | all five Table III algorithms |
 //! | `fault_sweep` | [`resilience`] | resilience under injected faults |
 //! | `chaos_sweep` | [`chaos`] | kill-and-resume sweep under software chaos |
+//! | `mapping_search` | [`mapping`] | per-layer searched mappings vs the streaming default |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,6 +49,7 @@ pub mod chaos;
 pub mod crosscheck;
 pub mod extensions;
 pub mod hqt;
+pub mod mapping;
 pub mod motivation;
 pub mod perf;
 pub mod profiling;

@@ -53,16 +53,18 @@ fn profile_flag<I: IntoIterator<Item = String>>(args: I) -> Option<String> {
 /// exact failure mode this subsystem exists to kill.
 ///
 /// Also validates `CQ_BACKEND`, `CQ_HWCACHE`, `CQ_HWCACHE_CAP`,
-/// `CQ_SIMD` and `CQ_TUNE_FILE` eagerly: pure-simulation binaries
-/// never dispatch a dense kernel, and a sweep might be entirely
-/// cache-hit, so without this a typo like `CQ_BACKEND=bogus`,
-/// `CQ_HWCACHE=offf`, `CQ_HWCACHE_CAP=-3`, `CQ_SIMD=avx512` or an
-/// unreadable/mismatched tune profile would pass unremarked.
+/// `CQ_SIMD`, `CQ_TUNE_FILE` and `CQ_MAPPING` eagerly: pure-simulation
+/// binaries never dispatch a dense kernel, and a sweep might be
+/// entirely cache-hit, so without this a typo like `CQ_BACKEND=bogus`,
+/// `CQ_HWCACHE=offf`, `CQ_HWCACHE_CAP=-3`, `CQ_SIMD=avx512`, an
+/// unreadable/mismatched tune profile or a malformed mapping table
+/// would pass unremarked.
 pub fn init_for_bin() -> ProfileGuard {
     let _ = cq_tensor::default_backend();
     let _ = cq_sim::hwcache_enabled();
     let _ = cq_sim::hwcache_cap();
     let _ = cq_tensor::fast_path_info();
+    let _ = cq_sim::mapping::env_policy();
     let path = profile_flag(std::env::args().skip(1));
     match path {
         Some(p) => {

@@ -34,6 +34,7 @@ mod breakdown;
 pub mod cache;
 mod energy;
 pub mod hwcost;
+pub mod mapping;
 mod phase;
 pub mod report;
 mod result;
@@ -45,6 +46,7 @@ pub use cache::{
     DEFAULT_SHARDS,
 };
 pub use energy::{table1_rows, EnergyModel, HwCostError, Table1Row};
+pub use mapping::{Mapping, MappingEval, MappingPolicy, MappingTable, MatShape, MemHierarchy};
 pub use phase::{Phase, PhaseBreakdown};
 pub use result::{geomean, SimResult};
 pub use trace::{Trace, TraceRecord};

@@ -26,7 +26,67 @@
 #![forbid(unsafe_code)]
 
 use cq_par::{gemm_with_plan, simd_level, GemmPlan, Pool, SimdLevel, TileConfig, SUPPORTED_TILES};
+use std::cell::RefCell;
 use std::time::Instant;
+
+/// Outcome of a generic [`two_stage`] search.
+#[derive(Debug, Clone)]
+pub struct TwoStageResult<C> {
+    /// Best-scoring candidate across both stages.
+    pub best: C,
+    /// Its score (higher is better); `f64::MIN` if no candidate scored.
+    pub score: f64,
+    /// Number of candidates submitted to `score`.
+    pub candidates: usize,
+}
+
+/// Generic two-stage search shared by the GEMM autotuner and the
+/// cq-accel mapping search: score every coarse stage-1 candidate, pick
+/// the winner, expand it into a stage-2 refinement neighbourhood via
+/// `refine`, and score those too.
+///
+/// `score` returns `None` for candidates that are illegal (plan fails to
+/// build, mapping violates buffer capacity); a refinement identical to
+/// the stage-1 winner is skipped rather than scored twice. Panics if
+/// `stage1` is empty.
+pub fn two_stage<C, F, R>(stage1: &[C], mut score: F, refine: R) -> TwoStageResult<C>
+where
+    C: Clone + PartialEq,
+    F: FnMut(&C) -> Option<f64>,
+    R: FnOnce(&C) -> Vec<C>,
+{
+    assert!(!stage1.is_empty(), "two_stage: empty stage-1 candidate set");
+    let mut candidates = 0usize;
+    let mut best = stage1[0].clone();
+    let mut best_score = f64::MIN;
+    for c in stage1 {
+        candidates += 1;
+        if let Some(s) = score(c) {
+            if s > best_score {
+                best_score = s;
+                best = c.clone();
+            }
+        }
+    }
+    let stage1_winner = best.clone();
+    for c in refine(&stage1_winner) {
+        if c == stage1_winner {
+            continue; // already scored in stage 1
+        }
+        candidates += 1;
+        if let Some(s) = score(&c) {
+            if s > best_score {
+                best_score = s;
+                best = c;
+            }
+        }
+    }
+    TwoStageResult {
+        best,
+        score: best_score,
+        candidates,
+    }
+}
 
 /// Probe shapes `(m, k, n)` for the full search: the bench reference
 /// square, a skinny train-step-like shape, and a smaller square that
@@ -104,98 +164,84 @@ pub fn search(
     shapes: &[(usize, usize, usize)],
     reps: usize,
     quick_grid: bool,
-    mut log: impl FnMut(&str),
+    log: impl FnMut(&str),
 ) -> TuneResult {
     let level = simd_level();
-    let mut candidates = 0usize;
+    // Both the score and refine closures need to report progress, so the
+    // logger lives in a RefCell they can share.
+    let log = RefCell::new(log);
+    let say = |msg: &str| (log.borrow_mut())(msg);
 
-    let score = |cfg: TileConfig, log: &mut dyn FnMut(&str)| -> Option<f64> {
-        let plan = GemmPlan::new(level, cfg).ok()?;
-        let (ns, macs) = measure(&plan, shapes, reps);
-        let mpn = macs as f64 / ns as f64;
-        log(&format!("  {}  {:.3} MACs/ns", plan.describe(), mpn));
-        Some(mpn)
-    };
-
-    // Stage 1: register tile under neutral blocking.
-    log(&format!(
-        "stage 1: register tile ({} kernels)",
-        level.name()
-    ));
-    let mut best_tile = SUPPORTED_TILES[0];
-    let mut best_tile_score = f64::MIN;
-    for &(mr, nr) in &SUPPORTED_TILES {
-        let cfg = TileConfig {
-            mr,
-            nr,
-            kc: 256,
-            mc: 12 * mr,
-            nc: 64 * nr,
-        };
-        candidates += 1;
-        if let Some(s) = score(cfg, &mut log) {
-            if s > best_tile_score {
-                best_tile_score = s;
-                best_tile = (mr, nr);
-            }
-        }
-    }
-    let (mr, nr) = best_tile;
-    log(&format!("stage 1 winner: {mr}x{nr}"));
-
-    // Stage 2: cache blocking around the winning tile.
-    log("stage 2: cache blocking");
-    let (kcs, mc_mults, nc_mults): (&[usize], &[usize], &[usize]) = if quick_grid {
-        (&[128, 256], &[12, 24], &[32, 64])
-    } else {
-        (&[128, 256, 512], &[6, 12, 24, 48], &[16, 32, 64, 128])
-    };
-    let mut best_cfg = TileConfig {
+    // Neutral mid-sized blocking for a register tile: stage 1 varies only
+    // the tile, stage 2 varies only the blocking around the winner.
+    let neutral = |mr: usize, nr: usize| TileConfig {
         mr,
         nr,
         kc: 256,
         mc: 12 * mr,
         nc: 64 * nr,
     };
-    let mut best_score = best_tile_score;
-    for &kc in kcs {
-        for &mcm in mc_mults {
-            for &ncm in nc_mults {
-                let cfg = TileConfig {
-                    mr,
-                    nr,
-                    kc,
-                    mc: mcm * mr,
-                    nc: ncm * nr,
-                };
-                if cfg == best_cfg {
-                    continue; // already measured in stage 1
-                }
-                candidates += 1;
-                if let Some(s) = score(cfg, &mut log) {
-                    if s > best_score {
-                        best_score = s;
-                        best_cfg = cfg;
+
+    say(&format!(
+        "stage 1: register tile ({} kernels)",
+        level.name()
+    ));
+    let stage1: Vec<TileConfig> = SUPPORTED_TILES
+        .iter()
+        .map(|&(mr, nr)| neutral(mr, nr))
+        .collect();
+
+    let res = two_stage(
+        &stage1,
+        |cfg| {
+            let plan = GemmPlan::new(level, *cfg).ok()?;
+            let (ns, macs) = measure(&plan, shapes, reps);
+            let mpn = macs as f64 / ns as f64;
+            say(&format!("  {}  {:.3} MACs/ns", plan.describe(), mpn));
+            Some(mpn)
+        },
+        |winner| {
+            let (mr, nr) = (winner.mr, winner.nr);
+            say(&format!("stage 1 winner: {mr}x{nr}"));
+            say("stage 2: cache blocking");
+            let (kcs, mc_mults, nc_mults): (&[usize], &[usize], &[usize]) = if quick_grid {
+                (&[128, 256], &[12, 24], &[32, 64])
+            } else {
+                (&[128, 256, 512], &[6, 12, 24, 48], &[16, 32, 64, 128])
+            };
+            let mut grid = Vec::new();
+            for &kc in kcs {
+                for &mcm in mc_mults {
+                    for &ncm in nc_mults {
+                        grid.push(TileConfig {
+                            mr,
+                            nr,
+                            kc,
+                            mc: mcm * mr,
+                            nc: ncm * nr,
+                        });
                     }
                 }
             }
-        }
-    }
-    log(&format!(
+            grid
+        },
+    );
+
+    say(&format!(
         "winner: {} {}x{} kc={} mc={} nc={}  {:.3} MACs/ns",
         level.name(),
-        best_cfg.mr,
-        best_cfg.nr,
-        best_cfg.kc,
-        best_cfg.mc,
-        best_cfg.nc,
-        best_score
+        res.best.mr,
+        res.best.nr,
+        res.best.kc,
+        res.best.mc,
+        res.best.nc,
+        res.score
     ));
     TuneResult {
         level,
-        cfg: best_cfg,
-        macs_per_ns: best_score,
-        candidates,
+        cfg: res.best,
+        macs_per_ns: res.score,
+        candidates: res.candidates,
     }
 }
 
@@ -217,6 +263,38 @@ pub fn tune(opts: TuneOptions) -> TuneResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn two_stage_skips_winner_and_keeps_best() {
+        // Deterministic scores: stage 1 over 1..=3 (3 wins), refinement
+        // re-lists the winner (skipped) plus 30 (wins) and an illegal 99.
+        let mut scored = Vec::new();
+        let res = two_stage(
+            &[1, 2, 3],
+            |&c| {
+                scored.push(c);
+                if c == 99 {
+                    None
+                } else {
+                    Some(c as f64)
+                }
+            },
+            |&w| vec![w, 30, 99],
+        );
+        assert_eq!(res.best, 30);
+        assert_eq!(res.score, 30.0);
+        // 3 stage-1 + 2 stage-2 (winner skipped, illegal still counted).
+        assert_eq!(res.candidates, 5);
+        assert_eq!(scored, vec![1, 2, 3, 30, 99]);
+    }
+
+    #[test]
+    fn two_stage_all_illegal_falls_back_to_first() {
+        let res = two_stage(&["a", "b"], |_| None, |_| vec!["c"]);
+        assert_eq!(res.best, "a");
+        assert_eq!(res.score, f64::MIN);
+        assert_eq!(res.candidates, 3);
+    }
 
     #[test]
     fn search_yields_valid_committed_style_profile() {

@@ -33,6 +33,23 @@ fn render_sweep() -> String {
             "{result:?}\n{profile:?}\n{resilient:?}\n{ecc:?}\n"
         ));
     }
+
+    // Non-default mapping leg: the sim-cache key must separate policies
+    // (a Search-policy result served from a Default-policy entry — or
+    // vice versa — would corrupt both reports), and the mapping-search
+    // memo must itself be invariant under the hwcache toggle.
+    let search_chip = cq_accel::CambriconQ::with_mapping(
+        cq_accel::CqConfig::edge(),
+        cq_sim::MappingPolicy::Search,
+    );
+    let net = models::alexnet();
+    let searched = search_chip.simulate(&net, opt);
+    let default = chip.simulate(&net, opt);
+    assert!(
+        searched.total_cycles() < default.total_cycles(),
+        "searched AlexNet must keep its fc fold wins"
+    );
+    out.push_str(&format!("{searched:?}\n{default:?}\n"));
     out
 }
 

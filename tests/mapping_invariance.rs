@@ -1,0 +1,69 @@
+//! Mapping-refactor invariance contract: with the *default* (streaming)
+//! mapping, the full experiment sweep must render **byte-identically** to
+//! the committed golden report captured before the mapping refactor landed
+//! (and after the odd-cycle S/Q split fix — that fix deliberately changed
+//! the numbers, so the golden was blessed from the post-fix tree).
+//!
+//! The default mapping reproduces the legacy hard-coded stream exactly:
+//! full tiles, all reload factors 1, no partial-sum spills, `kfold = 1`.
+//! Any drift in this report means the refactor changed behaviour on the
+//! path that is contractually behaviour-neutral.
+//!
+//! Regenerate the golden after an *intentional* model change with:
+//!
+//! ```text
+//! CQ_BLESS=1 cargo test -p cq-integration --test mapping_invariance
+//! ```
+
+use cq_experiments::perf;
+use cq_ndp::OptimizerKind;
+use cq_workloads::models;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/mapping_default_sweep.txt"
+);
+
+/// Renders the default-mapping sweep report: the Fig. 12 comparison
+/// pipeline over all six networks plus a direct profiled/resilient pass
+/// over two nets — the same surface `hwcache_invariant` checks, so the
+/// two contracts guard the same bytes from two directions.
+fn render_default_sweep() -> String {
+    let rows = perf::run_comparison();
+    let mut out = String::new();
+    out.push_str(&perf::fig12a_table(&rows).to_string());
+    out.push_str(&perf::fig12c_table(&rows).to_string());
+    let (d, ratio) = perf::fig12d_table(&rows);
+    out.push_str(&d.to_string());
+    out.push_str(&format!("geomean energy ratio {ratio:.6}\n"));
+
+    let chip = cq_accel::CambriconQ::edge();
+    let opt = OptimizerKind::Sgd { lr: 0.01 };
+    for net in [models::squeezenet_v1(), models::resnet18()] {
+        let (result, profile) = chip.simulate_profiled(&net, opt);
+        let (resilient, ecc) = chip.simulate_resilient(&net, opt);
+        out.push_str(&format!(
+            "{result:?}\n{profile:?}\n{resilient:?}\n{ecc:?}\n"
+        ));
+    }
+    out
+}
+
+#[test]
+fn default_mapping_sweep_matches_golden() {
+    let rendered = render_default_sweep();
+
+    if std::env::var_os("CQ_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden report");
+        eprintln!("blessed golden report at {GOLDEN_PATH}");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("read committed golden report (run with CQ_BLESS=1 to create it)");
+    assert_eq!(
+        rendered, golden,
+        "default-mapping sweep diverged from the committed golden report; \
+         if the change is intentional, re-bless with CQ_BLESS=1"
+    );
+}
