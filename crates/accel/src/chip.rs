@@ -207,25 +207,40 @@ impl CambriconQ {
         (run.result.clone(), run.ecc)
     }
 
-    /// The memoized whole-iteration run for this (config, optimizer, net,
-    /// mapping policy).
+    /// The cache key of one whole-iteration run.
     ///
     /// The key captures *every* input the simulation reads: the full
     /// `CqConfig` (PE geometry, formats, DDR timing, fault/ECC settings),
     /// the optimizer, the network description, and the mapping policy
-    /// (including any table contents), all rendered via `Debug`. The
-    /// energy model is a constant (`tsmc45`) and so needs no key part.
+    /// (including any table contents), rendered via `Debug` — plus a
+    /// canonical IEEE-754 bit section for every float field, because the
+    /// Debug text aliases NaN payloads (and formatter changes could
+    /// alias signed zeros), which would cross-serve cached costs between
+    /// distinct configs. The energy model is a constant (`tsmc45`) and
+    /// so needs no key part.
+    pub(crate) fn run_key(&self, net: &Network, optimizer: OptimizerKind) -> HwCostKey {
+        HwCostKey::new(
+            "cambricon-q",
+            format!(
+                "{:?}|{:?}|{:?}|map={:?}|bits:{};{}",
+                self.config,
+                optimizer,
+                net,
+                self.mapping,
+                crate::keyspec::config_float_bits(&self.config),
+                crate::keyspec::optimizer_float_bits(&optimizer),
+            ),
+        )
+    }
+
+    /// The memoized whole-iteration run for this (config, optimizer, net,
+    /// mapping policy), keyed by [`CambriconQ::run_key`].
+    ///
     /// Inference ([`CambriconQ::simulate_inference`]) and external-baseline
     /// simulations are deliberately uncached: they are not re-invoked with
     /// identical inputs inside sweeps often enough to matter.
     fn cached_run(&self, net: &Network, optimizer: OptimizerKind) -> Arc<CachedRun> {
-        let key = HwCostKey::new(
-            "cambricon-q",
-            format!(
-                "{:?}|{:?}|{:?}|map={:?}",
-                self.config, optimizer, net, self.mapping
-            ),
-        );
+        let key = self.run_key(net, optimizer);
         sim_cache().get_or_compute(key, || self.fresh_run(net, optimizer))
     }
 
@@ -692,6 +707,32 @@ mod tests {
             beta1: 0.9,
             beta2: 0.999,
         }
+    }
+
+    #[test]
+    fn run_keys_distinguish_signed_zero_and_nan_payload_configs() {
+        // Regression: Debug-only specs alias these pairs, so distinct
+        // configs could cross-serve one cached cost.
+        let net = models::squeezenet_v1();
+        let mut pos = CqConfig::edge();
+        pos.ddr.ecc.check_pj_per_byte = 0.0;
+        let mut neg = pos.clone();
+        neg.ddr.ecc.check_pj_per_byte = -0.0;
+        let key_pos = CambriconQ::new(pos.clone()).run_key(&net, sgd());
+        let key_neg = CambriconQ::new(neg).run_key(&net, sgd());
+        assert_ne!(key_pos, key_neg, "-0.0 and 0.0 must key separately");
+        // NaN-payload optimizer hyperparameters must also key separately.
+        let quiet = OptimizerKind::Sgd { lr: f32::NAN };
+        let payload = OptimizerKind::Sgd {
+            lr: f32::from_bits(f32::NAN.to_bits() ^ 0x1),
+        };
+        let chip = CambriconQ::new(pos.clone());
+        assert_ne!(chip.run_key(&net, quiet), chip.run_key(&net, payload));
+        // Bit-identical inputs still share a key (the memoization works).
+        assert_eq!(
+            CambriconQ::new(pos.clone()).run_key(&net, sgd()),
+            CambriconQ::new(pos).run_key(&net, sgd()),
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Canonical cache-key fragments for the float inputs of a simulation.
+//!
+//! `HwCostKey` specs use a conservative `Debug` backbone, which is
+//! exact for integer and enum fields but *text-aliases* floats: every
+//! NaN payload renders as `NaN`, and a formatting change could collapse
+//! `-0.0` into `0.0`. Two configs differing only in such a field would
+//! then cross-serve each other's cached cost. Every key site appends
+//! the fragments below (built on [`cq_sim::key_f32`]/[`cq_sim::key_f64`]
+//! IEEE-754 bit encoding) so the key distinguishes configs exactly when
+//! their float fields are not bit-identical.
+
+use cq_ndp::OptimizerKind;
+use cq_sim::{key_f32, key_f64};
+
+use crate::config::CqConfig;
+
+/// Bit-exact fragment covering every float field a [`CqConfig`] carries:
+/// core clock, DDR clock, the three ECC energy/overhead parameters, and
+/// the fault-model bit-error rate when present.
+pub(crate) fn config_float_bits(config: &CqConfig) -> String {
+    let ecc = &config.ddr.ecc;
+    let ber = match &config.ddr.fault {
+        Some(f) => key_f64(f.ber),
+        None => "none".to_string(),
+    };
+    format!(
+        "freq={} ddr={} ecc={}/{}/{} ber={}",
+        key_f64(config.freq_ghz),
+        key_f64(config.ddr.freq_mhz),
+        key_f64(ecc.check_pj_per_byte),
+        key_f64(ecc.correct_pj),
+        key_f64(ecc.storage_overhead),
+        ber,
+    )
+}
+
+/// Bit-exact fragment covering every float hyperparameter of an
+/// [`OptimizerKind`].
+pub(crate) fn optimizer_float_bits(optimizer: &OptimizerKind) -> String {
+    match *optimizer {
+        OptimizerKind::Sgd { lr } => format!("sgd lr={}", key_f32(lr)),
+        OptimizerKind::AdaGrad { lr } => format!("adagrad lr={}", key_f32(lr)),
+        OptimizerKind::RmsProp { lr, beta } => {
+            format!("rmsprop lr={} beta={}", key_f32(lr), key_f32(beta))
+        }
+        OptimizerKind::Adam { lr, beta1, beta2 } => format!(
+            "adam lr={} b1={} b2={}",
+            key_f32(lr),
+            key_f32(beta1),
+            key_f32(beta2)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_zero_config_fields_key_differently() {
+        // Regression for the Debug-keyed aliasing class: two configs
+        // identical except for a -0.0/0.0 ECC energy field must not
+        // share a cache key fragment.
+        let mut pos = CqConfig::edge();
+        pos.ddr.ecc.check_pj_per_byte = 0.0;
+        let mut neg = pos.clone();
+        neg.ddr.ecc.check_pj_per_byte = -0.0;
+        assert_ne!(config_float_bits(&pos), config_float_bits(&neg));
+        // Bit-identical configs agree.
+        assert_eq!(config_float_bits(&pos), config_float_bits(&pos.clone()));
+    }
+
+    #[test]
+    fn nan_payload_optimizer_fields_key_differently() {
+        // Debug renders every NaN as "NaN"; the bit fragment must not.
+        let quiet = f32::NAN;
+        let payload = f32::from_bits(quiet.to_bits() ^ 0x1);
+        let a = OptimizerKind::Sgd { lr: quiet };
+        let b = OptimizerKind::Sgd { lr: payload };
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(optimizer_float_bits(&a), optimizer_float_bits(&b));
+    }
+
+    #[test]
+    fn every_optimizer_float_is_covered() {
+        let bump = |v: f32| f32::from_bits(v.to_bits() ^ 0x1);
+        let pairs: [(OptimizerKind, OptimizerKind); 5] = [
+            (
+                OptimizerKind::Sgd { lr: 0.1 },
+                OptimizerKind::Sgd { lr: bump(0.1) },
+            ),
+            (
+                OptimizerKind::AdaGrad { lr: 0.1 },
+                OptimizerKind::AdaGrad { lr: bump(0.1) },
+            ),
+            (
+                OptimizerKind::RmsProp { lr: 0.1, beta: 0.9 },
+                OptimizerKind::RmsProp {
+                    lr: 0.1,
+                    beta: bump(0.9),
+                },
+            ),
+            (
+                OptimizerKind::Adam {
+                    lr: 0.1,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                },
+                OptimizerKind::Adam {
+                    lr: 0.1,
+                    beta1: 0.9,
+                    beta2: bump(0.999),
+                },
+            ),
+            (
+                OptimizerKind::Adam {
+                    lr: 0.1,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                },
+                OptimizerKind::Adam {
+                    lr: 0.1,
+                    beta1: bump(0.9),
+                    beta2: 0.999,
+                },
+            ),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(
+                optimizer_float_bits(&a),
+                optimizer_float_bits(&b),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_ber_participates_in_the_fragment() {
+        use cq_mem::FaultModel;
+        let base = CqConfig::edge();
+        let with_fault = |ber: f64| {
+            let mut c = base.clone();
+            c.ddr = c.ddr.with_fault(FaultModel::new(ber, 7));
+            c
+        };
+        let none = config_float_bits(&base);
+        let low = config_float_bits(&with_fault(1e-9));
+        let high = config_float_bits(&with_fault(1e-6));
+        assert_ne!(none, low);
+        assert_ne!(low, high);
+    }
+}

@@ -317,13 +317,16 @@ pub fn search_layer(
     let key = HwCostKey::new(
         "mapping-search",
         format!(
-            "{:?}|{net_name}|{}|b{batch}|{:?}|{}/{}/{}",
+            "{:?}|{net_name}|{}|b{batch}|{:?}|{}/{}/{}|bits:{}",
             chip.config(),
             layer.name,
             layer.as_matmuls(batch),
             layer.input_count(),
             layer.output_count(),
             layer.weight_count(),
+            // Debug aliases NaN payloads in the config's float fields;
+            // the bit section keeps distinct configs on distinct keys.
+            crate::keyspec::config_float_bits(chip.config()),
         ),
     );
     search_cache().get_or_compute(key, || run_search(chip, layer, batch))

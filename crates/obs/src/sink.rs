@@ -117,22 +117,50 @@ impl Sink for JsonlSink {
     }
 }
 
-/// Collects events and writes a complete Chrome `trace_event` JSON array
-/// on every [`Sink::flush`] (idempotent full rewrite, so the file is
-/// valid whenever the process last flushed).
+/// Writes a Chrome `trace_event` JSON array *incrementally*: each
+/// [`Sink::flush`] appends only the events buffered since the previous
+/// flush and then re-writes the constant-size `\n]\n` terminator in
+/// place.
+///
+/// The original sink rewrote the whole array on every flush — O(n²)
+/// total I/O and O(n) resident strings over a process lifetime, which a
+/// long-running daemon with `CQ_TRACE` on cannot afford. The append
+/// scheme keeps both flush cost and memory proportional to the events
+/// since the last flush, while preserving the crash-validity guarantee:
+/// after every completed flush the file on disk is a complete, valid
+/// JSON array, so a trace is loadable even if the process dies between
+/// flushes.
 pub struct ChromeTraceSink {
-    events: Mutex<Vec<String>>,
+    state: Mutex<ChromeState>,
     path: PathBuf,
 }
 
+struct ChromeState {
+    file: std::fs::File,
+    /// Rendered events not yet on disk (drained by flush).
+    pending: Vec<String>,
+    /// Events already in the on-disk array body.
+    written: u64,
+    /// Byte offset where the array terminator begins (just past the
+    /// last written event).
+    body_end: u64,
+}
+
 impl ChromeTraceSink {
-    /// Creates a sink writing `path` on flush.
+    /// Creates a sink appending to `path` on flush. The file starts as
+    /// a valid empty array.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         // Fail early if the location is unwritable.
-        std::fs::File::create(&path)?;
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(b"[\n]\n")?;
         Ok(ChromeTraceSink {
-            events: Mutex::new(Vec::new()),
+            state: Mutex::new(ChromeState {
+                file,
+                pending: Vec::new(),
+                written: 0,
+                body_end: 2, // just past "[\n"
+            }),
             path,
         })
     }
@@ -145,24 +173,40 @@ impl ChromeTraceSink {
 
 impl Sink for ChromeTraceSink {
     fn event(&self, ev: &Event) {
-        self.events
+        self.state
             .lock()
             .expect("chrome sink poisoned")
+            .pending
             .push(ev.to_chrome());
     }
 
     fn flush(&self) {
-        let events = self.events.lock().expect("chrome sink poisoned");
-        let mut out = String::from("[\n");
-        for (i, ev) in events.iter().enumerate() {
-            out.push_str(ev);
-            if i + 1 < events.len() {
-                out.push(',');
-            }
-            out.push('\n');
+        use std::io::{Seek, SeekFrom};
+        let mut st = self.state.lock().expect("chrome sink poisoned");
+        // A failed trace write must never take down the traced program.
+        if st.pending.is_empty() {
+            let _ = st.file.flush();
+            return;
         }
-        out.push_str("]\n");
-        let _ = std::fs::write(&self.path, out);
+        let mut chunk = String::new();
+        let pending = std::mem::take(&mut st.pending);
+        for ev in pending {
+            if st.written > 0 {
+                chunk.push_str(",\n");
+            }
+            chunk.push_str(&ev);
+            st.written += 1;
+        }
+        // Overwrite the old terminator with the new events, then close
+        // the array again. The file only ever grows, so no truncation is
+        // needed, and a crash after this write leaves a valid array.
+        let body_end = st.body_end;
+        let _ = st.file.seek(SeekFrom::Start(body_end));
+        if st.file.write_all(chunk.as_bytes()).is_ok() {
+            st.body_end += chunk.len() as u64;
+        }
+        let _ = st.file.write_all(b"\n]\n");
+        let _ = st.file.flush();
     }
 }
 
@@ -219,6 +263,36 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let v = crate::json::parse(&text).expect("valid json array");
         assert_eq!(v.as_arr().unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chrome_sink_appends_across_flushes() {
+        let path =
+            std::env::temp_dir().join(format!("cq_obs_chrome_app_{}.json", std::process::id()));
+        let s = ChromeTraceSink::create(&path).expect("create");
+        // Before any flush the file is already a valid empty array.
+        let text = std::fs::read_to_string(&path).expect("read initial");
+        assert_eq!(
+            crate::json::parse(&text).unwrap().as_arr().unwrap().len(),
+            0
+        );
+        // Events accumulate across flush boundaries, in order.
+        s.event(&ev("one"));
+        s.flush();
+        s.event(&ev("two"));
+        s.event(&ev("three"));
+        s.flush();
+        // An event-less flush must not disturb the array.
+        s.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let v = crate::json::parse(&text).expect("valid json array");
+        let arr = v.as_arr().unwrap();
+        let names: Vec<_> = arr
+            .iter()
+            .map(|e| e.get("name").and_then(crate::json::Json::as_str).unwrap())
+            .collect();
+        assert_eq!(names, ["one", "two", "three"]);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -172,8 +172,9 @@ fn chrome_trace_round_trip() {
 
 #[test]
 fn chrome_sink_is_valid_after_every_flush() {
-    // The Chrome sink rewrites the whole array on flush, so a trace is
-    // loadable even if the process dies between flushes.
+    // The Chrome sink appends new frames and re-closes the array on
+    // every flush, so a trace is loadable even if the process dies
+    // between flushes.
     let path = temp_path("json");
     let sink = ChromeTraceSink::create(&path).expect("create");
     let events = sample_events();

@@ -65,6 +65,7 @@ pub mod conv;
 mod gemm;
 mod microkernel;
 mod pool;
+pub mod queue;
 pub mod tune;
 
 pub use catch::catch_task;
@@ -74,6 +75,7 @@ pub use gemm::{
 };
 pub use microkernel::{simd_level, SimdLevel, SUPPORTED_TILES};
 pub use pool::Pool;
+pub use queue::{BatchRejected, BoundedQueue};
 pub use tune::{
     active_plan, default_profile, describe_active_plan, parse_profile, render_profile, GemmPlan,
     TileConfig,

@@ -68,4 +68,4 @@ pub use crc32::crc32;
 pub use failure::{FailureKind, TaskFailure};
 pub use journal::{JournalStats, SweepJournal};
 pub use retry::{splitmix64, unit_f64, RetryPolicy};
-pub use run::{run_journaled, run_resilient, JournaledOutcome};
+pub use run::{run_journaled, run_resilient, run_task, JournaledOutcome};

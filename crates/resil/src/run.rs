@@ -81,6 +81,39 @@ fn attempt_loop<T>(
     }
 }
 
+/// Runs one task inline — on the calling thread, no pool — with the
+/// policy's full retry/backoff/soft-deadline/panic-isolation semantics.
+///
+/// This is the per-request execution primitive for callers that manage
+/// their own threads: the sweep daemon's queue workers run each admitted
+/// cell through it so a poisoned cell panics into a [`TaskFailure`]
+/// frame instead of taking the worker (and the server) down.
+/// `task` receives `(index, attempt)` exactly as in [`run_resilient`].
+///
+/// # Examples
+///
+/// ```
+/// use cq_resil::{run_task, RetryPolicy};
+///
+/// let out = run_task(&RetryPolicy::default(), 7, |i, attempt| {
+///     if attempt == 1 {
+///         panic!("transient");
+///     }
+///     i * 2
+/// });
+/// assert_eq!(out.unwrap(), 14);
+/// ```
+pub fn run_task<T>(
+    policy: &RetryPolicy,
+    index: usize,
+    task: impl Fn(usize, u32) -> T + Sync,
+) -> Result<T, TaskFailure> {
+    if policy.suppress_panic_output {
+        install_quiet_hook();
+    }
+    attempt_loop(policy, index, &task)
+}
+
 /// Runs `n` tasks on `pool` with retry, soft deadlines and panic
 /// isolation per `policy`.
 ///
@@ -241,6 +274,19 @@ mod tests {
         let p = std::env::temp_dir().join(format!("cq_resil_run_{}_{name}", std::process::id()));
         let _ = std::fs::remove_file(&p);
         p
+    }
+
+    #[test]
+    fn run_task_isolates_permanent_panics_inline() {
+        let policy = RetryPolicy::default().with_attempts(2);
+        let out = run_task(&policy, 9, |_, _| -> u32 { panic!("poisoned cell") });
+        let failure = out.unwrap_err();
+        assert_eq!(failure.index, 9);
+        assert_eq!(failure.attempts, 2);
+        assert!(matches!(
+            &failure.kind,
+            FailureKind::Panicked { message } if message.contains("poisoned cell")
+        ));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Named presets a sweep request can reference.
+//!
+//! The wire protocol names networks, chip configurations and optimizers
+//! by short stable keywords instead of shipping full descriptions: every
+//! combination the daemon can simulate is constructible on the server
+//! from the same committed model/config code paths the offline
+//! experiment binaries use, which is what makes daemon responses
+//! byte-comparable to a local [`cq_accel::CambriconQ::simulate`] run.
+
+use cq_accel::{CqConfig, ScaleVariant};
+use cq_ndp::OptimizerKind;
+use cq_quant::IntFormat;
+use cq_workloads::{models, Network};
+
+/// Every network keyword, in a stable order.
+pub const NETS: [&str; 7] = [
+    "alexnet",
+    "resnet18",
+    "googlenet",
+    "squeezenet",
+    "transformer",
+    "lstm",
+    "vgg16",
+];
+
+/// Every config keyword, in a stable order.
+pub const CONFIGS: [&str; 5] = ["edge", "edge-int4", "edge-no-ndp", "scaled-t", "scaled-v"];
+
+/// Every optimizer keyword, in a stable order.
+pub const OPTIMIZERS: [&str; 4] = ["sgd", "adagrad", "rmsprop", "adam"];
+
+/// The benchmark network behind a keyword.
+pub fn net(name: &str) -> Option<Network> {
+    match name {
+        "alexnet" => Some(models::alexnet()),
+        "resnet18" => Some(models::resnet18()),
+        "googlenet" => Some(models::googlenet()),
+        "squeezenet" => Some(models::squeezenet_v1()),
+        "transformer" => Some(models::transformer_base()),
+        "lstm" => Some(models::ptb_lstm_medium()),
+        "vgg16" => Some(models::vgg16()),
+        _ => None,
+    }
+}
+
+/// The chip configuration behind a keyword.
+pub fn config(name: &str) -> Option<CqConfig> {
+    match name {
+        "edge" => Some(CqConfig::edge()),
+        "edge-int4" => Some(CqConfig::edge().with_format(IntFormat::Int4)),
+        "edge-no-ndp" => Some(CqConfig::edge().without_ndp()),
+        "scaled-t" => Some(CqConfig::scaled(ScaleVariant::T)),
+        "scaled-v" => Some(CqConfig::scaled(ScaleVariant::V)),
+        _ => None,
+    }
+}
+
+/// The optimizer behind a keyword. Hyperparameters are fixed (the
+/// values the experiment sweeps use), so a keyword is a complete input
+/// description.
+pub fn optimizer(name: &str) -> Option<OptimizerKind> {
+    match name {
+        "sgd" => Some(OptimizerKind::Sgd { lr: 0.01 }),
+        "adagrad" => Some(OptimizerKind::AdaGrad { lr: 0.01 }),
+        "rmsprop" => Some(OptimizerKind::RmsProp {
+            lr: 1e-3,
+            beta: 0.9,
+        }),
+        "adam" => Some(OptimizerKind::Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_keyword_resolves() {
+        for n in NETS {
+            assert!(net(n).is_some(), "net {n}");
+        }
+        for c in CONFIGS {
+            assert!(config(c).is_some(), "config {c}");
+        }
+        for o in OPTIMIZERS {
+            assert!(optimizer(o).is_some(), "optimizer {o}");
+        }
+    }
+
+    #[test]
+    fn unknown_keywords_resolve_to_none() {
+        assert!(net("alexnet2").is_none());
+        assert!(config("cloud").is_none());
+        assert!(optimizer("lamb").is_none());
+    }
+
+    #[test]
+    fn keywords_are_deterministic() {
+        // Two resolutions of the same keyword must describe identical
+        // inputs — the byte-identity contract depends on it.
+        assert_eq!(config("edge-int4"), config("edge-int4"));
+        assert_eq!(optimizer("adam"), optimizer("adam"));
+        assert_eq!(net("lstm").unwrap().name, net("lstm").unwrap().name);
+    }
+}

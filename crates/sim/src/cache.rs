@@ -82,6 +82,22 @@ impl HwCostKey {
     }
 }
 
+/// Canonical spec fragment for an `f32` key field: the IEEE-754 bit
+/// pattern in fixed-width hex. Text renderings of floats alias values
+/// the simulator distinguishes — every NaN payload formats as `NaN`,
+/// and a formatter (or a future `Display`-based spec) may collapse
+/// `-0.0` into `0.0` — so float fields of a [`HwCostKey`] spec must go
+/// through this encoding: two floats produce the same fragment iff
+/// they are bit-identical.
+pub fn key_f32(v: f32) -> String {
+    format!("f32:{:08x}", v.to_bits())
+}
+
+/// Canonical spec fragment for an `f64` key field (see [`key_f32`]).
+pub fn key_f64(v: f64) -> String {
+    format!("f64:{:016x}", v.to_bits())
+}
+
 /// Hit/miss/size statistics snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -417,6 +433,22 @@ mod tests {
         // Recompute after clear: a fresh miss.
         let v = cache.get_or_compute(HwCostKey::new("test", "x"), || 9);
         assert_eq!(*v, 9);
+    }
+
+    #[test]
+    fn key_float_fragments_are_bit_exact() {
+        // Signed zeros are distinct cache inputs.
+        assert_ne!(key_f32(0.0), key_f32(-0.0));
+        assert_ne!(key_f64(0.0), key_f64(-0.0));
+        // NaN payloads must not collapse: Debug renders both as "NaN".
+        let quiet = f32::NAN;
+        let payload = f32::from_bits(quiet.to_bits() ^ 0x1);
+        assert_eq!(format!("{quiet:?}"), format!("{payload:?}"));
+        assert_ne!(key_f32(quiet), key_f32(payload));
+        // Bit-identical values agree; fragments are fixed width.
+        assert_eq!(key_f32(1.5), key_f32(1.5));
+        assert_eq!(key_f32(1.0), "f32:3f800000");
+        assert_eq!(key_f64(1.0), "f64:3ff0000000000000");
     }
 
     #[test]

@@ -104,9 +104,22 @@ impl LoopOrder {
         Ok(LoopOrder(dims))
     }
 
-    /// Position of `dim` in the nest (0 = outermost).
-    fn position(&self, dim: Dim) -> usize {
-        self.0.iter().position(|&d| d == dim).unwrap()
+    /// Position of `dim` in the nest (0 = outermost), or `None` when the
+    /// order does not mention it. [`LoopOrder::parse`] only produces
+    /// permutations, but the tuple field is public, so a hand-built
+    /// order can omit a dimension — callers must not assume presence
+    /// (this used to be an `unwrap` that aborted on such orders).
+    fn position(&self, dim: Dim) -> Option<usize> {
+        self.0.iter().position(|&d| d == dim)
+    }
+
+    /// Whether the order mentions each of M, N, K exactly once. Anything
+    /// else has no defined reuse analysis and is rejected by
+    /// [`Mapping::validate`].
+    pub fn is_permutation(&self) -> bool {
+        [Dim::M, Dim::N, Dim::K]
+            .into_iter()
+            .all(|d| self.0.contains(&d))
     }
 }
 
@@ -253,8 +266,15 @@ impl Mapping {
         *self == Mapping::streaming_default()
     }
 
-    /// Structural sanity: no zero tiles, fold ≥ 1.
+    /// Structural sanity: the loop order is a permutation of (M, N, K),
+    /// no zero tiles, fold ≥ 1.
     pub fn validate(&self) -> Result<(), String> {
+        if !self.order.is_permutation() {
+            return Err(format!(
+                "mapping loop order {:?} must mention each of m, n, k once",
+                self.order.name()
+            ));
+        }
         if self.tile_m == 0 || self.tile_n == 0 || self.tile_k == 0 {
             return Err(format!("mapping {self} has a zero tile size"));
         }
@@ -284,8 +304,16 @@ impl Mapping {
         // f_X = Π trip(d) over irrelevant dims d that have a relevant
         // dim strictly inside them in the nest.
         let reload = |relevant: [Dim; 2], irrelevant: Dim| -> u64 {
-            let pos = self.order.position(irrelevant);
-            let inner_relevant = relevant.iter().any(|&r| self.order.position(r) > pos);
+            // A non-permutation order only reaches here through the
+            // public struct fields (validate() rejects it at every parse
+            // boundary); a dimension missing from the nest contributes no
+            // reload rather than a panic.
+            let Some(pos) = self.order.position(irrelevant) else {
+                return 1;
+            };
+            let inner_relevant = relevant
+                .iter()
+                .any(|&r| self.order.position(r).is_some_and(|p| p > pos));
             if inner_relevant {
                 trip_of(irrelevant)
             } else {
@@ -845,6 +873,41 @@ mod tests {
             resolve_env_mapping(Some("maps/resnet.map")),
             EnvMapping::File("maps/resnet.map".into())
         );
+    }
+
+    #[test]
+    fn hand_built_non_permutation_order_errors_instead_of_panicking() {
+        // The tuple field is public, so a caller can build an order that
+        // no parser would produce. This used to abort inside evaluate()
+        // via `.position().unwrap()`; now validate() rejects it and
+        // evaluate() degrades gracefully.
+        let hier = edge_hier();
+        let m = Mapping {
+            order: LoopOrder([Dim::M, Dim::M, Dim::K]),
+            tile_m: 64,
+            tile_n: 64,
+            tile_k: 64,
+            kfold: 1,
+        };
+        assert!(!m.order.is_permutation());
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("must mention each of m, n, k once"), "{err}");
+        // Must not panic even though N is absent from the nest; the
+        // missing dimension contributes no reload.
+        let e = m.evaluate(shape(512, 512, 512), &hier);
+        assert_eq!(e.reload_in, 1);
+        assert!(e.reload_w >= 1);
+    }
+
+    #[test]
+    fn hostile_mapping_table_duplicate_dim_is_typed_error() {
+        // A hand-edited CQ_MAPPING file whose order references a
+        // dimension twice (so one is absent) must surface the typed
+        // parse error with its line number, not abort the process.
+        let hostile = format!("{TABLE_HEADER}\nnet/conv1: order=mmk tm=64 tn=64 tk=64 fold=1\n");
+        let err = MappingTable::parse(&hostile).unwrap_err();
+        assert!(err.starts_with("mapping table line 2:"), "{err}");
+        assert!(err.contains("must mention each of m, n, k once"), "{err}");
     }
 
     #[test]
