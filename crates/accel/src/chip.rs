@@ -233,6 +233,15 @@ impl CambriconQ {
         )
     }
 
+    /// The canonical `HwCostCache` key of one whole-iteration run — the
+    /// public view of [`CambriconQ::run_key`]. The sweep daemon coalesces
+    /// identical in-flight cells by this key, which keeps the coalescing
+    /// exactly as strict as the cache: two requests coalesce iff a cache
+    /// hit would have served the second one byte-identically anyway.
+    pub fn cache_key(&self, net: &Network, optimizer: OptimizerKind) -> HwCostKey {
+        self.run_key(net, optimizer)
+    }
+
     /// The memoized whole-iteration run for this (config, optimizer, net,
     /// mapping policy), keyed by [`CambriconQ::run_key`].
     ///

@@ -3,21 +3,24 @@
 //! Times every dense kernel, the fused quantization kernels, whole
 //! training steps, and a memoized simulation sweep under both the `Naive`
 //! reference path and the `Fast` path, then writes a machine-readable
-//! report. CI runs `--quick --check --baseline BENCH_PR9.json` and fails
+//! report. CI runs `--quick --check --baseline BENCH_PR10.json` and fails
 //! the build if `Fast` falls below 3.0x over `Naive` on the reference
-//! GEMM shape (512×512×512), or if any gated entry (serial quant
-//! kernels, the gemm/conv family, train steps) drops below its
-//! recorded baseline speedup — kernels retain 85%, whole train steps
-//! 60% (noisier; see [`TRAIN_STEP_RETAIN`]).
+//! GEMM shape (512×512×512), if the integer-domain `gemm_i8` kernel
+//! falls below 2.0x over the f32 fast path on the same shape, or if any
+//! gated entry (serial quant kernels, the gemm/conv family, train
+//! steps) drops below its recorded baseline speedup — kernels retain
+//! 85%, whole train steps 60% (noisier; see [`TRAIN_STEP_RETAIN`]).
 //!
 //! ```text
 //! bench_perf [--quick] [--check] [--out PATH] [--baseline PATH]
 //!
 //!   --quick         reduced shape set and repetition count (CI smoke mode)
 //!   --check         exit non-zero if Fast is below 3.0x over Naive on
-//!                   the reference 512x512x512 GEMM, or a gated entry
-//!                   regresses >15% below the baseline report
-//!   --out PATH      write the JSON report here (default: BENCH_PR9.json)
+//!                   the reference 512x512x512 GEMM, gemm_i8 is below
+//!                   2.0x over the f32 fast path on the same shape, or
+//!                   a gated entry regresses >15% below the baseline
+//!                   report
+//!   --out PATH      write the JSON report here (default: BENCH_PR10.json)
 //!   --baseline PATH a previous report to gate speedups against
 //! ```
 //!
@@ -25,7 +28,7 @@
 //!
 //! ```json
 //! {
-//!   "pr": 9,
+//!   "pr": 10,
 //!   "threads": 4,
 //!   "quick": false,
 //!   "entries": [
@@ -38,6 +41,11 @@
 //! Service-level entries (`serve_saturation`, `serve_overload`) carry an
 //! additional `"extra": {...}` object with requests/sec and p50/p99
 //! latencies — metrics that don't fit the naive/fast nanosecond pair.
+//! The int8 entries use `extra` too: `gemm_i8` records which SIMD
+//! micro-kernel dispatched, and each `train_step_int8` entry records
+//! the pow2-ladder hit rate the integer path achieved on that network
+//! (hits are layer forwards that stayed in the integer domain;
+//! fallbacks re-ran in f32).
 //!
 //! Quant entries without a `-pooled` suffix stay below the fast path's
 //! parallel threshold, so their speedups measure the fused single-pass
@@ -58,7 +66,7 @@
 use cq_accel::{clear_sim_cache, CambriconQ};
 use cq_experiments::accuracy::ProxyTask;
 use cq_ndp::OptimizerKind;
-use cq_nn::{Adam, Conv2d, Dense, Flatten, MaxPool2d, QuantCtx, Relu, Sequential};
+use cq_nn::{Adam, Conv2d, Dense, Flatten, MaxPool2d, QuantCtx, QuantPath, Relu, Sequential};
 use cq_par::Pool;
 use cq_quant::{E2bqmQuantizer, IntFormat, LdqConfig, LdqTensor, TrainingQuantizer};
 use cq_sim::{HwCostCache, HwCostKey};
@@ -75,6 +83,14 @@ const REFERENCE_GEMM: (usize, usize, usize) = (512, 512, 512);
 /// micro-kernels, so anything below this means the fast path broke.
 const REFERENCE_MIN_SPEEDUP: f64 = 3.0;
 
+/// Minimum `gemm_i8`-vs-f32-fast-path speedup `--check` demands on the
+/// reference shape at one worker. The k-pair packed i16 kernels move
+/// half the bytes of f32 and retire twice the lanes per instruction, so
+/// 2x holds even on the scalar micro-kernel; below it the integer
+/// datapath stopped paying for itself and the dequantization-free story
+/// is broken.
+const INT8_MIN_SPEEDUP: f64 = 2.0;
+
 /// Ops whose serial (non-`-pooled`) entries are gated against a
 /// `--baseline` report: a >15% speedup drop fails `--check`.
 const GATED_QUANT_OPS: [&str; 3] = ["ldq_quantize", "e2bqm_quantize_blocks", "fake_quantize"];
@@ -83,14 +99,16 @@ const GATED_QUANT_OPS: [&str; 3] = ["ldq_quantize", "e2bqm_quantize_blocks", "fa
 /// same-process A/Bs of the blocked GEMM against the reference loops,
 /// so they are stable enough to gate even though absolute times vary
 /// by host.
-const GATED_COMPUTE_OPS: [&str; 7] = [
+const GATED_COMPUTE_OPS: [&str; 9] = [
     "gemm",
     "gemm_at",
     "gemm_bt",
+    "gemm_i8",
     "conv2d",
     "conv2d_grad_input",
     "conv2d_grad_weight",
     "train_step",
+    "train_step_int8",
 ];
 
 /// Fraction of the baseline speedup a gated entry must retain.
@@ -277,6 +295,97 @@ fn bench_cnn() -> (Sequential, Tensor, Vec<usize>) {
         .add(Dense::new("fc", 32 * 16 * 16, 10, 8));
     let data = cq_data::textures(32, 3, 32, 10, 0.25, 99);
     (model, data.x, data.labels)
+}
+
+/// The dequantization-free integer datapath against the f32 fast path
+/// on identical operand values: `ns_naive` is the blocked f32 SIMD GEMM
+/// and `ns_fast` is `gemm_i8` (i8×i8→i32, k-pair packed i16 madd), both
+/// pinned to a one-worker pool so the ratio is host-independent and
+/// gateable, like the `-serial` quant entries. The f32 operands are
+/// exact images of the i8 codes, so both sides compute the same
+/// mathematical product — the speedup is purely the datapath width win
+/// the integer path buys. `extra` records which micro-kernel family
+/// dispatched.
+fn int8_gemm_entry(m: usize, k: usize, n: usize, reps: usize) -> Entry {
+    let _sp = cq_obs::span!("bench", "gemm_i8 {m}x{k}x{n}");
+    let serial = Pool::new(1);
+    let mut state = 0x243F_6A88u32;
+    let mut next_i8 = move || {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        (state >> 24) as i8
+    };
+    let a_i8: Vec<i8> = (0..m * k).map(|_| next_i8()).collect();
+    let b_i8: Vec<i8> = (0..k * n).map(|_| next_i8()).collect();
+    let a_f: Vec<f32> = a_i8.iter().map(|&v| f32::from(v)).collect();
+    let b_f: Vec<f32> = b_i8.iter().map(|&v| f32::from(v)).collect();
+    let mut out_f = vec![0.0f32; m * n];
+    let mut out_i = vec![0i32; m * n];
+    let ns_naive = best_ns(
+        || cq_par::gemm(m, k, n, &a_f, &b_f, &mut out_f, &serial),
+        reps,
+    );
+    let ns_fast = best_ns(
+        || cq_par::gemm_i8(m, k, n, &a_i8, &b_i8, &mut out_i, &serial),
+        reps,
+    );
+    Entry {
+        op: "gemm_i8",
+        shape: format!("{m}x{k}x{n}-serial"),
+        ns_naive,
+        ns_fast,
+        extra: Some(format!(
+            "{{\"vs\": \"f32_fast_path\", \"simd\": \"{}\"}}",
+            cq_par::simd_level().name()
+        )),
+    }
+}
+
+/// One full training step under `CQ_QUANT_PATH`-style A/B: `ns_naive`
+/// trains with the fake-quantizing f32 path (quantize → dequantize →
+/// f32 GEMM) and `ns_fast` with the integer path (quantize once →
+/// i8×i8→i32 GEMM → single rescale), both on `Backend::Fast` with the
+/// same HQT quantizer and seeds. `extra` records the pow2-ladder hit
+/// rate the integer path achieved on this network: hits are layer
+/// forwards that stayed in the integer domain, fallbacks re-ran in f32
+/// because a block's scale left the power-of-two ladder.
+fn int_train_step_entry(
+    shape: String,
+    build: impl Fn() -> (Sequential, Tensor, Vec<usize>),
+    reps: usize,
+) -> Entry {
+    let _sp = cq_obs::span!("bench", "train_step_int8 {shape}");
+    let time_path = |path: QuantPath| {
+        let (mut model, x, labels) = build();
+        let ctx = QuantCtx::new(TrainingQuantizer::zhang2020_hqt())
+            .with_backend(Backend::Fast)
+            .with_path(path);
+        let stats = ctx.int_stats();
+        let mut opt = Adam::with_defaults(1e-3);
+        let ns = best_ns(
+            || {
+                model
+                    .train_step(&x, &labels, &mut opt, &ctx)
+                    .expect("bench int train step");
+            },
+            reps,
+        );
+        (ns, stats)
+    };
+    let (ns_naive, _) = time_path(QuantPath::Fp32);
+    let (ns_fast, stats) = time_path(QuantPath::Int8);
+    let extra = format!(
+        "{{\"ladder_hit_rate\": {:.4}, \"hits\": {}, \"fallbacks\": {}}}",
+        stats.hit_rate().unwrap_or(0.0),
+        stats.hits(),
+        stats.fallbacks(),
+    );
+    Entry {
+        op: "train_step_int8",
+        shape,
+        ns_naive,
+        ns_fast,
+        extra: Some(extra),
+    }
 }
 
 /// Quant-kernel entries. The serial shapes (16 Ki elements) sit below
@@ -728,7 +837,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(entries: &[Entry], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"pr\": 9,\n");
+    out.push_str("  \"pr\": 10,\n");
     out.push_str(&format!("  \"threads\": {},\n", Pool::global().threads()));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"entries\": [\n");
@@ -755,7 +864,7 @@ fn render_json(entries: &[Entry], quick: bool) -> String {
 fn main() {
     let mut quick = false;
     let mut check = false;
-    let mut out_path = String::from("BENCH_PR9.json");
+    let mut out_path = String::from("BENCH_PR10.json");
     let mut baseline_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -799,13 +908,16 @@ fn main() {
         cq_tensor::fast_path_info()
     );
 
-    // Reference GEMM always runs: it gates --check.
+    // Reference GEMM always runs: it gates --check. So does the
+    // reference-shape gemm_i8 entry (the integer-datapath gate).
     entries.push(gemm_entry("gemm", rm, rk, rn, reps));
+    entries.push(int8_gemm_entry(rm, rk, rn, reps));
     if !quick {
         entries.push(gemm_entry("gemm", 256, 256, 256, reps + 2));
         entries.push(gemm_entry("gemm", 384, 128, 512, reps + 2));
         entries.push(gemm_entry("gemm_at", 256, 256, 256, reps + 2));
         entries.push(gemm_entry("gemm_bt", 256, 256, 256, reps + 2));
+        entries.push(int8_gemm_entry(256, 256, 256, reps + 2));
     }
 
     if quick {
@@ -828,10 +940,23 @@ fn main() {
         bench_cnn,
         reps,
     ));
+    entries.push(int_train_step_entry(
+        "bench-cnn-b32-3x32x32".into(),
+        bench_cnn,
+        reps,
+    ));
     if !quick {
         for task in ProxyTask::ALL {
             entries.push(train_step_entry(
                 "train_step",
+                format!("proxy-{}", task.name()),
+                move || {
+                    let (model, train, _) = task.build(42);
+                    (model, train.x, train.labels)
+                },
+                reps,
+            ));
+            entries.push(int_train_step_entry(
                 format!("proxy-{}", task.name()),
                 move || {
                     let (model, train, _) = task.build(42);
@@ -874,6 +999,22 @@ fn main() {
             reference.speedup()
         );
 
+        let int8 = entries
+            .iter()
+            .find(|e| e.op == "gemm_i8" && e.shape == format!("{rm}x{rk}x{rn}-serial"))
+            .expect("reference gemm_i8 entry");
+        if int8.speedup() < INT8_MIN_SPEEDUP {
+            eprintln!(
+                "FAIL: gemm_i8 below {INT8_MIN_SPEEDUP:.1}x over the f32 fast path on the reference shape ({:.2}x)",
+                int8.speedup()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: gemm_i8 {:.2}x f32 fast path on reference shape (floor {INT8_MIN_SPEEDUP:.1}x)",
+            int8.speedup()
+        );
+
         if let Some(baseline) = &baseline {
             let mut failed = false;
             for e in entries.iter().filter(|e| is_gated(e)) {
@@ -884,7 +1025,7 @@ fn main() {
                     eprintln!("  note: no baseline for {} {}", e.op, e.shape);
                     continue;
                 };
-                let retain = if e.op == "train_step" {
+                let retain = if e.op.starts_with("train_step") {
                     TRAIN_STEP_RETAIN
                 } else {
                     BASELINE_RETAIN

@@ -10,7 +10,8 @@
 use cq_data::Dataset;
 use cq_faults::ChaosPlan;
 use cq_nn::{
-    Adam, Conv2d, Dense, Flatten, Lstm, MaxPool2d, QuantCtx, Relu, SelfAttention, Sequential,
+    Adam, Conv2d, Dense, Flatten, Lstm, MaxPool2d, QuantCtx, QuantPath, Relu, SelfAttention,
+    Sequential,
 };
 use cq_par::Pool;
 use cq_quant::TrainingQuantizer;
@@ -155,18 +156,105 @@ impl ProxyTask {
 }
 
 /// Trains one proxy under one quantizer; returns held-out accuracy.
+/// The compute path follows `CQ_QUANT_PATH` (the [`QuantCtx::new`]
+/// default); use [`train_proxy_on`] to pin it explicitly.
 pub fn train_proxy(task: ProxyTask, quantizer: &TrainingQuantizer, seed: u64) -> f64 {
+    train_proxy_on(task, quantizer, seed, cq_nn::env_quant_path()).0
+}
+
+/// Trains one proxy under one quantizer with an explicit compute path
+/// (ignoring `CQ_QUANT_PATH`, which is process-cached and therefore
+/// useless for a same-process A/B). Returns the held-out accuracy and
+/// the integer path's pow2-ladder hit rate — `None` when no layer
+/// forward consulted the ladder (the `Fp32` path, or a model with no
+/// Dense/Conv2d layers).
+pub fn train_proxy_on(
+    task: ProxyTask,
+    quantizer: &TrainingQuantizer,
+    seed: u64,
+    path: QuantPath,
+) -> (f64, Option<f64>) {
     let (mut model, train, test) = task.build(seed);
-    let ctx = QuantCtx::new(quantizer.clone());
+    let ctx = QuantCtx::new(quantizer.clone()).with_path(path);
     let mut opt = Adam::with_defaults(3e-3);
     for _ in 0..task.epochs() {
         model
             .train_step(&train.x, &train.labels, &mut opt, &ctx)
             .expect("training step");
     }
-    model
+    let acc = model
         .evaluate(&test.x, &test.labels, &ctx)
-        .expect("evaluation")
+        .expect("evaluation");
+    (acc, ctx.int_stats().hit_rate())
+}
+
+/// One row of the integer-path accuracy A/B: the same HQT quantizer
+/// trained through the fake-quantize f32 path and through the
+/// dequantization-free int8 path.
+#[derive(Debug, Clone)]
+pub struct IntPathRow {
+    /// Benchmark name.
+    pub model: &'static str,
+    /// Held-out accuracy, f32 fake-quantize path.
+    pub fp32_path: f64,
+    /// Held-out accuracy, integer-domain path.
+    pub int8_path: f64,
+    /// Fraction of layer forwards that stayed in the integer domain.
+    pub ladder_hit_rate: Option<f64>,
+}
+
+impl IntPathRow {
+    /// Accuracy gap in percentage points (positive = int path worse).
+    pub fn gap_pp(&self) -> f64 {
+        (self.fp32_path - self.int8_path) * 100.0
+    }
+}
+
+/// Runs the per-network accuracy-gap sweep for the integer-domain
+/// training path: every proxy trained under `zhang2020_hqt` through
+/// both compute paths with identical seeds, fanned out over the worker
+/// pool like [`table8_accuracy`].
+pub fn intpath_accuracy(seed: u64) -> Vec<IntPathRow> {
+    let paths = [QuantPath::Fp32, QuantPath::Int8];
+    let quantizer = TrainingQuantizer::zhang2020_hqt();
+    let results = Pool::global().parallel_map(ProxyTask::ALL.len() * paths.len(), |job| {
+        let task = ProxyTask::ALL[job / paths.len()];
+        train_proxy_on(task, &quantizer, seed, paths[job % paths.len()])
+    });
+    ProxyTask::ALL
+        .iter()
+        .enumerate()
+        .map(|(ti, &task)| IntPathRow {
+            model: task.name(),
+            fp32_path: results[ti * 2].0,
+            int8_path: results[ti * 2 + 1].0,
+            ladder_hit_rate: results[ti * 2 + 1].1,
+        })
+        .collect()
+}
+
+/// Renders the integer-path accuracy A/B table.
+pub fn intpath_render(rows: &[IntPathRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Model",
+        "fp32-path",
+        "int8-path",
+        "gap (pp)",
+        "ladder hits",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.model.into(),
+            format!("{:.1}", r.fp32_path * 100.0),
+            format!("{:.1}", r.int8_path * 100.0),
+            format!("{:+.1}", r.gap_pp()),
+            match r.ladder_hit_rate {
+                Some(h) => format!("{:.0}%", h * 100.0),
+                None => "n/a".into(),
+            },
+        ]);
+    }
+    t
 }
 
 /// One row of the reproduced Table VIII.

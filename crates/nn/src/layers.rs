@@ -7,12 +7,41 @@
 //! paper (quantized FW/NG/WG, full-precision ΔW and weight update).
 
 use crate::error::NnError;
+use crate::intpath::{env_quant_path, IntPathStats, QuantPath};
 use crate::param::Param;
-use cq_quant::{QuantScratch, TrainingQuantizer};
+use cq_par::conv::{conv2d_i8, ConvShape};
+use cq_par::{gemm_i8, Pool};
+use cq_quant::{IntDomainQuantizer, IntDomainScratch, QuantScratch, TrainingQuantizer};
 use cq_tensor::ops::{self, Conv2dParams};
 use cq_tensor::{init, Backend, Tensor};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Reusable state for the integer-domain forward path: the ladder
+/// quantizer plus every buffer the i8 pipeline touches, so steady-state
+/// steps quantize and accumulate without allocating.
+#[derive(Debug)]
+struct IntState {
+    quantizer: IntDomainQuantizer,
+    scratch: IntDomainScratch,
+    xcodes: Vec<i8>,
+    wcodes: Vec<i8>,
+    acc: Vec<i32>,
+}
+
+impl IntState {
+    fn new() -> Self {
+        IntState {
+            // Same 4-way INT8 ladder as the E²BQM hardware default, so the
+            // int path quantizes with the arbiter the f32 fast path uses.
+            quantizer: IntDomainQuantizer::hardware_default(),
+            scratch: IntDomainScratch::new(),
+            xcodes: Vec::new(),
+            wcodes: Vec::new(),
+            acc: Vec::new(),
+        }
+    }
+}
 
 /// Quantization context threaded through forward and backward passes.
 #[derive(Debug)]
@@ -24,24 +53,45 @@ pub struct QuantCtx {
     /// The compute backend every dense kernel in the pass runs on.
     /// Defaults to the process-wide [`cq_tensor::default_backend`].
     pub backend: Backend,
+    /// Arithmetic domain for quantized layer forwards. [`QuantPath::Int8`]
+    /// routes [`Dense`]/[`Conv2d`] forwards through i8×i8→i32 kernels with
+    /// a single output rescale; layers whose scales fall off the
+    /// power-of-two ladder fall back to the f32 path for that pass.
+    /// Defaults to the validated `CQ_QUANT_PATH` environment knob.
+    pub path: QuantPath,
     /// Scratch arena threaded through every fast-path quantization this
     /// context performs, so steady-state training steps reuse candidate
     /// buffers instead of reallocating them per layer per step.
     scratch: Arc<Mutex<QuantScratch>>,
+    /// Integer-path quantizer + code/accumulator buffers (same reuse
+    /// rationale as `scratch`).
+    int_state: Arc<Mutex<IntState>>,
+    /// Integer-path hit/fallback counters, shared across clones so a
+    /// training run reports one aggregate ladder hit rate.
+    stats: Arc<IntPathStats>,
 }
 
 impl QuantCtx {
-    /// Full-precision context (no quantization anywhere).
+    /// Full-precision context (no quantization anywhere). Always runs the
+    /// f32 path regardless of `CQ_QUANT_PATH` — an identity quantizer has
+    /// no codes to feed an integer kernel.
     pub fn fp32() -> Self {
-        QuantCtx::new(TrainingQuantizer::fp32())
+        let mut ctx = QuantCtx::new(TrainingQuantizer::fp32());
+        ctx.path = QuantPath::Fp32;
+        ctx
     }
 
-    /// Context with the given training quantizer.
+    /// Context with the given training quantizer. The forward path
+    /// defaults to the process-wide `CQ_QUANT_PATH` knob (validated, see
+    /// [`crate::intpath`]).
     pub fn new(quantizer: TrainingQuantizer) -> Self {
         QuantCtx {
             quantizer,
             backend: cq_tensor::default_backend(),
+            path: env_quant_path(),
             scratch: Arc::new(Mutex::new(QuantScratch::new())),
+            int_state: Arc::new(Mutex::new(IntState::new())),
+            stats: Arc::new(IntPathStats::new()),
         }
     }
 
@@ -49,6 +99,18 @@ impl QuantCtx {
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Returns the context pinned to an explicit forward path,
+    /// overriding the `CQ_QUANT_PATH` default.
+    pub fn with_path(mut self, path: QuantPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Integer-path hit/fallback counters (shared across clones).
+    pub fn int_stats(&self) -> Arc<IntPathStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Quantize-dequantizes a tensor for compute.
@@ -87,16 +149,133 @@ impl QuantCtx {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         self.quantizer.fake_quantize_into(x, out, &mut scratch);
     }
+
+    /// Refills a cached-operand slot with `codes[i]·scale`, recycling the
+    /// slot's buffer. The int path caches *dequantized* codes so the
+    /// existing f32 backward consumes exactly the operands the integer
+    /// GEMM multiplied.
+    fn fill_dequant(slot: &mut Option<Tensor>, codes: &[i8], scale: f32, dims: &[usize]) {
+        let mut buf = slot.take().map(Tensor::into_vec).unwrap_or_default();
+        buf.clear();
+        buf.extend(codes.iter().map(|&c| f32::from(c) * scale));
+        *slot = Some(Tensor::from_vec(buf, dims).expect("shape preserved"));
+    }
+
+    /// Integer-domain dense forward: quantize `x` and `w` once to i8
+    /// codes, multiply in i8×i8→i32, rescale once by `s_x·s_w` and add the
+    /// bias. Returns `None` (without touching the caches) when either
+    /// operand falls off the power-of-two ladder or the shapes don't
+    /// describe a matmul — the caller falls back to the f32 path.
+    fn int_dense_forward(
+        &self,
+        x: &Tensor,
+        w: &Tensor,
+        bias: &[f32],
+        cached_xq: &mut Option<Tensor>,
+        cached_wq: &mut Option<Tensor>,
+    ) -> Option<Tensor> {
+        if x.dims().len() != 2 || w.dims().len() != 2 || x.dims()[1] != w.dims()[0] {
+            return None; // let the f32 path report the shape error
+        }
+        let (b, in_f, out_f) = (x.dims()[0], x.dims()[1], w.dims()[1]);
+        let mut st = self
+            .int_state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let st = &mut *st;
+        let sx = st
+            .quantizer
+            .quantize_into(x.data(), &mut st.xcodes, &mut st.scratch)?;
+        let sw = st
+            .quantizer
+            .quantize_into(w.data(), &mut st.wcodes, &mut st.scratch)?;
+        // Size only — gemm_i8 overwrites every element, so the steady-state
+        // call (same shape as last step) skips the full rezeroing pass.
+        st.acc.resize(b * out_f, 0);
+        gemm_i8(
+            b,
+            in_f,
+            out_f,
+            &st.xcodes,
+            &st.wcodes,
+            &mut st.acc,
+            Pool::global(),
+        );
+        let s = sx.scale * sw.scale;
+        let mut y = Vec::with_capacity(b * out_f);
+        for i in 0..b {
+            for j in 0..out_f {
+                y.push(st.acc[i * out_f + j] as f32 * s + bias[j]);
+            }
+        }
+        Self::fill_dequant(cached_xq, &st.xcodes, sx.scale, x.dims());
+        Self::fill_dequant(cached_wq, &st.wcodes, sw.scale, w.dims());
+        Some(Tensor::from_vec(y, &[b, out_f]).expect("shape by construction"))
+    }
+
+    /// Integer-domain convolution forward: same pipeline as
+    /// [`Self::int_dense_forward`] with the MAC lowered through
+    /// `conv2d_i8` (shared im2col with the f32 path).
+    fn int_conv_forward(
+        &self,
+        x: &Tensor,
+        w: &Tensor,
+        params: Conv2dParams,
+        cached_xq: &mut Option<Tensor>,
+        cached_wq: &mut Option<Tensor>,
+    ) -> Option<Tensor> {
+        if x.dims().len() != 4 || w.dims().len() != 4 || x.dims()[1] != w.dims()[1] {
+            return None; // let the f32 path report the shape error
+        }
+        let (n, c, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (f, kh, kw) = (w.dims()[0], w.dims()[2], w.dims()[3]);
+        let shape = ConvShape {
+            n,
+            c,
+            h,
+            w: wd,
+            f,
+            kh,
+            kw,
+            stride: params.stride,
+            padding: params.padding,
+            oh: params.output_dim(h, kh),
+            ow: params.output_dim(wd, kw),
+        };
+        let mut st = self
+            .int_state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let st = &mut *st;
+        let sx = st
+            .quantizer
+            .quantize_into(x.data(), &mut st.xcodes, &mut st.scratch)?;
+        let sw = st
+            .quantizer
+            .quantize_into(w.data(), &mut st.wcodes, &mut st.scratch)?;
+        // Size only — conv2d_i8 overwrites every element (see dense above).
+        st.acc.resize(n * shape.out_len(), 0);
+        conv2d_i8(&shape, &st.xcodes, &st.wcodes, &mut st.acc, Pool::global());
+        let s = sx.scale * sw.scale;
+        let y: Vec<f32> = st.acc.iter().map(|&a| a as f32 * s).collect();
+        Self::fill_dequant(cached_xq, &st.xcodes, sx.scale, x.dims());
+        Self::fill_dequant(cached_wq, &st.wcodes, sw.scale, w.dims());
+        Some(Tensor::from_vec(y, &[n, f, shape.oh, shape.ow]).expect("shape by construction"))
+    }
 }
 
 impl Clone for QuantCtx {
     /// Clones get a fresh scratch arena (not a handle to the same one), so
-    /// contexts cloned into worker threads never contend on a lock.
+    /// contexts cloned into worker threads never contend on a lock. The
+    /// int-path *stats* stay shared — a run reports one hit rate.
     fn clone(&self) -> Self {
         QuantCtx {
             quantizer: self.quantizer.clone(),
             backend: self.backend,
+            path: self.path,
             scratch: Arc::new(Mutex::new(QuantScratch::new())),
+            int_state: Arc::new(Mutex::new(IntState::new())),
+            stats: Arc::clone(&self.stats),
         }
     }
 }
@@ -104,7 +283,9 @@ impl Clone for QuantCtx {
 impl PartialEq for QuantCtx {
     /// Scratch contents are a cache, not part of the context's identity.
     fn eq(&self, other: &Self) -> bool {
-        self.quantizer == other.quantizer && self.backend == other.backend
+        self.quantizer == other.quantizer
+            && self.backend == other.backend
+            && self.path == other.path
     }
 }
 
@@ -178,6 +359,19 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        if ctx.path == QuantPath::Int8 {
+            if let Some(y) = ctx.int_dense_forward(
+                x,
+                &self.weight.value,
+                self.bias.value.data(),
+                &mut self.cached_xq,
+                &mut self.cached_wq,
+            ) {
+                ctx.stats.record_hit();
+                return Ok(y);
+            }
+            ctx.stats.record_fallback();
+        }
         // Quantize straight into the cached slots: steady-state steps reuse
         // the previous step's buffers instead of allocating fresh tensors.
         ctx.q_into(x, &mut self.cached_xq);
@@ -259,6 +453,19 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, ctx: &QuantCtx) -> Result<Tensor, NnError> {
+        if ctx.path == QuantPath::Int8 {
+            if let Some(y) = ctx.int_conv_forward(
+                x,
+                &self.weight.value,
+                self.params,
+                &mut self.cached_xq,
+                &mut self.cached_wq,
+            ) {
+                ctx.stats.record_hit();
+                return Ok(y);
+            }
+            ctx.stats.record_fallback();
+        }
         ctx.q_into(x, &mut self.cached_xq);
         ctx.q_into(&self.weight.value, &mut self.cached_wq);
         let xq = self.cached_xq.as_ref().expect("just filled");
@@ -578,6 +785,109 @@ mod tests {
             let fast = QuantCtx::new(q).with_backend(Backend::Fast).q(&x);
             assert_eq!(naive.data(), fast.data());
         }
+    }
+
+    #[test]
+    fn int8_dense_forward_close_to_fp32_and_counts_hits() {
+        let fp = QuantCtx::fp32();
+        let int = QuantCtx::new(TrainingQuantizer::zhang2020_hqt()).with_path(QuantPath::Int8);
+        let x = init::normal(&[4, 32], 0.0, 1.0, 11);
+        let mut d1 = Dense::new("fc", 32, 16, 5);
+        let mut d2 = Dense::new("fc", 32, 16, 5); // same seed, same weights
+        let y_fp = d1.forward(&x, &fp).unwrap();
+        let y_int = d2.forward(&x, &int).unwrap();
+        assert_eq!(y_int.dims(), y_fp.dims());
+        let cos = y_fp.cosine_similarity(&y_int).unwrap();
+        assert!(cos > 0.99, "cosine {cos}");
+        let stats = int.int_stats();
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(stats.fallbacks(), 0);
+        assert_eq!(stats.hit_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn int8_dense_output_consistent_with_cached_operands() {
+        // The integer accumulation must equal matmul of the dequantized
+        // caches (which the f32 backward consumes) up to f32 rounding in
+        // the rescale — that is the "single rescale" contract.
+        let int = QuantCtx::new(TrainingQuantizer::zhang2020_hqt()).with_path(QuantPath::Int8);
+        let x = init::normal(&[3, 24], 0.0, 2.0, 17);
+        let mut d = Dense::new("fc", 24, 8, 9);
+        let y = d.forward(&x, &int).unwrap();
+        let xq = d.cached_xq.as_ref().expect("int path fills caches");
+        let wq = d.cached_wq.as_ref().expect("int path fills caches");
+        let want = ops::matmul_with(Backend::Naive, xq, wq).unwrap();
+        for (i, (&got, &w)) in y.data().iter().zip(want.data()).enumerate() {
+            // bias is zero at init, so y should equal the reference matmul
+            let tol = 1e-4 * w.abs().max(1.0);
+            assert!((got - w).abs() <= tol, "idx {i}: int {got} vs ref {w}");
+        }
+    }
+
+    #[test]
+    fn int8_conv_forward_close_to_fp32() {
+        let fp = QuantCtx::fp32();
+        let int = QuantCtx::new(TrainingQuantizer::zhang2020_hqt()).with_path(QuantPath::Int8);
+        let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, 21);
+        let mut c1 = Conv2d::new("c", 3, 6, 3, 1, 1, 13);
+        let mut c2 = Conv2d::new("c", 3, 6, 3, 1, 1, 13);
+        let y_fp = c1.forward(&x, &fp).unwrap();
+        let y_int = c2.forward(&x, &int).unwrap();
+        assert_eq!(y_int.dims(), y_fp.dims());
+        let cos = y_fp.cosine_similarity(&y_int).unwrap();
+        assert!(cos > 0.99, "cosine {cos}");
+        assert_eq!(int.int_stats().hits(), 1);
+    }
+
+    #[test]
+    fn int8_backward_flows_through_cached_operands() {
+        let int = QuantCtx::new(TrainingQuantizer::zhang2020_hqt()).with_path(QuantPath::Int8);
+        let x = init::normal(&[4, 12], 0.0, 1.0, 3);
+        let mut d = Dense::new("fc", 12, 6, 7);
+        let y = d.forward(&x, &int).unwrap();
+        let gin = d.backward(&Tensor::ones(y.dims()), &int).unwrap();
+        assert_eq!(gin.dims(), x.dims());
+        assert!(d.params_mut()[0].grad.max_abs() > 0.0);
+
+        let mut c = Conv2d::new("c", 2, 4, 3, 1, 1, 5);
+        let xc = init::normal(&[1, 2, 6, 6], 0.0, 1.0, 8);
+        let yc = c.forward(&xc, &int).unwrap();
+        let ginc = c.backward(&Tensor::ones(yc.dims()), &int).unwrap();
+        assert_eq!(ginc.dims(), xc.dims());
+        assert!(c.params_mut()[0].grad.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn int8_off_ladder_block_falls_back_to_fp32_path() {
+        let int = QuantCtx::new(TrainingQuantizer::zhang2020_hqt()).with_path(QuantPath::Int8);
+        let mut d = Dense::new("fc", 4, 4, 2);
+        // Subnormal-magnitude weights: θ/(qmax·2³) is subnormal, the
+        // ladder guard rejects, and the pass must fall back — not panic,
+        // not emit garbage.
+        for v in d.params_mut()[0].value.data_mut() {
+            *v = v.signum() * 1.0e-41;
+        }
+        let x = init::normal(&[2, 4], 0.0, 1.0, 6);
+        let y = d.forward(&x, &int).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let stats = int.int_stats();
+        assert_eq!(stats.hits(), 0);
+        assert_eq!(stats.fallbacks(), 1);
+    }
+
+    #[test]
+    fn int8_path_ignored_by_fp32_ctx_and_shared_by_clones() {
+        // fp32() pins the f32 path even if the env knob says int8.
+        assert_eq!(QuantCtx::fp32().path, QuantPath::Fp32);
+        // Clones share the stats handle but keep their own scratch.
+        let int = QuantCtx::new(TrainingQuantizer::zhang2020_hqt()).with_path(QuantPath::Int8);
+        let cloned = int.clone();
+        assert_eq!(cloned.path, QuantPath::Int8);
+        let mut d = Dense::new("fc", 8, 8, 1);
+        let x = init::normal(&[2, 8], 0.0, 1.0, 2);
+        d.forward(&x, &cloned).unwrap();
+        assert_eq!(int.int_stats().hits(), 1, "stats shared across clones");
     }
 
     #[test]

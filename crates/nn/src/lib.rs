@@ -7,6 +7,10 @@
 //!   all quantization-aware via the [`QuantCtx`] threaded through
 //!   forward/backward (quantized FW/NG/WG operands, full-precision master
 //!   weights and ΔW, exactly the Fig. 7 dataflow);
+//! * [`intpath`]: the `CQ_QUANT_PATH=fp32|int8` knob — with `int8`,
+//!   [`Dense`]/[`Conv2d`] forwards run dequantization-free through
+//!   i8×i8→i32 kernels with one output rescale, falling back to f32 per
+//!   pass when a block's scale leaves the power-of-two ladder;
 //! * [`Lstm`] and [`SelfAttention`] for the recurrent and attention
 //!   benchmarks;
 //! * [`optim`]: the four Table IV optimizers (SGD, AdaGrad, RMSProp, Adam)
@@ -40,6 +44,7 @@ mod activations;
 mod attention;
 pub mod checkpoint;
 mod error;
+pub mod intpath;
 mod layers;
 pub mod loss;
 mod lstm;
@@ -52,6 +57,7 @@ mod watchdog;
 pub use activations::{BatchNorm1d, Sigmoid, Tanh};
 pub use attention::SelfAttention;
 pub use error::NnError;
+pub use intpath::{env_quant_path, validate_env_quant_path, IntPathStats, QuantPath};
 pub use layers::{Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d, QuantCtx, Relu};
 pub use lstm::Lstm;
 pub use model::{Sequential, StepReport};

@@ -15,6 +15,7 @@
 //! parallel GEMM itself.
 
 use crate::gemm::{gemm, gemm_at, gemm_bt, gemm_prepacked, PackedA};
+use crate::gemm_i8::gemm_i8;
 use crate::pool::Pool;
 use crate::tune::active_plan;
 
@@ -94,10 +95,13 @@ impl ConvShape {
 /// Unrolls one image (`[C, H, W]`) into the patch matrix `cols`
 /// (`[C·KH·KW, OH·OW]`), zero-filling padded positions.
 ///
+/// Generic over the element type (pure data movement): the f32 path and
+/// the dequantization-free i8 path ([`conv2d_i8`]) share this lowering.
+///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with `shape`.
-pub fn im2col(shape: &ConvShape, image: &[f32], cols: &mut [f32]) {
+pub fn im2col<T: Copy + Default>(shape: &ConvShape, image: &[T], cols: &mut [T]) {
     assert_eq!(image.len(), shape.image_len(), "im2col: image length");
     assert_eq!(
         cols.len(),
@@ -115,10 +119,10 @@ pub fn im2col(shape: &ConvShape, image: &[f32], cols: &mut [f32]) {
                 for oy in 0..shape.oh {
                     let seg = &mut row[oy * ow..(oy + 1) * ow];
                     match shape.iy(oy, ky) {
-                        None => seg.fill(0.0),
+                        None => seg.fill(T::default()),
                         Some(iy) => {
-                            seg[..ox_lo].fill(0.0);
-                            seg[ox_hi..].fill(0.0);
+                            seg[..ox_lo].fill(T::default());
+                            seg[ox_hi..].fill(T::default());
                             let base = (ci * shape.h + iy) * w;
                             if s == 1 && ox_hi > ox_lo {
                                 let ix_lo = (ox_lo as isize + off) as usize;
@@ -212,6 +216,68 @@ pub fn conv2d(shape: &ConvShape, input: &[f32], weight: &[f32], out: &mut [f32],
             out,
             pool,
         );
+    }
+}
+
+/// Dequantization-free forward convolution: i8 input and weight codes,
+/// i32 accumulator output — `out[N, F, OH, OW] = input[N, C, H, W] ⊛
+/// weight` in exact integer arithmetic. The caller applies the single
+/// `s_x·s_w` rescale (see `cq_quant::intdomain`).
+///
+/// Same im2col lowering and [`gemm_i8`] blocking as the f32 path, so
+/// results are bitwise identical across SIMD levels, thread counts and
+/// batch-path choices (integer accumulation is associative).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `shape`.
+pub fn conv2d_i8(shape: &ConvShape, input: &[i8], weight: &[i8], out: &mut [i32], pool: &Pool) {
+    assert_eq!(input.len(), shape.n * shape.image_len(), "conv2d_i8: input");
+    assert_eq!(
+        weight.len(),
+        shape.f * shape.col_rows(),
+        "conv2d_i8: weight"
+    );
+    assert_eq!(out.len(), shape.n * shape.out_len(), "conv2d_i8: out");
+    if shape.out_len() == 0 {
+        return;
+    }
+    if shape.n > 1 && pool.threads() > 1 {
+        // Fan out across images; each band runs its GEMMs serially (the
+        // per-image work is the parallel grain, as in the f32 path).
+        let serial = Pool::new(1);
+        pool.parallel_row_chunks(out, shape.out_len(), 1, |first, band| {
+            let mut cols = vec![0i8; shape.col_rows() * shape.col_cols()];
+            for (i, out_img) in band.chunks_exact_mut(shape.out_len()).enumerate() {
+                let img = first + i;
+                let image = &input[img * shape.image_len()..(img + 1) * shape.image_len()];
+                im2col(shape, image, &mut cols);
+                gemm_i8(
+                    shape.f,
+                    shape.col_rows(),
+                    shape.col_cols(),
+                    weight,
+                    &cols,
+                    out_img,
+                    &serial,
+                );
+            }
+        });
+    } else {
+        let mut cols = vec![0i8; shape.col_rows() * shape.col_cols()];
+        for (img, out_img) in out.chunks_exact_mut(shape.out_len()).enumerate() {
+            let image = &input[img * shape.image_len()..(img + 1) * shape.image_len()];
+            im2col(shape, image, &mut cols);
+            gemm_i8(
+                shape.f,
+                shape.col_rows(),
+                shape.col_cols(),
+                weight,
+                &cols,
+                out_img,
+                pool,
+            );
+        }
     }
 }
 
@@ -472,6 +538,77 @@ mod tests {
                 "gw[{idx}]: fd={fd} got={}",
                 gw[idx]
             );
+        }
+    }
+
+    #[test]
+    fn conv2d_i8_matches_integer_oracle_bitwise() {
+        let fill_i8 = |len: usize, seed: u32| -> Vec<i8> {
+            let mut s = seed;
+            (0..len)
+                .map(|_| {
+                    s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (s >> 24) as i8
+                })
+                .collect()
+        };
+        let oracle = |sh: &ConvShape, input: &[i8], weight: &[i8]| -> Vec<i32> {
+            let mut out = vec![0i32; sh.n * sh.out_len()];
+            for ni in 0..sh.n {
+                for fi in 0..sh.f {
+                    for oy in 0..sh.oh {
+                        for ox in 0..sh.ow {
+                            let mut acc = 0i32;
+                            for ci in 0..sh.c {
+                                for ky in 0..sh.kh {
+                                    let iy = (oy * sh.stride + ky) as isize - sh.padding as isize;
+                                    if iy < 0 || iy >= sh.h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..sh.kw {
+                                        let ix =
+                                            (ox * sh.stride + kx) as isize - sh.padding as isize;
+                                        if ix < 0 || ix >= sh.w as isize {
+                                            continue;
+                                        }
+                                        let iv = input[((ni * sh.c + ci) * sh.h + iy as usize)
+                                            * sh.w
+                                            + ix as usize]
+                                            as i32;
+                                        let wv = weight
+                                            [((fi * sh.c + ci) * sh.kh + ky) * sh.kw + kx]
+                                            as i32;
+                                        acc = acc.wrapping_add(iv * wv);
+                                    }
+                                }
+                            }
+                            out[((ni * sh.f + fi) * sh.oh + oy) * sh.ow + ox] = acc;
+                        }
+                    }
+                }
+            }
+            out
+        };
+        for &(n, c, h, w, f, k, s, p) in &[
+            (
+                1usize, 1usize, 4usize, 4usize, 1usize, 1usize, 1usize, 0usize,
+            ),
+            (2, 3, 8, 8, 4, 3, 1, 1),
+            (1, 2, 7, 5, 3, 3, 2, 1),
+            (3, 1, 6, 6, 2, 5, 1, 2),
+        ] {
+            let sh = shape(n, c, h, w, f, k, s, p);
+            let input = fill_i8(n * sh.image_len(), 7 + h as u32);
+            let weight = fill_i8(f * sh.col_rows(), 29 + k as u32);
+            let want = oracle(&sh, &input, &weight);
+            for threads in [1, 4] {
+                let mut out = vec![0i32; n * sh.out_len()];
+                conv2d_i8(&sh, &input, &weight, &mut out, &Pool::new(threads));
+                assert_eq!(
+                    out, want,
+                    "n{n} c{c} h{h} w{w} f{f} k{k} s{s} p{p} t{threads}"
+                );
+            }
         }
     }
 

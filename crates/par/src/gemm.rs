@@ -46,7 +46,9 @@ use crate::tune::{active_plan, GemmPlan};
 
 /// Minimum multiply-accumulate count before a GEMM fans out to the pool;
 /// below this, scoped-thread spawn overhead (~tens of µs) dominates.
-const PAR_MIN_MACS: usize = 1 << 18;
+/// Shared with the i8 path (`gemm_i8.rs`), whose per-MAC cost is lower
+/// still, so the threshold is if anything conservative there.
+pub(crate) const PAR_MIN_MACS: usize = 1 << 18;
 
 /// A strided read-only matrix view: element `(r, c)` lives at
 /// `data[off + r·rs + c·cs]`. Lets one packer serve row-major A,

@@ -124,6 +124,69 @@ unsafe fn scalar_kern<const MR: usize, const NR: usize>(
     }
 }
 
+/// An integer micro-kernel entry point (the i8×i8→i32 GEMM family).
+///
+/// Operands are packed as sign-extended `i16` in **k-pairs**: for
+/// k-pair `pp`, `ap[pp·MR·2 + i·2 + s]` holds `A[i, 2pp+s]` and
+/// `bp[pp·NR·2 + j·2 + s]` holds `B[2pp+s, j]` (`s ∈ {0, 1}`; the odd
+/// tail of `k` and ragged tile edges are zero-padded by the packers).
+/// Computes `c[i, j] (+)= Σ_pp Σ_s ap[..] · bp[..]` over `kp` k-pairs
+/// with **wrapping** i32 accumulation — integer addition is associative,
+/// so results are bitwise identical across SIMD levels, thread counts
+/// and blockings (unlike the f32 family's FMA caveat).
+///
+/// # Safety
+///
+/// * `ap` must hold `kp·MR·2` i16s and `bp` `kp·NR·2` i16s.
+/// * `c` must be valid for reads/writes of `NR` i32s at each of the
+///   `MR` row offsets `i·ldc`.
+/// * AVX2 kernels additionally require CPU AVX2 support (guaranteed by
+///   [`simd_level`] at registry construction).
+pub(crate) type KernI8Fn =
+    unsafe fn(kp: usize, ap: *const i16, bp: *const i16, c: *mut i32, ldc: usize, accumulate: bool);
+
+/// Portable reference i8 kernel, monomorphized per `(MR, NR)`.
+///
+/// Mirrors `pmaddwd` semantics exactly: each k-pair contributes
+/// `a0·b0 + a1·b1` (exact in i32 for i8-ranged operands), accumulated
+/// with wrapping adds like `paddd`.
+///
+/// # Safety
+///
+/// See [`KernI8Fn`].
+unsafe fn scalar_kern_i8<const MR: usize, const NR: usize>(
+    kp: usize,
+    ap: *const i16,
+    bp: *const i16,
+    c: *mut i32,
+    ldc: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0i32; NR]; MR];
+    for pp in 0..kp {
+        let a = ap.add(pp * MR * 2);
+        let b = bp.add(pp * NR * 2);
+        for (i, row) in acc.iter_mut().enumerate() {
+            let a0 = *a.add(i * 2) as i32;
+            let a1 = *a.add(i * 2 + 1) as i32;
+            for (j, cell) in row.iter_mut().enumerate() {
+                let pair = a0 * *b.add(j * 2) as i32 + a1 * *b.add(j * 2 + 1) as i32;
+                *cell = cell.wrapping_add(pair);
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let crow = c.add(i * ldc);
+        for (j, &v) in row.iter().enumerate() {
+            if accumulate {
+                *crow.add(j) = (*crow.add(j)).wrapping_add(v);
+            } else {
+                *crow.add(j) = v;
+            }
+        }
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     //! FMA micro-kernels. `NRV` is the tile width in 8-lane `__m256`
@@ -181,6 +244,236 @@ mod avx2 {
     avx2_kern!(kern_8x8, 8, 1);
     avx2_kern!(kern_4x16, 4, 2);
     avx2_kern!(kern_6x16, 6, 2);
+
+    // i8 family: one 256-bit B load covers 8 columns × 2 k-steps as
+    // sign-extended i16 pairs; `vpmaddwd` multiplies each pair against
+    // the broadcast A pair and pre-adds them, so every instruction
+    // retires 16 multiply-accumulates (vs 8 for f32 FMA) — the source
+    // of the ≥2× arithmetic throughput. All products of i8-ranged i16s
+    // fit i32 without `pmaddwd`'s (-32768)² saturation corner, and
+    // `vpaddd` wraps exactly like the scalar kernel's `wrapping_add`.
+    macro_rules! avx2_kern_i8 {
+        ($name:ident, $mr:expr, $nrv:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub(super) unsafe fn $name(
+                kp: usize,
+                ap: *const i16,
+                bp: *const i16,
+                c: *mut i32,
+                ldc: usize,
+                accumulate: bool,
+            ) {
+                use std::arch::x86_64::*;
+                const MR: usize = $mr;
+                const NRV: usize = $nrv;
+                let mut acc = [[_mm256_setzero_si256(); NRV]; MR];
+                for pp in 0..kp {
+                    let b = bp.add(pp * NRV * 16);
+                    let mut bv = [_mm256_setzero_si256(); NRV];
+                    for (v, bvv) in bv.iter_mut().enumerate() {
+                        *bvv = _mm256_loadu_si256(b.add(16 * v) as *const __m256i);
+                    }
+                    let a = ap.add(pp * MR * 2);
+                    for (i, row) in acc.iter_mut().enumerate() {
+                        // One 32-bit lane = the row's (k, k+1) i16 pair.
+                        let pair = (a.add(i * 2) as *const i32).read_unaligned();
+                        let av = _mm256_set1_epi32(pair);
+                        for (cell, &bvv) in row.iter_mut().zip(&bv) {
+                            *cell = _mm256_add_epi32(*cell, _mm256_madd_epi16(av, bvv));
+                        }
+                    }
+                }
+                for (i, row) in acc.iter().enumerate() {
+                    let crow = c.add(i * ldc);
+                    for (v, &vec) in row.iter().enumerate() {
+                        let ptr = crow.add(8 * v) as *mut __m256i;
+                        let out = if accumulate {
+                            _mm256_add_epi32(_mm256_loadu_si256(ptr), vec)
+                        } else {
+                            vec
+                        };
+                        _mm256_storeu_si256(ptr, out);
+                    }
+                }
+            }
+        };
+    }
+
+    avx2_kern_i8!(kern_i8_4x8, 4, 1);
+    avx2_kern_i8!(kern_i8_6x8, 6, 1);
+    avx2_kern_i8!(kern_i8_8x8, 8, 1);
+    avx2_kern_i8!(kern_i8_4x16, 4, 2);
+    avx2_kern_i8!(kern_i8_6x16, 6, 2);
+
+    // AVX-VNNI i8 family: `vpdpwssd` fuses the multiply-pair-add and the
+    // i32 accumulate into ONE instruction — 16 MACs/instruction, twice
+    // f32 FMA's 8 — with semantics bit-identical to madd+paddd (exact
+    // i32 pair products, wrapping accumulate). Same packed panels, same
+    // results; selected over the madd kernels by runtime detection.
+    macro_rules! avx2_vnni_kern_i8 {
+        ($name:ident, $mr:expr, $nrv:expr) => {
+            #[target_feature(enable = "avx2,avxvnni")]
+            pub(super) unsafe fn $name(
+                kp: usize,
+                ap: *const i16,
+                bp: *const i16,
+                c: *mut i32,
+                ldc: usize,
+                accumulate: bool,
+            ) {
+                use std::arch::x86_64::*;
+                const MR: usize = $mr;
+                const NRV: usize = $nrv;
+                // Dual accumulator banks: see the AVX512 kernel's note —
+                // `vpdpwssd`'s latency stalls a single bank. Bitwise
+                // equivalent (integer adds reassociate freely).
+                let mut acc = [[_mm256_setzero_si256(); NRV]; MR];
+                let mut acc2 = [[_mm256_setzero_si256(); NRV]; MR];
+                let mut pp = 0;
+                while pp + 2 <= kp {
+                    let b = bp.add(pp * NRV * 16);
+                    let b2 = bp.add((pp + 1) * NRV * 16);
+                    let mut bv = [_mm256_setzero_si256(); NRV];
+                    let mut bv2 = [_mm256_setzero_si256(); NRV];
+                    for v in 0..NRV {
+                        bv[v] = _mm256_loadu_si256(b.add(16 * v) as *const __m256i);
+                        bv2[v] = _mm256_loadu_si256(b2.add(16 * v) as *const __m256i);
+                    }
+                    let a = ap.add(pp * MR * 2);
+                    let a2 = ap.add((pp + 1) * MR * 2);
+                    for i in 0..MR {
+                        let av = _mm256_set1_epi32((a.add(i * 2) as *const i32).read_unaligned());
+                        let av2 = _mm256_set1_epi32((a2.add(i * 2) as *const i32).read_unaligned());
+                        for v in 0..NRV {
+                            acc[i][v] = _mm256_dpwssd_avx_epi32(acc[i][v], av, bv[v]);
+                            acc2[i][v] = _mm256_dpwssd_avx_epi32(acc2[i][v], av2, bv2[v]);
+                        }
+                    }
+                    pp += 2;
+                }
+                if pp < kp {
+                    let b = bp.add(pp * NRV * 16);
+                    let mut bv = [_mm256_setzero_si256(); NRV];
+                    for (v, bvv) in bv.iter_mut().enumerate() {
+                        *bvv = _mm256_loadu_si256(b.add(16 * v) as *const __m256i);
+                    }
+                    let a = ap.add(pp * MR * 2);
+                    for (i, row) in acc.iter_mut().enumerate() {
+                        let pair = (a.add(i * 2) as *const i32).read_unaligned();
+                        let av = _mm256_set1_epi32(pair);
+                        for (cell, &bvv) in row.iter_mut().zip(&bv) {
+                            *cell = _mm256_dpwssd_avx_epi32(*cell, av, bvv);
+                        }
+                    }
+                }
+                for i in 0..MR {
+                    for v in 0..NRV {
+                        acc[i][v] = _mm256_add_epi32(acc[i][v], acc2[i][v]);
+                    }
+                }
+                for (i, row) in acc.iter().enumerate() {
+                    let crow = c.add(i * ldc);
+                    for (v, &vec) in row.iter().enumerate() {
+                        let ptr = crow.add(8 * v) as *mut __m256i;
+                        let out = if accumulate {
+                            _mm256_add_epi32(_mm256_loadu_si256(ptr), vec)
+                        } else {
+                            vec
+                        };
+                        _mm256_storeu_si256(ptr, out);
+                    }
+                }
+            }
+        };
+    }
+
+    avx2_vnni_kern_i8!(kern_i8v_4x8, 4, 1);
+    avx2_vnni_kern_i8!(kern_i8v_6x8, 6, 1);
+    avx2_vnni_kern_i8!(kern_i8v_8x8, 8, 1);
+    avx2_vnni_kern_i8!(kern_i8v_4x16, 4, 2);
+    avx2_vnni_kern_i8!(kern_i8v_6x16, 6, 2);
+
+    // AVX512-VNNI i8 family for `NR = 16` tiles: one 512-bit `vpdpwssd`
+    // covers the full 16-column tile row × 2 k-steps — 32 MACs per
+    // instruction, 4× f32 FMA's per-ymm throughput. Reads the exact
+    // same packed panels (one zmm load = one k-pair's 32 i16s) and is
+    // bitwise identical to the madd and AVX-VNNI kernels.
+    macro_rules! avx512_vnni_kern_i8 {
+        ($name:ident, $mr:expr) => {
+            #[target_feature(enable = "avx512f,avx512vnni")]
+            pub(super) unsafe fn $name(
+                kp: usize,
+                ap: *const i16,
+                bp: *const i16,
+                c: *mut i32,
+                ldc: usize,
+                accumulate: bool,
+            ) {
+                use std::arch::x86_64::*;
+                const MR: usize = $mr;
+                // Two accumulator banks, merged at the end: `vpdpwssd`
+                // has ~5-cycle latency, so a single bank updated every
+                // iteration stalls on its own dependency chain. Integer
+                // addition is order-independent, so the split changes
+                // nothing bitwise.
+                let mut acc = [_mm512_setzero_si512(); MR];
+                let mut acc2 = [_mm512_setzero_si512(); MR];
+                let mut pp = 0;
+                while pp + 2 <= kp {
+                    let bv = _mm512_loadu_si512(bp.add(pp * 32) as *const _);
+                    let bv2 = _mm512_loadu_si512(bp.add((pp + 1) * 32) as *const _);
+                    let a = ap.add(pp * MR * 2);
+                    let a2 = ap.add((pp + 1) * MR * 2);
+                    for i in 0..MR {
+                        let av = _mm512_set1_epi32((a.add(i * 2) as *const i32).read_unaligned());
+                        acc[i] = _mm512_dpwssd_epi32(acc[i], av, bv);
+                        let av2 = _mm512_set1_epi32((a2.add(i * 2) as *const i32).read_unaligned());
+                        acc2[i] = _mm512_dpwssd_epi32(acc2[i], av2, bv2);
+                    }
+                    pp += 2;
+                }
+                if pp < kp {
+                    let bv = _mm512_loadu_si512(bp.add(pp * 32) as *const _);
+                    let a = ap.add(pp * MR * 2);
+                    for (i, cell) in acc.iter_mut().enumerate() {
+                        let pair = (a.add(i * 2) as *const i32).read_unaligned();
+                        let av = _mm512_set1_epi32(pair);
+                        *cell = _mm512_dpwssd_epi32(*cell, av, bv);
+                    }
+                }
+                for i in 0..MR {
+                    acc[i] = _mm512_add_epi32(acc[i], acc2[i]);
+                }
+                for (i, &vec) in acc.iter().enumerate() {
+                    let ptr = c.add(i * ldc) as *mut i32;
+                    let out = if accumulate {
+                        _mm512_add_epi32(_mm512_loadu_si512(ptr as *const _), vec)
+                    } else {
+                        vec
+                    };
+                    _mm512_storeu_si512(ptr as *mut _, out);
+                }
+            }
+        };
+    }
+
+    avx512_vnni_kern_i8!(kern_i8z_4x16, 4);
+    avx512_vnni_kern_i8!(kern_i8z_6x16, 6);
+
+    /// Whether the CPU can run the `vpdpwssd` kernels (AVX-VNNI — the
+    /// VEX-encoded form, present on Cascade Lake+ servers and Alder
+    /// Lake+ clients). Purely a speed upgrade within the Avx2 level:
+    /// the madd and VNNI kernels are bitwise identical.
+    pub(super) fn vnni_available() -> bool {
+        std::arch::is_x86_feature_detected!("avxvnni")
+    }
+
+    /// Whether the CPU can run the 512-bit `vpdpwssd` kernels
+    /// (AVX512-VNNI, Ice Lake+ servers). Same bitwise-identity note.
+    pub(super) fn vnni512_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vnni")
+    }
 }
 
 /// Looks up the kernel for a `(level, mr, nr)` triple; `None` if the pair
@@ -202,6 +495,55 @@ pub(crate) fn kernel_for(level: SimdLevel, mr: usize, nr: usize) -> Option<KernF
             (8, 8) => Some(avx2::kern_8x8 as KernFn),
             (4, 16) => Some(avx2::kern_4x16 as KernFn),
             (6, 16) => Some(avx2::kern_6x16 as KernFn),
+            _ => None,
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 => None,
+    }
+}
+
+/// Looks up the i8×i8→i32 kernel for a `(level, mr, nr)` triple; `None`
+/// if the pair is not in [`SUPPORTED_TILES`] (or the level lacks it on
+/// this target). Every tile with an f32 kernel has an i8 sibling, so a
+/// valid [`crate::GemmPlan`] always resolves one.
+pub(crate) fn kernel_i8_for(level: SimdLevel, mr: usize, nr: usize) -> Option<KernI8Fn> {
+    match level {
+        SimdLevel::Scalar => match (mr, nr) {
+            (4, 8) => Some(scalar_kern_i8::<4, 8> as KernI8Fn),
+            (6, 8) => Some(scalar_kern_i8::<6, 8> as KernI8Fn),
+            (8, 8) => Some(scalar_kern_i8::<8, 8> as KernI8Fn),
+            (4, 16) => Some(scalar_kern_i8::<4, 16> as KernI8Fn),
+            (6, 16) => Some(scalar_kern_i8::<6, 16> as KernI8Fn),
+            _ => None,
+        },
+        // Within the Avx2 level the i8 registry sub-dispatches on VNNI
+        // capability: `vpdpwssd` retires madd+paddd as one instruction
+        // (512-bit where available, covering a whole NR=16 tile row).
+        // All variants are bitwise identical (exact i32 arithmetic), so
+        // — unlike the f32 FMA distinction — this never affects any
+        // parity contract, only throughput.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if avx2::vnni512_available() && nr == 16 => match (mr, nr) {
+            (4, 16) => Some(avx2::kern_i8z_4x16 as KernI8Fn),
+            (6, 16) => Some(avx2::kern_i8z_6x16 as KernI8Fn),
+            _ => None,
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if avx2::vnni_available() => match (mr, nr) {
+            (4, 8) => Some(avx2::kern_i8v_4x8 as KernI8Fn),
+            (6, 8) => Some(avx2::kern_i8v_6x8 as KernI8Fn),
+            (8, 8) => Some(avx2::kern_i8v_8x8 as KernI8Fn),
+            (4, 16) => Some(avx2::kern_i8v_4x16 as KernI8Fn),
+            (6, 16) => Some(avx2::kern_i8v_6x16 as KernI8Fn),
+            _ => None,
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => match (mr, nr) {
+            (4, 8) => Some(avx2::kern_i8_4x8 as KernI8Fn),
+            (6, 8) => Some(avx2::kern_i8_6x8 as KernI8Fn),
+            (8, 8) => Some(avx2::kern_i8_8x8 as KernI8Fn),
+            (4, 16) => Some(avx2::kern_i8_4x16 as KernI8Fn),
+            (6, 16) => Some(avx2::kern_i8_6x16 as KernI8Fn),
             _ => None,
         },
         #[cfg(not(target_arch = "x86_64"))]
@@ -296,10 +638,15 @@ mod tests {
                 kernel_for(SimdLevel::Scalar, mr, nr).is_some(),
                 "missing scalar kernel for {mr}x{nr}"
             );
+            assert!(
+                kernel_i8_for(SimdLevel::Scalar, mr, nr).is_some(),
+                "missing scalar i8 kernel for {mr}x{nr}"
+            );
             assert!(mr <= MAX_MR && nr <= MAX_NR);
         }
         assert!(kernel_for(SimdLevel::Scalar, 7, 8).is_none());
         assert!(kernel_for(SimdLevel::Scalar, 6, 12).is_none());
+        assert!(kernel_i8_for(SimdLevel::Scalar, 7, 8).is_none());
     }
 
     #[cfg(target_arch = "x86_64")]
@@ -310,6 +657,103 @@ mod tests {
                 kernel_for(SimdLevel::Avx2, mr, nr).is_some(),
                 "missing avx2 kernel for {mr}x{nr}"
             );
+            assert!(
+                kernel_i8_for(SimdLevel::Avx2, mr, nr).is_some(),
+                "missing avx2 i8 kernel for {mr}x{nr}"
+            );
+        }
+    }
+
+    /// The scalar and (when runnable) AVX2 i8 kernels are bitwise
+    /// identical — i32 accumulation has no rounding, so unlike the f32
+    /// family there is no "exact inputs" caveat.
+    #[test]
+    fn i8_kernels_agree_bitwise() {
+        let kp = 19; // 38 k-steps as 19 pairs, odd-ish to stress nothing special
+        for &(mr, nr) in &SUPPORTED_TILES {
+            // Full i8 range including the extremes, sign-extended to i16
+            // exactly as the gemm_i8 packers do.
+            let ap: Vec<i16> = (0..kp * mr * 2)
+                .map(|i| ((i * 37 + 11) % 256) as i16 - 128)
+                .collect();
+            let bp: Vec<i16> = (0..kp * nr * 2)
+                .map(|i| ((i * 53 + 7) % 256) as i16 - 128)
+                .collect();
+            let mut want = vec![0i32; mr * nr];
+            for pp in 0..kp {
+                for i in 0..mr {
+                    for j in 0..nr {
+                        let a0 = ap[pp * mr * 2 + i * 2] as i32;
+                        let a1 = ap[pp * mr * 2 + i * 2 + 1] as i32;
+                        let b0 = bp[pp * nr * 2 + j * 2] as i32;
+                        let b1 = bp[pp * nr * 2 + j * 2 + 1] as i32;
+                        want[i * nr + j] += a0 * b0 + a1 * b1;
+                    }
+                }
+            }
+            let run = |level: SimdLevel| {
+                let kern = kernel_i8_for(level, mr, nr).unwrap();
+                let mut c = vec![-1i32; mr * nr];
+                // SAFETY: buffers sized kp*mr*2 / kp*nr*2 / mr*nr, ldc = nr.
+                unsafe { kern(kp, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), nr, false) };
+                let mut c2 = c.clone();
+                unsafe { kern(kp, ap.as_ptr(), bp.as_ptr(), c2.as_mut_ptr(), nr, true) };
+                (c, c2)
+            };
+            let (c, c2) = run(SimdLevel::Scalar);
+            assert_eq!(c, want, "scalar i8 {mr}x{nr}");
+            assert_eq!(c2, want.iter().map(|v| v * 2).collect::<Vec<_>>());
+            if avx2_available() {
+                let (c, c2) = run(SimdLevel::Avx2);
+                assert_eq!(c, want, "avx2 i8 {mr}x{nr}");
+                assert_eq!(c2, want.iter().map(|v| v * 2).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    /// When AVX-VNNI is present the registry serves `vpdpwssd` kernels;
+    /// they must be bitwise identical to the plain madd+paddd kernels
+    /// they replace (the whole point of the sub-dispatch being safe).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn vnni_and_madd_i8_kernels_agree_bitwise() {
+        if !avx2_available() || !avx2::vnni_available() {
+            return;
+        }
+        let pairs: [(KernI8Fn, KernI8Fn, usize, usize); 5] = [
+            (avx2::kern_i8_4x8, avx2::kern_i8v_4x8, 4, 8),
+            (avx2::kern_i8_6x8, avx2::kern_i8v_6x8, 6, 8),
+            (avx2::kern_i8_8x8, avx2::kern_i8v_8x8, 8, 8),
+            (avx2::kern_i8_4x16, avx2::kern_i8v_4x16, 4, 16),
+            (avx2::kern_i8_6x16, avx2::kern_i8v_6x16, 6, 16),
+        ];
+        let kp = 23;
+        for (madd, vnni, mr, nr) in pairs {
+            let ap: Vec<i16> = (0..kp * mr * 2)
+                .map(|i| ((i * 71 + 3) % 256) as i16 - 128)
+                .collect();
+            let bp: Vec<i16> = (0..kp * nr * 2)
+                .map(|i| ((i * 29 + 13) % 256) as i16 - 128)
+                .collect();
+            let mut c1 = vec![5i32; mr * nr];
+            let mut c2 = vec![5i32; mr * nr];
+            // SAFETY: buffers sized kp*mr*2 / kp*nr*2 / mr*nr, ldc = nr.
+            unsafe {
+                madd(kp, ap.as_ptr(), bp.as_ptr(), c1.as_mut_ptr(), nr, true);
+                vnni(kp, ap.as_ptr(), bp.as_ptr(), c2.as_mut_ptr(), nr, true);
+            }
+            assert_eq!(c1, c2, "vnni/madd mismatch {mr}x{nr}");
+            if avx2::vnni512_available() && nr == 16 {
+                let zkern = match mr {
+                    4 => avx2::kern_i8z_4x16 as KernI8Fn,
+                    6 => avx2::kern_i8z_6x16 as KernI8Fn,
+                    _ => continue,
+                };
+                let mut c3 = vec![5i32; mr * nr];
+                // SAFETY: same bounds as above.
+                unsafe { zkern(kp, ap.as_ptr(), bp.as_ptr(), c3.as_mut_ptr(), nr, true) };
+                assert_eq!(c1, c3, "vnni512/madd mismatch {mr}x{nr}");
+            }
         }
     }
 

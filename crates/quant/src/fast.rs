@@ -159,7 +159,7 @@ const ROUND_MAGIC: f32 = 8_388_608.0;
 /// .5 ties away from zero with a select) is all adds/compares/selects,
 /// which LLVM vectorizes freely inside the block kernels below.
 #[inline]
-fn fast_round(y: f32) -> f32 {
+pub(crate) fn fast_round(y: f32) -> f32 {
     let a = y.abs();
     let t = (a + ROUND_MAGIC) - ROUND_MAGIC;
     let u = if a - t == 0.5 { t + 1.0 } else { t };
@@ -184,8 +184,15 @@ fn fast_round(y: f32) -> f32 {
 /// the *codes* (the only consumer) are still identical. Degenerate or
 /// subnormal scales simply fail the check and take the per-way division
 /// path.
+///
+/// This predicate is the **bitwise acceptance condition** shared by every
+/// power-of-two shortcut in the workspace: the shared-quotient E²BQM path
+/// here, and the [`crate::intdomain`] ladder guard (whose exact-rescale
+/// proof leans on the same commutation argument). Its edge behavior —
+/// subnormal operands, ratios at the f32 exponent boundaries, overflowing
+/// ratios — is pinned by the `pow2_guard` proptest suite.
 #[inline]
-fn pow2_multiplier(scale0: f32, scale_w: f32) -> Option<f32> {
+pub fn pow2_multiplier(scale0: f32, scale_w: f32) -> Option<f32> {
     let m = scale0 / scale_w;
     let pow2 = m.to_bits() & 0x007f_ffff == 0;
     if m.is_finite() && m >= 1.0 && pow2 && scale_w * m == scale0 {

@@ -13,7 +13,10 @@
 //!   fixed-point, BiScaled-FxP, adaptive precision and direction-sensitive
 //!   clipping;
 //! * [`algorithms`]: the Table III algorithm registry plus ready-made
-//!   training quantizers (Zhu 2019 / Zhang 2020, each ± HQT).
+//!   training quantizers (Zhu 2019 / Zhang 2020, each ± HQT);
+//! * [`intdomain`]: the dequantization-free integer-domain strategy — one
+//!   base quantization, shift-derived ladder candidates, i64 error folds,
+//!   i8 codes + an exact power-of-two scale for `cq_par::gemm_i8`.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@ pub mod fast;
 pub mod format;
 pub mod groupwise;
 pub mod guard;
+pub mod intdomain;
 pub mod ldq;
 pub mod qtensor;
 pub mod rounding;
@@ -47,6 +51,7 @@ pub use fast::QuantScratch;
 pub use format::{IntFormat, QuantParams};
 pub use groupwise::GroupQuantized;
 pub use guard::{DegradeEvent, GuardAction, GuardedQuantizer, QuantAnomaly};
+pub use intdomain::{IntDomainQuantizer, IntDomainScratch, IntSelection};
 pub use ldq::{LdqConfig, LdqTensor};
 pub use qtensor::{quant_error, QuantError, QuantizedTensor};
 pub use rounding::{MiniFloat, RoundingMode};

@@ -1,0 +1,228 @@
+//! Error-bound proptest suite for the integer-domain quantizer.
+//!
+//! The `IntDomain` strategy is a *different algorithm* from the
+//! float-domain reference (one base quantization + shift-derived
+//! candidates instead of per-way division), so its contract is not
+//! bit-identity but the shift-rounding model documented in
+//! `cq_quant::intdomain` and DESIGN.md:
+//!
+//! 1. **Reconstruction bound** — `|x − c·s_sel| ≤ (s_base + s_sel)/2 +
+//!    clip(x)` per element (up to f32 division rounding);
+//! 2. **Deviation bound** — for every ladder way, the shifted code is
+//!    within one unit of direct f32 quantization at the same scale
+//!    (double-rounding bound);
+//! 3. **Fallback totality** — every block either quantizes under the
+//!    guard or falls back; a taken int path always carries a scale that
+//!    satisfies the `pow2_multiplier` acceptance condition.
+//!
+//! Run under `--test-threads 1` and `--test-threads 4` in CI (the suite
+//! is thread-free, but CI exercises harness-scheduling variation on every
+//! parity/bounds suite by convention).
+
+use cq_quant::fast::pow2_multiplier;
+use cq_quant::intdomain::{IntDomainQuantizer, IntDomainScratch};
+use cq_quant::{IntFormat, QuantParams, TrainingQuantizer};
+use proptest::prelude::*;
+
+/// Value pools spanning bulk-small, moderate and large magnitudes —
+/// normal-range f32 only (subnormal θ is the fallback suite's job).
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-100.0f32..100.0),
+        (-0.01f32..0.01),
+        (-1e6f32..1e6),
+        (-1e-6f32..1e-6),
+        Just(0.0f32),
+    ]
+}
+
+fn block_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(finite_f32(), 0..max_len)
+}
+
+fn any_ways() -> impl Strategy<Value = usize> {
+    1usize..=6
+}
+
+proptest! {
+    /// Reconstruction: every emitted code reconstructs its element within
+    /// half a base step plus half a selected step plus the clipping loss.
+    #[test]
+    fn reconstruction_bound(x in block_strategy(600), ways in any_ways()) {
+        let q = IntDomainQuantizer::new(ways, IntFormat::Int8);
+        let mut codes = Vec::new();
+        let mut scratch = IntDomainScratch::new();
+        if let Some(sel) = q.quantize_into(&x, &mut codes, &mut scratch) {
+            prop_assert_eq!(codes.len(), x.len());
+            let rep_max = 127.0 * sel.scale;
+            for (&v, &c) in x.iter().zip(&codes) {
+                if !v.is_finite() {
+                    continue;
+                }
+                let err = (v - c as f32 * sel.scale).abs();
+                let clip = (v.abs() - rep_max).max(0.0);
+                let bound = (sel.base_scale + sel.scale) / 2.0 + clip;
+                // Slack: one relative ε for the x/s_base division, one
+                // absolute ε for the final f32 subtraction.
+                prop_assert!(
+                    err <= bound * (1.0 + 1e-5) + f32::EPSILON,
+                    "v={v} err={err} bound={bound} sel={sel:?}"
+                );
+            }
+        }
+    }
+
+    /// Deviation: per way, shift-derived codes sit within one code unit of
+    /// direct f32 quantization at that way's scale (double rounding).
+    #[test]
+    fn deviation_from_reference_at_most_one_code(
+        x in block_strategy(400),
+        ways in any_ways(),
+    ) {
+        let q = IntDomainQuantizer::new(ways, IntFormat::Int8);
+        let mut codes = Vec::new();
+        let mut scratch = IntDomainScratch::new();
+        if let Some(sel) = q.quantize_into(&x, &mut codes, &mut scratch) {
+            if sel.base_scale == 1.0 && sel.scale == 1.0 {
+                return Ok(()); // degenerate all-zero block
+            }
+            // The public API emits only the winner; checking the winner
+            // across many random blocks visits every way.
+            let p = QuantParams::with_scale(sel.scale, IntFormat::Int8);
+            for (&v, &c) in x.iter().zip(&codes) {
+                if !v.is_finite() {
+                    continue;
+                }
+                let c_ref = p.quantize(v);
+                prop_assert!(
+                    (c as i32 - c_ref).abs() <= 1,
+                    "v={v} int={c} ref={c_ref} sel={sel:?}"
+                );
+            }
+        }
+    }
+
+    /// Guard totality: a taken int path always carries an exact
+    /// power-of-two scale (the `pow2_multiplier` acceptance condition),
+    /// and the code/scale pair is self-consistent with the way index.
+    #[test]
+    fn taken_path_scale_is_on_the_ladder(
+        x in block_strategy(300),
+        ways in any_ways(),
+    ) {
+        let q = IntDomainQuantizer::new(ways, IntFormat::Int8);
+        let mut codes = Vec::new();
+        let mut scratch = IntDomainScratch::new();
+        if let Some(sel) = q.quantize_into(&x, &mut codes, &mut scratch) {
+            prop_assert!(sel.way < ways);
+            if sel.base_scale == 1.0 && sel.scale == 1.0 {
+                return Ok(()); // degenerate all-zero block
+            }
+            let expect = (1u32 << (ways - 1 - sel.way)) as f32;
+            prop_assert_eq!(
+                pow2_multiplier(sel.scale, sel.base_scale),
+                Some(expect),
+                "scale {} base {}",
+                sel.scale,
+                sel.base_scale
+            );
+            prop_assert_eq!(scratch.errors().len(), ways);
+            let min = *scratch.errors().iter().min().unwrap();
+            prop_assert_eq!(scratch.errors()[sel.way], min);
+        }
+    }
+
+    /// The fake-quantize entry agrees with the code/scale pair the GEMM
+    /// path consumes, element for element.
+    #[test]
+    fn fake_quantize_matches_codes_times_scale(
+        x in block_strategy(300),
+        ways in any_ways(),
+    ) {
+        let q = IntDomainQuantizer::new(ways, IntFormat::Int8);
+        let mut codes = Vec::new();
+        let mut out = Vec::new();
+        let mut s1 = IntDomainScratch::new();
+        let mut s2 = IntDomainScratch::new();
+        let sel = q.quantize_into(&x, &mut codes, &mut s1);
+        let taken = q.fake_quantize_into(&x, &mut out, &mut s2);
+        prop_assert_eq!(taken, sel.is_some());
+        if let Some(sel) = sel {
+            prop_assert_eq!(out.len(), codes.len());
+            for (&o, &c) in out.iter().zip(&codes) {
+                prop_assert_eq!(o.to_bits(), (c as f32 * sel.scale).to_bits());
+            }
+        }
+    }
+
+    /// Accuracy sanity vs the f32 reference quantizer: on well-scaled
+    /// data the int-domain output stays directionally faithful — within
+    /// a small multiple of the layer-wise fake-quantize L1 error.
+    #[test]
+    fn l1_error_comparable_to_reference(seed in 0u64..32) {
+        let x = cq_tensor::init::long_tailed(&[2048], 0.05, 0.01, 30.0, seed);
+        let q = IntDomainQuantizer::hardware_default();
+        let mut out = Vec::new();
+        let mut scratch = IntDomainScratch::new();
+        prop_assert!(q.fake_quantize_into(x.data(), &mut out, &mut scratch));
+        let l1_int: f64 = x
+            .data()
+            .iter()
+            .zip(&out)
+            .map(|(&a, &b)| (a - b).abs() as f64)
+            .sum();
+        let reference = TrainingQuantizer::zhu2019().fake_quantize(&x);
+        let l1_ref: f64 = x
+            .data()
+            .iter()
+            .zip(reference.data())
+            .map(|(&a, &b)| (a - b).abs() as f64)
+            .sum();
+        // The integer ladder anchors at θ/(qmax·2^(W−1)) instead of the
+        // float sweep's per-way scales, and double-rounds — allow 2× but
+        // no runaway divergence.
+        prop_assert!(
+            l1_int <= l1_ref * 2.0 + 1e-6,
+            "int L1 {l1_int} vs ref L1 {l1_ref}"
+        );
+    }
+}
+
+/// Subnormal θ must fall back — the exact-rescale proof does not hold
+/// below the normal range, so the int path refuses rather than degrades.
+#[test]
+fn subnormal_blocks_fall_back() {
+    let q = IntDomainQuantizer::hardware_default();
+    let mut codes = Vec::new();
+    let mut scratch = IntDomainScratch::new();
+    for theta in [1.0e-41f32, 4.7e-40, f32::MIN_POSITIVE * 0.5] {
+        let x = vec![theta, -theta * 0.5, theta * 0.25];
+        assert!(
+            q.quantize_into(&x, &mut codes, &mut scratch).is_none(),
+            "theta {theta:e} should fall back"
+        );
+    }
+    // Just above the guard boundary the path is taken again: θ large
+    // enough that s_base = θ/(qmax·2³) is normal.
+    let x = vec![f32::MIN_POSITIVE * 2048.0, -f32::MIN_POSITIVE * 1024.0];
+    assert!(q.quantize_into(&x, &mut codes, &mut scratch).is_some());
+}
+
+/// Non-finite contamination: ∞ poisons θ (degenerate → lossless zeros),
+/// NaN elements quantize to code 0 under a finite θ.
+#[test]
+fn non_finite_elements_are_deterministic() {
+    let q = IntDomainQuantizer::hardware_default();
+    let mut codes = Vec::new();
+    let mut scratch = IntDomainScratch::new();
+
+    let x = vec![0.5f32, f32::INFINITY, -0.25];
+    let sel = q.quantize_into(&x, &mut codes, &mut scratch).unwrap();
+    assert_eq!(sel.scale, 1.0, "∞ θ degenerates");
+    assert!(codes.iter().all(|&c| c == 0));
+
+    let x = vec![0.5f32, f32::NAN, -0.25];
+    let sel = q.quantize_into(&x, &mut codes, &mut scratch).unwrap();
+    assert!(sel.scale < 1.0, "finite θ from the non-NaN elements");
+    assert_eq!(codes[1], 0, "NaN element must quantize to 0");
+}

@@ -1,0 +1,152 @@
+//! Edge-case proptests for `pow2_multiplier` — the bitwise acceptance
+//! condition behind every power-of-two shortcut in the workspace (the
+//! shared-quotient E²BQM evaluation and the int-domain ladder guard).
+//!
+//! The predicate promises: `Some(m)` only when `m = scale0/scale_w` is a
+//! finite power of two ≥ 1 **and** `scale_w * m == scale0` bitwise, so
+//! `v/scale_w` may be computed as `(v/scale0)·m` with identical codes.
+//! These tests pin its behavior where f32 arithmetic gets treacherous:
+//! subnormal operands, ratios at the exponent boundaries, and ratios that
+//! overflow to ∞.
+
+use cq_quant::fast::pow2_multiplier;
+use proptest::prelude::*;
+
+/// f32 values spanning the entire positive range, exponent-uniform:
+/// subnormals, normals near both boundaries, and exact powers of two.
+fn positive_f32_full_range() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        // Exponent-uniform normals (uniform bits in the exponent field).
+        (1u32..255, 0u32..(1 << 23)).prop_map(|(e, m)| f32::from_bits((e << 23) | m)),
+        // Subnormals (exponent field 0, nonzero mantissa).
+        (1u32..(1 << 23)).prop_map(f32::from_bits),
+        // Exact powers of two across the full exponent range.
+        (1u32..255).prop_map(|e| f32::from_bits(e << 23)),
+        Just(f32::MIN_POSITIVE),
+        Just(f32::MAX),
+    ]
+}
+
+proptest! {
+    /// Soundness: whenever the predicate accepts, the multiplier really
+    /// is a power of two ≥ 1 and really multiplies back bitwise — for
+    /// *any* operand pair, including subnormal `scale_w`.
+    #[test]
+    fn acceptance_implies_bitwise_roundtrip(
+        scale0 in positive_f32_full_range(),
+        scale_w in positive_f32_full_range(),
+    ) {
+        if let Some(m) = pow2_multiplier(scale0, scale_w) {
+            prop_assert!(m.is_finite() && m >= 1.0);
+            prop_assert_eq!(m.to_bits() & 0x007f_ffff, 0, "mantissa not pow2: {}", m);
+            prop_assert_eq!((scale_w * m).to_bits(), scale0.to_bits());
+            // The commutation direction the fast path relies on:
+            // scale0 / m recovers scale_w bitwise too (division by an
+            // exact power of two with a representable result is exact).
+            prop_assert_eq!((scale0 / m).to_bits(), scale_w.to_bits());
+        }
+    }
+
+    /// Completeness on constructed ladders: scale_w · 2^k built by exact
+    /// doubling is accepted with exactly m = 2^k whenever the product
+    /// stays finite — including ladders rooted at subnormal scales
+    /// (doubling a subnormal is exact).
+    #[test]
+    fn exact_ladders_are_accepted(
+        scale_w in positive_f32_full_range(),
+        k in 0u32..40,
+    ) {
+        let mut scale0 = scale_w;
+        let mut overflowed = false;
+        for _ in 0..k {
+            scale0 *= 2.0;
+            if !scale0.is_finite() {
+                overflowed = true;
+                break;
+            }
+        }
+        if overflowed {
+            // The ratio itself is ∞ or the product can't reproduce —
+            // either way the predicate must reject.
+            prop_assert_eq!(pow2_multiplier(f32::INFINITY, scale_w), None);
+        } else {
+            let got = pow2_multiplier(scale0, scale_w);
+            let expect = 2.0f32.powi(k as i32);
+            // m = 2^k might itself overflow f32 only beyond k=127 (not
+            // reachable here), so acceptance is unconditional.
+            prop_assert_eq!(got, Some(expect), "scale_w={:e} k={}", scale_w, k);
+        }
+    }
+
+    /// Ratios below 1 (scale0 finer than scale_w) are always rejected:
+    /// the shortcut only rescales *up* the ladder.
+    #[test]
+    fn sub_unit_ratios_rejected(
+        scale_w in positive_f32_full_range(),
+        k in 1u32..40,
+    ) {
+        let scale0 = scale_w / 2.0f32.powi(k as i32);
+        if scale0 > 0.0 {
+            prop_assert_eq!(pow2_multiplier(scale0, scale_w), None);
+        }
+    }
+
+    /// Non-power-of-two ratios are rejected even when both operands are
+    /// perfectly normal.
+    #[test]
+    fn non_pow2_ratios_rejected(
+        e in -60i32..60,
+        m in 1u32..(1 << 23),
+    ) {
+        // A scale with a nonzero mantissa: ratio of 2^e · (1+m/2^23) to
+        // 2^e is exactly that non-pow2 value.
+        let scale_w = 2.0f32.powi(e);
+        let scale0 = f32::from_bits(scale_w.to_bits() | m);
+        prop_assert_eq!(pow2_multiplier(scale0, scale_w), None);
+    }
+}
+
+/// Exponent-boundary table: the exact cases the int-path ladder guard
+/// must agree on, spelled out so a regression names the boundary it broke.
+#[test]
+fn exponent_boundary_cases() {
+    let min_sub = f32::from_bits(1); // smallest positive subnormal
+    let max_sub = f32::from_bits(0x007f_ffff); // largest subnormal
+
+    // Identity is always on the ladder (m = 1).
+    assert_eq!(pow2_multiplier(1.0, 1.0), Some(1.0));
+    assert_eq!(pow2_multiplier(min_sub, min_sub), Some(1.0));
+    assert_eq!(pow2_multiplier(f32::MAX, f32::MAX), Some(1.0));
+
+    // Subnormal-rooted ladders: doubling is exact, so accepted.
+    assert_eq!(pow2_multiplier(min_sub * 2.0, min_sub), Some(2.0));
+    assert_eq!(pow2_multiplier(min_sub * 1024.0, min_sub), Some(1024.0));
+
+    // Largest-subnormal doubling crosses into the normal range *exactly*
+    // (doubling is a fixed-point left shift: 0.1…1₂·2⁻¹²⁶ becomes
+    // 1.1…1₂·2⁻¹²⁶ with all 23 mantissa bits intact), so the crossing is
+    // accepted — the guard is about exactness, not about which range the
+    // operands live in.
+    let doubled = max_sub * 2.0;
+    assert_eq!(pow2_multiplier(doubled, max_sub), Some(2.0));
+    assert_eq!((doubled / 2.0).to_bits(), max_sub.to_bits());
+
+    // Overflowing ratio: 2^127 / 2^-126 = 2^253 → ∞ → reject.
+    let huge = 2.0f32.powi(127);
+    let tiny = 2.0f32.powi(-126);
+    assert_eq!(pow2_multiplier(huge, tiny), None);
+
+    // Ratio exactly at the top of the exponent range: 2^127 / 1 = 2^127
+    // is finite and exact → accept.
+    assert_eq!(pow2_multiplier(huge, 1.0), Some(huge));
+
+    // f32::MAX is not a power of two: MAX / (MAX/2^k) has a non-pow2
+    // ratio representation only by luck; the safe cases are exact halves.
+    assert_eq!(pow2_multiplier(f32::MAX, f32::MAX / 2.0), Some(2.0));
+
+    // Degenerate operands: zero, negative, NaN, ∞ all reject.
+    for bad in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+        assert_eq!(pow2_multiplier(bad, 1.0), None, "scale0 {bad}");
+        assert_eq!(pow2_multiplier(1.0, bad), None, "scale_w {bad}");
+    }
+}

@@ -20,6 +20,19 @@
 //! unadmitted cell, so its memory under overload is bounded by
 //! `queue_cap` plus per-connection line buffers.
 //!
+//! # Coalescing
+//!
+//! Identical in-flight cells are deduplicated at admission by their
+//! canonical `HwCostCache` key ([`cq_accel::CambriconQ::cache_key`] of
+//! the resolved presets — exactly the key the simulator memoizes runs
+//! under): a cell whose key is already admitted-but-unfinished attaches
+//! a *waiter* to the running job instead of consuming a queue slot, and
+//! every waiter receives a clone of the primary's record, so all
+//! requesters see byte-identical `record` payloads. Waiter registration
+//! participates in all-or-nothing admission — a rejected batch detaches
+//! its waiters and unpublishes its would-be primaries under the same
+//! lock. Each attachment increments the `serve.coalesced` counter.
+//!
 //! # Failure semantics
 //!
 //! Workers run every cell through [`cq_resil::run_task`], so a poisoned
@@ -32,11 +45,13 @@ use crate::protocol::{parse_request, Cell, Frame, Request, SweepRequest};
 use crate::registry;
 use cq_accel::CambriconQ;
 use cq_par::{BatchRejected, BoundedQueue, Pool};
-use cq_resil::{run_task, RetryPolicy, TaskFailure};
+use cq_resil::{run_task, RetryPolicy};
+use cq_sim::HwCostKey;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Test/chaos hook: runs inside the worker's retry loop before every
@@ -100,10 +115,34 @@ pub fn simulate_cell(cell: &Cell) -> Result<String, String> {
         .to_record())
 }
 
+/// The reply half of a sweep's result channel; errors arrive already
+/// rendered so one outcome can fan out to every coalesced waiter.
+type Reply = mpsc::Sender<(Cell, Result<String, String>)>;
+
 struct Job {
     cell: Cell,
+    key: HwCostKey,
     index: usize,
-    reply: mpsc::Sender<(Cell, Result<String, TaskFailure>)>,
+    reply: Reply,
+}
+
+/// A requester attached to another request's in-flight cell. `token`
+/// identifies the owning request so a rejected batch can detach exactly
+/// its own waiters; `cell` echoes the requester's keywords on its frame.
+struct Waiter {
+    token: u64,
+    cell: Cell,
+    reply: Reply,
+}
+
+/// The canonical cache key of a validated cell: resolve the presets and
+/// ask the simulator for the exact `HwCostCache` key it would memoize
+/// the run under.
+fn cell_key(cell: &Cell) -> HwCostKey {
+    let net = registry::net(&cell.net).expect("cell presets validated at parse");
+    let config = registry::config(&cell.config).expect("cell presets validated at parse");
+    let optimizer = registry::optimizer(&cell.optimizer).expect("cell presets validated at parse");
+    CambriconQ::new(config).cache_key(&net, optimizer)
 }
 
 /// A bound-but-not-yet-running sweep daemon.
@@ -112,6 +151,11 @@ pub struct Server {
     queue: BoundedQueue<Job>,
     cfg: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    /// In-flight cells by canonical key; the value holds the waiters to
+    /// fan the primary's result out to. Present ⇒ admitted, unfinished.
+    inflight: Mutex<HashMap<HwCostKey, Vec<Waiter>>>,
+    /// Request token source for waiter rollback.
+    next_token: AtomicU64,
 }
 
 impl Server {
@@ -123,6 +167,8 @@ impl Server {
             queue: BoundedQueue::new(cfg.queue_cap),
             cfg,
             shutdown: Arc::new(AtomicBool::new(false)),
+            inflight: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
         })
     }
 
@@ -176,17 +222,37 @@ impl Server {
 
     fn worker_loop(&self, _worker: usize) {
         while let Some(job) = self.queue.pop() {
-            let Job { cell, index, reply } = job;
+            let Job {
+                cell,
+                key,
+                index,
+                reply,
+            } = job;
             let fault = self.cfg.fault.as_deref();
             let outcome = run_task(&self.cfg.retry, index, |_, attempt| {
                 if let Some(hook) = fault {
                     hook(&cell, attempt);
                 }
                 simulate_cell(&cell).expect("cell presets validated at admission")
-            });
+            })
+            .map_err(|failure| failure.to_string());
             match &outcome {
                 Ok(_) => cq_obs::counter!("serve.cells_ok").incr(),
                 Err(_) => cq_obs::counter!("serve.cells_failed").incr(),
+            }
+            // Retire the in-flight entry first: once it is gone, a new
+            // identical cell becomes a fresh primary instead of attaching
+            // to a job that has already fanned out.
+            let waiters = self
+                .inflight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&key)
+                .unwrap_or_default();
+            for w in waiters {
+                // Same `record`/`error` string for every requester — the
+                // byte-identity contract of coalescing.
+                let _ = w.reply.send((w.cell, outcome.clone()));
             }
             // A dropped receiver means the connection died mid-sweep;
             // the work is still cached for the next request.
@@ -266,17 +332,57 @@ impl Server {
         let cells = req.cells();
         let n = cells.len();
         let (tx, rx) = mpsc::channel();
-        let jobs: Vec<Job> = cells
-            .into_iter()
-            .enumerate()
-            .map(|(index, cell)| Job {
-                cell,
-                index,
-                reply: tx.clone(),
-            })
-            .collect();
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        // Admission runs under the in-flight lock so registration and the
+        // queue push are atomic with respect to worker fan-out: a cell
+        // whose key is already in flight (from any request, or earlier in
+        // this very grid) attaches a waiter instead of consuming a slot.
+        let (admitted, needed) = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut jobs = Vec::new();
+            let mut primaries: Vec<HwCostKey> = Vec::new();
+            let mut joined: Vec<HwCostKey> = Vec::new();
+            for (index, cell) in cells.into_iter().enumerate() {
+                let key = cell_key(&cell);
+                if let Some(waiters) = inflight.get_mut(&key) {
+                    waiters.push(Waiter {
+                        token,
+                        cell,
+                        reply: tx.clone(),
+                    });
+                    joined.push(key);
+                } else {
+                    inflight.insert(key.clone(), Vec::new());
+                    primaries.push(key.clone());
+                    jobs.push(Job {
+                        cell,
+                        key,
+                        index,
+                        reply: tx.clone(),
+                    });
+                }
+            }
+            let needed = jobs.len();
+            let coalesced = joined.len();
+            let admitted = self.queue.try_push_batch(jobs);
+            if admitted.is_err() {
+                // All-or-nothing rollback: unpublish this request's
+                // would-be primaries and detach exactly its waiters.
+                for key in &primaries {
+                    inflight.remove(key);
+                }
+                for key in &joined {
+                    if let Some(waiters) = inflight.get_mut(key) {
+                        waiters.retain(|w| w.token != token);
+                    }
+                }
+            } else if coalesced > 0 {
+                cq_obs::counter!("serve.coalesced").add(coalesced as u64);
+            }
+            (admitted, needed)
+        };
         drop(tx);
-        match self.queue.try_push_batch(jobs) {
+        match admitted {
             Ok(()) => {
                 cq_obs::counter!("serve.accepted").incr();
                 if !send(
@@ -301,12 +407,12 @@ impl Server {
                             cell,
                             record,
                         },
-                        Err(failure) => {
+                        Err(error) => {
                             errors += 1;
                             Frame::CellError {
                                 id: req.id.clone(),
                                 cell,
-                                error: failure.to_string(),
+                                error,
                             }
                         }
                     };
@@ -331,7 +437,7 @@ impl Server {
                     Frame::Rejected {
                         id: req.id.clone(),
                         reason: format!(
-                            "queue full ({available} of {} slots free, {n} needed)",
+                            "queue full ({available} of {} slots free, {needed} needed)",
                             self.queue.capacity()
                         ),
                         retry_after_ms: self.cfg.retry_after_ms,
@@ -344,8 +450,8 @@ impl Server {
                     writer,
                     Frame::Error {
                         error: format!(
-                            "sweep of {n} cells can never fit queue capacity {capacity}; \
-                             split the request"
+                            "sweep of {n} cells ({needed} after coalescing) can never fit \
+                             queue capacity {capacity}; split the request"
                         ),
                     },
                 )

@@ -246,10 +246,12 @@ fn full_queue_rejects_with_retry_advice_and_oversized_grids_error() {
         other => panic!("expected rejected, got {other:?}"),
     }
 
-    // A grid bigger than the queue can never be admitted: typed error,
-    // not an infinite retry loop.
+    // A grid bigger than the queue can never be admitted — unless it
+    // coalesces. These cells are not in flight (C's rmsprop was
+    // rejected, adagrad never submitted), so the typed error fires
+    // instead of an infinite retry loop.
     let mut big = Client::connect(&addr);
-    big.send(&sweep("big", &["squeezenet"], &["edge"], &["sgd", "adam"]).encode());
+    big.send(&sweep("big", &["squeezenet"], &["edge"], &["adagrad", "rmsprop"]).encode());
     match big.recv() {
         Frame::Error { error } => assert!(error.contains("can never fit"), "{error}"),
         other => panic!("expected error, got {other:?}"),
@@ -285,6 +287,100 @@ fn full_queue_rejects_with_retry_advice_and_oversized_grids_error() {
             other => panic!("unexpected frame {other:?}"),
         }
     }
+
+    stop(&handle, join);
+}
+
+#[test]
+fn duplicate_inflight_cells_coalesce_without_queue_slots() {
+    let gate = Gate::new();
+    let entered = Gate::new();
+    let hook = {
+        let (gate, entered) = (gate.clone(), entered.clone());
+        move |cell: &Cell, _attempt: u32| {
+            // Block only the first (sgd) cell so duplicates provably
+            // arrive while it is in flight; the adam cell runs free.
+            if cell.optimizer == "sgd" {
+                entered.open();
+                gate.wait();
+            }
+        }
+    };
+    let (addr, handle, join) = start(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        fault: Some(Arc::new(hook)),
+        ..ServerConfig::default()
+    });
+
+    // A: admitted, popped by the lone worker, blocked inside the hook.
+    let mut a = Client::connect(&addr);
+    a.send(&sweep("a", &["squeezenet"], &["edge"], &["sgd"]).encode());
+    assert!(matches!(a.recv(), Frame::Accepted { cells: 1, .. }));
+    entered.wait();
+
+    // X: a *different* cell fills the queue's only slot.
+    let mut x = Client::connect(&addr);
+    x.send(&sweep("x", &["squeezenet"], &["edge"], &["adam"]).encode());
+    assert!(matches!(x.recv(), Frame::Accepted { cells: 1, .. }));
+
+    // B: identical to A's in-flight cell. The queue is full, so without
+    // coalescing this would be rejected; with coalescing it attaches a
+    // waiter and is accepted without consuming a slot.
+    let mut b = Client::connect(&addr);
+    b.send(&sweep("b", &["squeezenet"], &["edge"], &["sgd"]).encode());
+    assert!(matches!(b.recv(), Frame::Accepted { cells: 1, .. }));
+
+    // C: two copies of the same cell in one grid (duplicate net
+    // keyword) — both coalesce onto A's job, zero slots needed even
+    // though the grid is bigger than the whole queue.
+    let mut c = Client::connect(&addr);
+    c.send(&sweep("c", &["squeezenet", "squeezenet"], &["edge"], &["sgd"]).encode());
+    assert!(matches!(c.recv(), Frame::Accepted { cells: 2, .. }));
+
+    gate.open();
+
+    let collect = |client: &mut Client, want_cells: usize| -> Vec<String> {
+        let mut records = Vec::new();
+        loop {
+            match client.recv() {
+                Frame::Cell { record, .. } => records.push(record),
+                Frame::Done {
+                    cells,
+                    errors,
+                    counters,
+                    ..
+                } => {
+                    assert_eq!((cells, errors), (want_cells, 0));
+                    assert!(
+                        counters
+                            .iter()
+                            .any(|(k, v)| k == "serve.coalesced" && *v >= 3),
+                        "serve.coalesced should count all 3 attached waiters: {counters:?}"
+                    );
+                    break;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        records
+    };
+    let ra = collect(&mut a, 1);
+    let rb = collect(&mut b, 1);
+    let rc = collect(&mut c, 2);
+    let _ = collect(&mut x, 1);
+
+    // Byte-identity across every requester of the coalesced cell, and
+    // against a direct in-process simulation.
+    let direct = simulate_cell(&Cell {
+        net: "squeezenet".into(),
+        config: "edge".into(),
+        optimizer: "sgd".into(),
+    })
+    .unwrap();
+    assert_eq!(ra, vec![direct.clone()]);
+    assert_eq!(rb, ra, "coalesced requester must get byte-identical record");
+    assert_eq!(rc, vec![direct.clone(), direct]);
 
     stop(&handle, join);
 }
